@@ -1,0 +1,232 @@
+//! Acyclicity testing and join-forest construction (the GYO reduction).
+//!
+//! A conjunctive query is (α-)acyclic iff the GYO reduction eliminates all
+//! of its hyperedges.  The reduction repeatedly
+//!
+//! 1. removes *ear* vertices that occur in a single hyperedge, and
+//! 2. removes a hyperedge whose (remaining) vertex set is contained in
+//!    another hyperedge, attaching it to that hyperedge in the join forest.
+//!
+//! For queries over binary relations the hyperedges have at most two
+//! vertices, but the implementation below works for the general definition
+//! so it can serve as a reusable component.
+
+use crate::query::ConjunctiveQuery;
+use std::collections::BTreeSet;
+use xpath_ast::Var;
+
+/// A join forest over the atoms of a query: `parent[i]` is the parent atom
+/// of atom `i`, or `None` for roots.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JoinForest {
+    /// Parent pointers, indexed by atom position in the query.
+    pub parent: Vec<Option<usize>>,
+}
+
+impl JoinForest {
+    /// The children of each atom (derived from the parent pointers).
+    pub fn children(&self) -> Vec<Vec<usize>> {
+        let mut out = vec![Vec::new(); self.parent.len()];
+        for (i, p) in self.parent.iter().enumerate() {
+            if let Some(p) = p {
+                out[*p].push(i);
+            }
+        }
+        out
+    }
+
+    /// The root atoms.
+    pub fn roots(&self) -> Vec<usize> {
+        self.parent
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.is_none())
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// A bottom-up (children before parents) ordering of the atoms.
+    pub fn bottom_up_order(&self) -> Vec<usize> {
+        let children = self.children();
+        let mut order = Vec::with_capacity(self.parent.len());
+        let mut stack: Vec<(usize, bool)> = self.roots().into_iter().map(|r| (r, false)).collect();
+        while let Some((node, expanded)) = stack.pop() {
+            if expanded {
+                order.push(node);
+            } else {
+                stack.push((node, true));
+                for &c in &children[node] {
+                    stack.push((c, false));
+                }
+            }
+        }
+        order
+    }
+}
+
+/// Run the GYO reduction on the query's hypergraph.
+///
+/// Returns a join forest over the atoms when the query is acyclic, or
+/// `None` when it is cyclic.
+pub fn gyo_join_forest(query: &ConjunctiveQuery) -> Option<JoinForest> {
+    let n = query.atoms.len();
+    let mut edges: Vec<Option<BTreeSet<Var>>> =
+        query.atoms.iter().map(|a| Some(a.vars())).collect();
+    let mut parent: Vec<Option<usize>> = vec![None; n];
+    let mut removed = 0usize;
+
+    while removed < n {
+        let mut progress = false;
+
+        // Rule 1: drop vertices occurring in exactly one remaining edge.
+        let mut counts: std::collections::HashMap<&Var, usize> = std::collections::HashMap::new();
+        for e in edges.iter().flatten() {
+            for v in e {
+                *counts.entry(v).or_insert(0) += 1;
+            }
+        }
+        let lonely: BTreeSet<Var> = counts
+            .iter()
+            .filter(|(_, &c)| c == 1)
+            .map(|(v, _)| (*v).clone())
+            .collect();
+        drop(counts);
+        if !lonely.is_empty() {
+            for e in edges.iter_mut().flatten() {
+                let before = e.len();
+                e.retain(|v| !lonely.contains(v));
+                if e.len() != before {
+                    progress = true;
+                }
+            }
+        }
+
+        // Rule 2: remove an edge whose vertices are contained in another
+        // remaining edge (or that became empty), attaching it there.
+        'outer: for i in 0..n {
+            let Some(ei) = edges[i].clone() else { continue };
+            if ei.is_empty() {
+                // An isolated atom: becomes a root of its own tree.
+                edges[i] = None;
+                removed += 1;
+                progress = true;
+                continue;
+            }
+            for j in 0..n {
+                if i == j {
+                    continue;
+                }
+                let Some(ej) = &edges[j] else { continue };
+                if ei.is_subset(ej) {
+                    parent[i] = Some(j);
+                    edges[i] = None;
+                    removed += 1;
+                    progress = true;
+                    continue 'outer;
+                }
+            }
+        }
+
+        if !progress {
+            return None; // cyclic
+        }
+    }
+    Some(JoinForest { parent })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::{Atom, RelId};
+
+    fn q(atoms: Vec<Atom>) -> ConjunctiveQuery {
+        ConjunctiveQuery::new(atoms, vec![])
+    }
+
+    #[test]
+    fn path_query_is_acyclic() {
+        let query = q(vec![
+            Atom::new(RelId(0), "x", "y"),
+            Atom::new(RelId(1), "y", "z"),
+            Atom::new(RelId(2), "z", "w"),
+        ]);
+        let forest = gyo_join_forest(&query).expect("path queries are acyclic");
+        assert_eq!(forest.parent.len(), 3);
+        // Exactly one root, and the bottom-up order visits children first.
+        assert_eq!(forest.roots().len(), 1);
+        let order = forest.bottom_up_order();
+        assert_eq!(order.len(), 3);
+        for (i, &atom) in order.iter().enumerate() {
+            if let Some(p) = forest.parent[atom] {
+                assert!(order[i + 1..].contains(&p), "parent must come after child");
+            }
+        }
+    }
+
+    #[test]
+    fn star_query_is_acyclic() {
+        let query = q(vec![
+            Atom::new(RelId(0), "c", "a"),
+            Atom::new(RelId(1), "c", "b"),
+            Atom::new(RelId(2), "c", "d"),
+        ]);
+        assert!(gyo_join_forest(&query).is_some());
+    }
+
+    #[test]
+    fn triangle_query_is_cyclic() {
+        let query = q(vec![
+            Atom::new(RelId(0), "x", "y"),
+            Atom::new(RelId(1), "y", "z"),
+            Atom::new(RelId(2), "z", "x"),
+        ]);
+        assert!(gyo_join_forest(&query).is_none());
+    }
+
+    #[test]
+    fn longer_cycle_is_cyclic_but_chord_free_tree_is_not() {
+        let square = q(vec![
+            Atom::new(RelId(0), "a", "b"),
+            Atom::new(RelId(1), "b", "c"),
+            Atom::new(RelId(2), "c", "d"),
+            Atom::new(RelId(3), "d", "a"),
+        ]);
+        assert!(gyo_join_forest(&square).is_none());
+        let tree = q(vec![
+            Atom::new(RelId(0), "a", "b"),
+            Atom::new(RelId(1), "b", "c"),
+            Atom::new(RelId(2), "b", "d"),
+            Atom::new(RelId(3), "d", "e"),
+        ]);
+        assert!(gyo_join_forest(&tree).is_some());
+    }
+
+    #[test]
+    fn parallel_edges_and_self_loops_are_acyclic() {
+        let query = q(vec![
+            Atom::new(RelId(0), "x", "y"),
+            Atom::new(RelId(1), "x", "y"),
+            Atom::new(RelId(2), "y", "y"),
+        ]);
+        let forest = gyo_join_forest(&query).expect("contained edges are ears");
+        assert_eq!(forest.parent.len(), 3);
+    }
+
+    #[test]
+    fn disconnected_queries_build_a_forest() {
+        let query = q(vec![
+            Atom::new(RelId(0), "x", "y"),
+            Atom::new(RelId(1), "u", "v"),
+        ]);
+        let forest = gyo_join_forest(&query).unwrap();
+        assert_eq!(forest.roots().len(), 2);
+    }
+
+    #[test]
+    fn empty_query_is_acyclic() {
+        let forest = gyo_join_forest(&q(vec![])).unwrap();
+        assert!(forest.parent.is_empty());
+        assert!(forest.roots().is_empty());
+        assert!(forest.bottom_up_order().is_empty());
+    }
+}

@@ -1,0 +1,37 @@
+//! # `xpath_acq` — acyclic conjunctive queries over binary relations
+//!
+//! Section 6 of the paper relates `HCL⁻(L)` to (unions of) acyclic
+//! conjunctive queries (ACQ) over the binary relations `q_b(t)`, `b ∈ L`,
+//! and derives the polynomial bound of Prop. 7 from Yannakakis' algorithm,
+//! which answers an ACQ `Q` over a database `db` in time
+//! `O(|db| · |Q| · |Q(db)|)`.
+//!
+//! This crate implements that machinery from scratch:
+//!
+//! * [`db::BinaryDatabase`] — the relational database
+//!   `db = {q_b(t) | b ∈ L}` of binary relations over `nodes(t)`, built from
+//!   PPLbin expressions (via the matrix engine) or from raw axis relations;
+//! * [`query::ConjunctiveQuery`] — conjunctive queries whose atoms are
+//!   binary relation applications `r(x, y)` with designated output
+//!   variables;
+//! * [`acyclic`] — the GYO reduction: acyclicity test and join-forest
+//!   construction;
+//! * [`yannakakis`] — the semijoin program (bottom-up + top-down passes)
+//!   followed by an output-sensitive join along the join forest;
+//! * [`from_hcl`] — the translation of union-free `HCL⁻(PPLbin)`
+//!   expressions into ACQs over the atoms' relations (Prop. 8 direction),
+//!   used to cross-check Yannakakis against the Fig. 8 algorithm.
+
+pub mod acyclic;
+pub mod db;
+pub mod from_hcl;
+pub mod query;
+pub mod union;
+pub mod yannakakis;
+
+pub use acyclic::{gyo_join_forest, JoinForest};
+pub use db::BinaryDatabase;
+pub use from_hcl::hcl_to_acq;
+pub use query::{Atom, ConjunctiveQuery, RelId};
+pub use union::{distribute_unions, hcl_to_union_acq, UnionAcq};
+pub use yannakakis::{answer_acq, brute_force_answer, AcqError};

@@ -1,0 +1,77 @@
+//! E3 — Theorem 1: n-ary PPL query answering is
+//! `O(|P|·|t|³ + n·|P|·|t|²·|A|)`.
+//!
+//! Three sweeps over the restaurant/bibliography workloads:
+//!
+//! * `ppl_nary_tree_scaling`: fixed width, growing document;
+//! * `ppl_nary_width_scaling`: fixed document, tuple width `n` from 1 to 11
+//!   (time grows polynomially — roughly linearly in `n·|A|` — never like
+//!   `|t|ⁿ`);
+//! * `ppl_nary_output_scaling`: fixed query and width, documents with
+//!   increasing answer-set sizes (output sensitivity).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ppl_xpath::{Document, PplQuery};
+use xpath_tree::generate::{bibliography, restaurants, RESTAURANT_ATTRIBUTES};
+use xpath_workload::{bibliography_pairs_query, restaurant_query};
+
+fn ppl_nary_tree_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ppl_nary_tree_scaling");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    let (query, vars) = bibliography_pairs_query();
+    let compiled = PplQuery::compile_path(query, vars).unwrap();
+    for &books in &[20usize, 40, 80, 160] {
+        let doc = Document::from_tree(bibliography(books, 3));
+        group.bench_with_input(BenchmarkId::new("books", books), &doc, |b, d| {
+            b.iter(|| compiled.answers(d).unwrap().len())
+        });
+    }
+    group.finish();
+}
+
+fn ppl_nary_width_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ppl_nary_width_scaling");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    let doc = Document::from_tree(restaurants(40, &RESTAURANT_ATTRIBUTES, 5));
+    for &width in &[1usize, 3, 5, 7, 9, 11] {
+        let (query, vars) = restaurant_query(width);
+        let compiled = PplQuery::compile_path(query, vars).unwrap();
+        group.bench_with_input(BenchmarkId::new("width", width), &compiled, |b, q| {
+            b.iter(|| q.answers(&doc).unwrap().len())
+        });
+    }
+    group.finish();
+}
+
+fn ppl_nary_output_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ppl_nary_output_scaling");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    // Same tree size, growing answer sets: more authors per book means more
+    // (author, title) pairs while |t| stays comparable.
+    let (query, vars) = bibliography_pairs_query();
+    let compiled = PplQuery::compile_path(query, vars).unwrap();
+    for &max_authors in &[1usize, 2, 4, 8] {
+        let doc = Document::from_tree(bibliography(60, max_authors));
+        let answers = compiled.answers(&doc).unwrap().len();
+        group.bench_with_input(
+            BenchmarkId::new("answers", answers),
+            &doc,
+            |b, d| b.iter(|| compiled.answers(d).unwrap().len()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    ppl_nary_tree_scaling,
+    ppl_nary_width_scaling,
+    ppl_nary_output_scaling
+);
+criterion_main!(benches);

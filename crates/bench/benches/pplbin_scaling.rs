@@ -1,0 +1,107 @@
+//! E1/E2 — Theorem 2: PPLbin binary query answering is `O(|P|·|t|³)`.
+//!
+//! * `pplbin_tree_scaling` (E1): fixed query suite, random trees of growing
+//!   size — the per-query time should grow roughly cubically in `|t|`
+//!   (word-parallelism divides the constant, not the exponent).
+//! * `pplbin_query_scaling` (E2): fixed tree, PPLbin expressions of growing
+//!   size — time should grow roughly linearly in `|P|`.
+//! * `matrix_product_ablation`: the word-parallel Boolean product against
+//!   the naive triple loop (the design choice called out in DESIGN.md).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use xpath_ast::binexpr::from_variable_free_path;
+use xpath_ast::parse_path;
+use xpath_pplbin::{answer_binary, step_matrix, NodeMatrix};
+use xpath_tree::generate::{random_tree, TreeGenConfig, TreeShape};
+use xpath_ast::NameTest;
+use xpath_tree::Axis;
+use xpath_workload::pplbin_suite;
+
+fn query_suite() -> Vec<xpath_ast::BinExpr> {
+    [
+        "child::*/child::*",
+        "descendant::l0[child::l1]",
+        "descendant::* except child::*",
+        "(child::l0 union child::l1)/descendant::l2",
+        "child::*[not(child::l0)]",
+    ]
+    .iter()
+    .map(|s| from_variable_free_path(&parse_path(s).unwrap()).unwrap())
+    .collect()
+}
+
+fn pplbin_tree_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pplbin_tree_scaling");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    let queries = query_suite();
+    for &size in &[50usize, 100, 200, 400] {
+        let tree = random_tree(&TreeGenConfig {
+            size,
+            shape: TreeShape::BoundedBranching { max_children: 4 },
+            alphabet: 3,
+            seed: 11,
+        });
+        group.bench_with_input(BenchmarkId::new("query_suite", size), &tree, |b, t| {
+            b.iter(|| {
+                let mut total = 0usize;
+                for q in &queries {
+                    total += answer_binary(t, q).count_pairs();
+                }
+                total
+            })
+        });
+    }
+    group.finish();
+}
+
+fn pplbin_query_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pplbin_query_scaling");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    let tree = random_tree(&TreeGenConfig {
+        size: 150,
+        shape: TreeShape::BoundedBranching { max_children: 4 },
+        alphabet: 3,
+        seed: 12,
+    });
+    for &levels in &[4usize, 8, 16, 32] {
+        let query = pplbin_suite(levels);
+        group.bench_with_input(
+            BenchmarkId::new("suite_levels", levels),
+            &query,
+            |b, q| b.iter(|| answer_binary(&tree, q).count_pairs()),
+        );
+    }
+    group.finish();
+}
+
+fn matrix_product_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matrix_product_ablation");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    let tree = random_tree(&TreeGenConfig {
+        size: 200,
+        shape: TreeShape::BoundedBranching { max_children: 4 },
+        alphabet: 2,
+        seed: 13,
+    });
+    let a: NodeMatrix = step_matrix(&tree, Axis::Descendant, &NameTest::Wildcard);
+    let b: NodeMatrix = step_matrix(&tree, Axis::FollowingSibling, &NameTest::Wildcard);
+    group.bench_function("word_parallel", |bench| bench.iter(|| a.product(&b).count_pairs()));
+    group.bench_function("naive_triple_loop", |bench| {
+        bench.iter(|| a.product_naive(&b).count_pairs())
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    pplbin_tree_scaling,
+    pplbin_query_scaling,
+    matrix_product_ablation
+);
+criterion_main!(benches);

@@ -1,0 +1,84 @@
+//! E7/E8/E9a — translation and normalisation costs.
+//!
+//! * `sharing_normalisation` (E7, Lemma 3): normalising
+//!   `(a₁ ∪ b₁)/(a₂ ∪ b₂)/…/(a_k ∪ b_k)` with sharing expressions stays
+//!   linear in `k`, while distributing unions to the top would build `2^k`
+//!   branches (the distributed size is reported by the experiments runner).
+//! * `ppl_to_hcl_translation` (E8, Fig. 7 / Prop. 5): linear-time
+//!   translation of PPL queries of growing size.
+//! * `fo_to_xpath_translation` (E9a, Lemma 1): linear-time translation of FO
+//!   formulas of growing size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use xpath_ast::parse_path;
+use xpath_fo::{fo_to_xpath, Formula};
+use xpath_hcl::oracle::intern_atoms;
+use xpath_hcl::{ppl_to_hcl, EquationSystem, Hcl};
+
+/// `(a ∪ b)/(a ∪ b)/… ` with `k` unions, as an HCL expression over string
+/// atoms (the atoms' own size is irrelevant to Lemma 3).
+fn union_chain(k: usize) -> Hcl<String> {
+    let block = |i: usize| {
+        Hcl::Atom(format!("a{i}")).or(Hcl::Atom(format!("b{i}")))
+    };
+    let mut expr = block(0);
+    for i in 1..k {
+        expr = expr.then(block(i));
+    }
+    expr
+}
+
+fn sharing_normalisation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sharing_normalisation");
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for &k in &[4usize, 8, 16, 32, 64] {
+        let expr = union_chain(k);
+        let (interned, _) = intern_atoms(&expr);
+        group.bench_with_input(BenchmarkId::new("lemma3", k), &interned, |b, e| {
+            b.iter(|| EquationSystem::from_hcl(e).len())
+        });
+    }
+    group.finish();
+}
+
+fn ppl_to_hcl_translation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ppl_to_hcl_translation");
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for &filters in &[5usize, 10, 20, 40] {
+        let mut src = String::from("descendant::record");
+        for i in 0..filters {
+            src.push_str(&format!("[child::a{i}[. is $v{i}]]"));
+        }
+        let ppl = parse_path(&src).unwrap();
+        group.bench_with_input(BenchmarkId::new("fig7", filters), &ppl, |b, p| {
+            b.iter(|| ppl_to_hcl(p).unwrap().size())
+        });
+    }
+    group.finish();
+}
+
+fn fo_to_xpath_translation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fo_to_xpath_translation");
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for &conjuncts in &[8usize, 16, 32, 64] {
+        let mut phi = Formula::label("l0", "x0");
+        for i in 1..conjuncts {
+            phi = phi.and(Formula::ch_star(&format!("x{}", i - 1), &format!("x{i}")));
+        }
+        group.bench_with_input(BenchmarkId::new("lemma1", conjuncts), &phi, |b, f| {
+            b.iter(|| fo_to_xpath(f).size())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    sharing_normalisation,
+    ppl_to_hcl_translation,
+    fo_to_xpath_translation
+);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Shared helpers for the benchmark harness (Criterion benches and the
+//! deterministic `experiments` runner).
+//!
+//! Every experiment of EXPERIMENTS.md (E1–E9) is driven either by a
+//! Criterion bench target in `benches/` or by the `experiments` binary in
+//! `src/bin/experiments.rs`, and both use the workload constructors below so
+//! the numbers are comparable.
+
+use std::time::{Duration, Instant};
+
+/// Measure a closure once and return its wall-clock duration together with
+/// its result.
+pub fn time_once<T>(f: impl FnOnce() -> T) -> (Duration, T) {
+    let start = Instant::now();
+    let out = f();
+    (start.elapsed(), out)
+}
+
+/// Measure the median of `runs` executions of a closure (result of the last
+/// run returned).  Used by the `experiments` runner; the Criterion benches
+/// do their own statistics.
+pub fn time_median<T>(runs: usize, mut f: impl FnMut() -> T) -> (Duration, T) {
+    assert!(runs >= 1);
+    let mut times = Vec::with_capacity(runs);
+    let mut last = None;
+    for _ in 0..runs {
+        let (d, out) = time_once(&mut f);
+        times.push(d);
+        last = Some(out);
+    }
+    times.sort_unstable();
+    (times[times.len() / 2], last.expect("runs >= 1"))
+}
+
+/// Format a duration in microseconds with a fixed width, for table output.
+pub fn fmt_us(d: Duration) -> String {
+    format!("{:>10.1}", d.as_secs_f64() * 1e6)
+}
+
+/// Ratio between two durations (`later / earlier`), guarded against zero.
+pub fn ratio(later: Duration, earlier: Duration) -> f64 {
+    let e = earlier.as_secs_f64().max(1e-9);
+    later.as_secs_f64() / e
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timing_helpers() {
+        let (d, v) = time_once(|| 21 * 2);
+        assert_eq!(v, 42);
+        assert!(d.as_nanos() > 0);
+        let (m, v) = time_median(3, || 7);
+        assert_eq!(v, 7);
+        assert!(m.as_nanos() > 0 || m.as_nanos() == 0);
+        assert!(ratio(Duration::from_micros(20), Duration::from_micros(10)) > 1.9);
+        assert_eq!(fmt_us(Duration::from_micros(5)).trim(), "5.0");
+    }
+}

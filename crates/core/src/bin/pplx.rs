@@ -1,0 +1,319 @@
+//! `pplx` — a small command-line front end for the PPL query engine.
+//!
+//! ```text
+//! USAGE:
+//!     pplx --query <XPATH> [--vars y,z] (--file doc.xml | --terms 'a(b,c)' | --stdin)
+//!          [--engine ppl|naive] [--format table|csv] [--explain]
+//!
+//! EXAMPLES:
+//!     pplx --terms 'bib(book(author,title))' \
+//!          --query 'descendant::book[child::author[. is $y] and child::title[. is $z]]' \
+//!          --vars y,z
+//!
+//!     cat bib.xml | pplx --stdin --query 'descendant::title[. is $t]' --vars t --format csv
+//! ```
+//!
+//! The tool compiles the query through the full PPL pipeline (rejecting
+//! queries outside the fragment with Definition 1 diagnostics) unless
+//! `--engine naive` is given, in which case any Core XPath 2.0 expression —
+//! including `for` loops and variable sharing — is answered by the
+//! specification engine.
+
+use ppl_xpath::{Document, Engine, PplQuery};
+use std::io::Read;
+use std::process::ExitCode;
+use xpath_ast::{parse_path, Var};
+
+/// Parsed command-line options.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Options {
+    query: String,
+    vars: Vec<String>,
+    source: Source,
+    engine: EngineChoice,
+    format: Format,
+    explain: bool,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Source {
+    File(String),
+    Terms(String),
+    Stdin,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum EngineChoice {
+    Ppl,
+    Naive,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Format {
+    Table,
+    Csv,
+}
+
+const USAGE: &str = "usage: pplx --query <XPATH> [--vars a,b,...] \
+(--file <path> | --terms <term-tree> | --stdin) \
+[--engine ppl|naive] [--format table|csv] [--explain]";
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut query = None;
+    let mut vars = Vec::new();
+    let mut source = None;
+    let mut engine = EngineChoice::Ppl;
+    let mut format = Format::Table;
+    let mut explain = false;
+
+    let mut i = 0;
+    let mut value = |i: &mut usize, flag: &str| -> Result<String, String> {
+        *i += 1;
+        args.get(*i)
+            .cloned()
+            .ok_or_else(|| format!("missing value for {flag}"))
+    };
+    while i < args.len() {
+        match args[i].as_str() {
+            "--query" | "-q" => query = Some(value(&mut i, "--query")?),
+            "--vars" | "-v" => {
+                vars = value(&mut i, "--vars")?
+                    .split(',')
+                    .filter(|s| !s.is_empty())
+                    .map(|s| s.trim().trim_start_matches('$').to_string())
+                    .collect()
+            }
+            "--file" | "-f" => source = Some(Source::File(value(&mut i, "--file")?)),
+            "--terms" | "-t" => source = Some(Source::Terms(value(&mut i, "--terms")?)),
+            "--stdin" => source = Some(Source::Stdin),
+            "--engine" => {
+                engine = match value(&mut i, "--engine")?.as_str() {
+                    "ppl" => EngineChoice::Ppl,
+                    "naive" => EngineChoice::Naive,
+                    other => return Err(format!("unknown engine '{other}' (expected ppl|naive)")),
+                }
+            }
+            "--format" => {
+                format = match value(&mut i, "--format")?.as_str() {
+                    "table" => Format::Table,
+                    "csv" => Format::Csv,
+                    other => return Err(format!("unknown format '{other}' (expected table|csv)")),
+                }
+            }
+            "--explain" => explain = true,
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            other => return Err(format!("unknown argument '{other}'\n{USAGE}")),
+        }
+        i += 1;
+    }
+
+    Ok(Options {
+        query: query.ok_or_else(|| format!("--query is required\n{USAGE}"))?,
+        vars,
+        source: source.ok_or_else(|| format!("one of --file/--terms/--stdin is required\n{USAGE}"))?,
+        engine,
+        format,
+        explain,
+    })
+}
+
+fn load_document(source: &Source) -> Result<Document, String> {
+    match source {
+        Source::Terms(terms) => Document::from_terms(terms).map_err(|e| e.to_string()),
+        Source::File(path) => {
+            let content =
+                std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+            Document::from_xml(&content).map_err(|e| e.to_string())
+        }
+        Source::Stdin => {
+            let mut content = String::new();
+            std::io::stdin()
+                .read_to_string(&mut content)
+                .map_err(|e| format!("cannot read stdin: {e}"))?;
+            Document::from_xml(&content).map_err(|e| e.to_string())
+        }
+    }
+}
+
+fn run(options: &Options) -> Result<String, String> {
+    let doc = load_document(&options.source)?;
+    let var_names: Vec<&str> = options.vars.iter().map(String::as_str).collect();
+    let vars: Vec<Var> = var_names.iter().map(|n| Var::new(n)).collect();
+
+    let mut out = String::new();
+    let answers = match options.engine {
+        EngineChoice::Ppl => {
+            let compiled =
+                PplQuery::compile(&options.query, &var_names).map_err(|e| e.to_string())?;
+            if options.explain {
+                out.push_str(&compiled.explain());
+                out.push('\n');
+            }
+            compiled.answers(&doc).map_err(|e| e.to_string())?
+        }
+        EngineChoice::Naive => {
+            let path = parse_path(&options.query).map_err(|e| e.to_string())?;
+            Engine::NaiveEnumeration
+                .answer(&doc, &path, &vars)
+                .map_err(|e| e.to_string())?
+        }
+    };
+
+    match options.format {
+        Format::Table => {
+            out.push_str(&format!(
+                "{} answer tuple(s) over ({})\n",
+                answers.len(),
+                options.vars.join(", ")
+            ));
+            out.push_str(&answers.render(&doc));
+        }
+        Format::Csv => {
+            out.push_str(&options.vars.join(","));
+            out.push('\n');
+            for tuple in answers.tuples() {
+                let row: Vec<String> = tuple.iter().map(|n| doc.describe(*n)).collect();
+                out.push_str(&row.join(","));
+                out.push('\n');
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let options = match parse_args(&args) {
+        Ok(o) => o,
+        Err(message) => {
+            eprintln!("{message}");
+            return ExitCode::from(2);
+        }
+    };
+    match run(&options) {
+        Ok(output) => {
+            print!("{output}");
+            ExitCode::SUCCESS
+        }
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parse_full_argument_set() {
+        let opts = parse_args(&args(&[
+            "--query",
+            "descendant::a[. is $x]",
+            "--vars",
+            "$x, y",
+            "--terms",
+            "r(a,b)",
+            "--engine",
+            "naive",
+            "--format",
+            "csv",
+            "--explain",
+        ]))
+        .unwrap();
+        assert_eq!(opts.query, "descendant::a[. is $x]");
+        assert_eq!(opts.vars, vec!["x", "y"]);
+        assert_eq!(opts.source, Source::Terms("r(a,b)".into()));
+        assert_eq!(opts.engine, EngineChoice::Naive);
+        assert_eq!(opts.format, Format::Csv);
+        assert!(opts.explain);
+    }
+
+    #[test]
+    fn missing_required_arguments_are_reported() {
+        assert!(parse_args(&args(&["--terms", "a"])).unwrap_err().contains("--query"));
+        assert!(parse_args(&args(&["--query", "child::a"]))
+            .unwrap_err()
+            .contains("--file/--terms/--stdin"));
+        assert!(parse_args(&args(&["--bogus"])).unwrap_err().contains("unknown argument"));
+        assert!(parse_args(&args(&["--engine"])).unwrap_err().contains("missing value"));
+        assert!(parse_args(&args(&["--query", "x", "--terms", "a", "--engine", "zzz"]))
+            .unwrap_err()
+            .contains("unknown engine"));
+    }
+
+    #[test]
+    fn run_ppl_engine_on_terms_source() {
+        let opts = parse_args(&args(&[
+            "--query",
+            "descendant::book[child::author[. is $y] and child::title[. is $z]]",
+            "--vars",
+            "y,z",
+            "--terms",
+            "bib(book(author,title),book(author,author,title))",
+        ]))
+        .unwrap();
+        let out = run(&opts).unwrap();
+        assert!(out.starts_with("3 answer tuple(s)"));
+        assert!(out.contains("$y=author#"));
+    }
+
+    #[test]
+    fn run_csv_output_and_naive_engine() {
+        let opts = parse_args(&args(&[
+            "--query",
+            "for $b in child::book return child::book[. is $b]/child::title[. is $t]",
+            "--vars",
+            "t",
+            "--terms",
+            "bib(book(title),book(title))",
+            "--engine",
+            "naive",
+            "--format",
+            "csv",
+        ]))
+        .unwrap();
+        let out = run(&opts).unwrap();
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines[0], "t");
+        assert_eq!(lines.len(), 3);
+        assert!(lines[1].starts_with("title#"));
+    }
+
+    #[test]
+    fn run_reports_fragment_violations() {
+        let opts = parse_args(&args(&[
+            "--query",
+            "child::a[. is $x]/child::b[. is $x]",
+            "--vars",
+            "x",
+            "--terms",
+            "r(a(b))",
+        ]))
+        .unwrap();
+        let err = run(&opts).unwrap_err();
+        assert!(err.contains("NVS(/)"));
+    }
+
+    #[test]
+    fn run_explain_includes_pipeline() {
+        let opts = parse_args(&args(&[
+            "--query",
+            "descendant::a[. is $x]",
+            "--vars",
+            "x",
+            "--terms",
+            "r(a,a)",
+            "--explain",
+        ]))
+        .unwrap();
+        let out = run(&opts).unwrap();
+        assert!(out.contains("PPLbin atoms"));
+        assert!(out.contains("2 answer tuple(s)"));
+    }
+}

@@ -1,0 +1,146 @@
+//! Documents — trees with convenient constructors and node accessors.
+
+use std::fmt;
+use xpath_tree::{NodeId, Tree, TreeError};
+use xpath_xml::{parse_with, ParseOptions, XmlError};
+
+/// Errors raised while loading a document.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DocumentError {
+    /// XML parsing failed.
+    Xml(XmlError),
+    /// Term-syntax parsing failed.
+    Terms(TreeError),
+}
+
+impl fmt::Display for DocumentError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DocumentError::Xml(e) => write!(f, "failed to parse XML document: {e}"),
+            DocumentError::Terms(e) => write!(f, "failed to parse term document: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DocumentError {}
+
+/// An XML document abstracted to the paper's data model: an unranked,
+/// sibling-ordered, labelled tree.
+#[derive(Debug, Clone)]
+pub struct Document {
+    tree: Tree,
+}
+
+impl Document {
+    /// Parse an XML document (elements only, matching the paper's data
+    /// model).
+    pub fn from_xml(xml: &str) -> Result<Document, DocumentError> {
+        Self::from_xml_with(xml, &ParseOptions::default())
+    }
+
+    /// Parse an XML document with explicit [`ParseOptions`] (e.g. to keep
+    /// text nodes as `#text` leaves).
+    pub fn from_xml_with(xml: &str, options: &ParseOptions) -> Result<Document, DocumentError> {
+        Ok(Document {
+            tree: parse_with(xml, options).map_err(DocumentError::Xml)?,
+        })
+    }
+
+    /// Parse the compact term syntax `a(b,c(d))`.
+    pub fn from_terms(terms: &str) -> Result<Document, DocumentError> {
+        Ok(Document {
+            tree: Tree::from_terms(terms).map_err(DocumentError::Terms)?,
+        })
+    }
+
+    /// Wrap an already constructed tree.
+    pub fn from_tree(tree: Tree) -> Document {
+        Document { tree }
+    }
+
+    /// The underlying tree.
+    pub fn tree(&self) -> &Tree {
+        &self.tree
+    }
+
+    /// Number of nodes `|t|`.
+    pub fn len(&self) -> usize {
+        self.tree.len()
+    }
+
+    /// Documents always have a root, so this is always `false`.
+    pub fn is_empty(&self) -> bool {
+        self.tree.is_empty()
+    }
+
+    /// The root node.
+    pub fn root(&self) -> NodeId {
+        self.tree.root()
+    }
+
+    /// Label of a node.
+    pub fn label(&self, node: NodeId) -> &str {
+        self.tree.label_str(node)
+    }
+
+    /// Render a node as a short human-readable description
+    /// (`label#preorder`), useful when printing answer tuples.
+    pub fn describe(&self, node: NodeId) -> String {
+        format!("{}#{}", self.tree.label_str(node), self.tree.preorder(node))
+    }
+
+    /// Serialise back to compact XML.
+    pub fn to_xml(&self) -> String {
+        xpath_xml::to_xml(&self.tree)
+    }
+
+    /// Serialise to the compact term syntax.
+    pub fn to_terms(&self) -> String {
+        self.tree.to_terms()
+    }
+}
+
+impl fmt::Display for Document {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_terms())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_xml_and_terms_agree() {
+        let a = Document::from_xml("<a><b/><c><d/></c></a>").unwrap();
+        let b = Document::from_terms("a(b,c(d))").unwrap();
+        assert_eq!(a.to_terms(), b.to_terms());
+        assert_eq!(a.len(), 4);
+        assert_eq!(a.label(a.root()), "a");
+        assert_eq!(a.to_xml(), "<a><b/><c><d/></c></a>");
+        assert_eq!(format!("{a}"), "a(b,c(d))");
+        assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn errors_are_wrapped() {
+        assert!(matches!(
+            Document::from_xml("<a><b></a>"),
+            Err(DocumentError::Xml(_))
+        ));
+        assert!(matches!(
+            Document::from_terms("a(("),
+            Err(DocumentError::Terms(_))
+        ));
+        let err = Document::from_xml("").unwrap_err();
+        assert!(err.to_string().contains("XML"));
+    }
+
+    #[test]
+    fn describe_nodes() {
+        let d = Document::from_terms("a(b,c)").unwrap();
+        assert_eq!(d.describe(d.root()), "a#0");
+        let c = d.tree().nodes_with_label_str("c")[0];
+        assert_eq!(d.describe(c), "c#2");
+    }
+}

@@ -1,0 +1,92 @@
+//! Engine selection — run the same query with the polynomial PPL pipeline or
+//! with the exponential specification baseline.
+//!
+//! The baseline exists for two reasons:
+//!
+//! * **differential testing** — on small inputs the two engines must agree
+//!   tuple-for-tuple (this is checked extensively in the integration tests);
+//! * **benchmarking** — experiment E4 of EXPERIMENTS.md measures the
+//!   crossover between the naive `Θ(|t|ⁿ)` enumeration and the
+//!   output-sensitive polynomial algorithm as the tuple width `n` grows.
+
+use crate::document::Document;
+use crate::query::{AnswerSet, QueryError};
+use std::collections::BTreeSet;
+use xpath_ast::{PathExpr, Var};
+use xpath_naive::answer_nary;
+use xpath_tree::NodeId;
+
+/// Which algorithm answers the query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Engine {
+    /// The paper's polynomial-time pipeline
+    /// (Fig. 7 translation + Fig. 8 answering over PPLbin matrices).
+    Ppl,
+    /// The specification semantics of Fig. 2 with assignment enumeration —
+    /// exponential in the number of variables.
+    NaiveEnumeration,
+}
+
+impl Engine {
+    /// Answer an n-ary query given as a raw Core XPath 2.0 path expression.
+    ///
+    /// With [`Engine::Ppl`] the expression must be in the PPL fragment; with
+    /// [`Engine::NaiveEnumeration`] any Core XPath 2.0 expression (including
+    /// `for` loops and variable sharing) is accepted.
+    pub fn answer(
+        self,
+        doc: &Document,
+        query: &PathExpr,
+        output: &[Var],
+    ) -> Result<AnswerSet, QueryError> {
+        match self {
+            Engine::Ppl => {
+                let compiled = crate::PplQuery::compile_path(query.clone(), output.to_vec())
+                    .map_err(|e| QueryError::Naive(e.to_string()))?;
+                compiled.answers(doc)
+            }
+            Engine::NaiveEnumeration => {
+                let tuples: BTreeSet<Vec<NodeId>> = answer_nary(doc.tree(), query, output)
+                    .map_err(|e| QueryError::Naive(e.to_string()))?;
+                Ok(AnswerSet::new(output.to_vec(), tuples))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xpath_ast::parse_path;
+
+    fn doc() -> Document {
+        Document::from_terms("bib(book(author,title),book(author,author,title))").unwrap()
+    }
+
+    #[test]
+    fn engines_agree_on_ppl_queries() {
+        let d = doc();
+        let q = parse_path(
+            "descendant::book[child::author[. is $y] and child::title[. is $z]]",
+        )
+        .unwrap();
+        let output = [Var::new("y"), Var::new("z")];
+        let fast = Engine::Ppl.answer(&d, &q, &output).unwrap();
+        let slow = Engine::NaiveEnumeration.answer(&d, &q, &output).unwrap();
+        assert_eq!(fast, slow);
+        assert_eq!(fast.len(), 3);
+    }
+
+    #[test]
+    fn naive_engine_accepts_for_loops_that_ppl_rejects() {
+        let d = doc();
+        let q = parse_path(
+            "for $x in child::book return child::book[. is $x]/child::title[. is $t]",
+        )
+        .unwrap();
+        let output = [Var::new("t")];
+        assert!(Engine::Ppl.answer(&d, &q, &output).is_err());
+        let slow = Engine::NaiveEnumeration.answer(&d, &q, &output).unwrap();
+        assert_eq!(slow.len(), 2);
+    }
+}

@@ -1,0 +1,75 @@
+//! # `ppl_xpath` — the polynomial-time fragment of Core XPath 2.0 with variables
+//!
+//! This crate is the public facade of the reproduction of
+//! *"Polynomial Time Fragments of XPath with Variables"*
+//! (Filiot, Niehren, Talbot, Tison — PODS 2007).  It wires the individual
+//! components of the workspace into the pipeline of Theorem 1:
+//!
+//! ```text
+//!   parse (xpath_ast)                     —  Core XPath 2.0 concrete syntax
+//!     → check PPL, Def. 1 (xpath_ast)     —  N(for), NV(·), NVS(·)
+//!     → translate, Fig. 7 (xpath_hcl)     —  PPL → HCL⁻(PPLbin)
+//!     → normalise, Lemma 3 (xpath_hcl)    —  sharing expressions
+//!     → compile atoms, Thm. 2 (xpath_pplbin) — Boolean node matrices
+//!     → answer, Fig. 8 (xpath_hcl)        —  O(|P||t|³ + n|P||t|²|A|)
+//! ```
+//!
+//! ## Quick start
+//!
+//! ```
+//! use ppl_xpath::{Document, PplQuery};
+//!
+//! let doc = Document::from_xml(
+//!     "<bib><book><author/><title/></book><book><author/><author/><title/></book></bib>",
+//! ).unwrap();
+//!
+//! // The author–title pair query from the paper's introduction.
+//! let query = PplQuery::compile(
+//!     "descendant::book[child::author[. is $y] and child::title[. is $z]]",
+//!     &["y", "z"],
+//! ).unwrap();
+//!
+//! let answers = query.answers(&doc).unwrap();
+//! assert_eq!(answers.len(), 3);           // one pair per (author, book)
+//! for tuple in answers.tuples() {
+//!     assert_eq!(doc.label(tuple[0]), "author");
+//!     assert_eq!(doc.label(tuple[1]), "title");
+//! }
+//! ```
+//!
+//! ## What else is in the box
+//!
+//! * [`BinaryQuery`] — the variable-free PPLbin engine of Theorem 2
+//!   (binary queries as Boolean matrices).
+//! * [`Engine`] — evaluate the same query with the polynomial PPL engine or
+//!   with the exponential specification baseline (`xpath_naive`), for
+//!   differential testing and for the benchmark experiments.
+//! * Re-exports of the component crates under [`components`], and a
+//!   [`prelude`] for glob imports.
+
+pub mod document;
+pub mod engine;
+pub mod query;
+
+pub use document::Document;
+pub use engine::Engine;
+pub use query::{AnswerSet, BinaryQuery, CompileError, PplQuery, QueryError};
+
+/// Re-exports of the underlying component crates for advanced users.
+pub mod components {
+    pub use xpath_acq as acq;
+    pub use xpath_ast as ast;
+    pub use xpath_fo as fo;
+    pub use xpath_hcl as hcl;
+    pub use xpath_naive as naive;
+    pub use xpath_pplbin as pplbin;
+    pub use xpath_tree as tree;
+    pub use xpath_xml as xml;
+}
+
+/// Commonly used items, for glob import in examples and tests.
+pub mod prelude {
+    pub use crate::{AnswerSet, BinaryQuery, Document, Engine, PplQuery};
+    pub use xpath_ast::{parse_path, PathExpr, Var};
+    pub use xpath_tree::{Axis, NodeId, Tree};
+}

@@ -1,0 +1,352 @@
+//! Compiled queries: the PPL pipeline of Theorem 1 and the PPLbin binary
+//! engine of Theorem 2.
+
+use crate::document::Document;
+use std::collections::BTreeSet;
+use std::fmt;
+use xpath_ast::binexpr::{from_variable_free_path, NotVariableFree};
+use xpath_ast::ppl::PplViolation;
+use xpath_ast::{parse_path, BinExpr, ParseError, PathExpr, Var};
+use xpath_hcl::{answer_hcl_pplbin, ppl_to_hcl, Hcl, HclError, TranslateError};
+use xpath_pplbin::NodeMatrix;
+use xpath_tree::NodeId;
+
+/// Errors raised while compiling a query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CompileError {
+    /// The concrete syntax could not be parsed.
+    Parse(ParseError),
+    /// The expression is syntactically valid Core XPath 2.0 but violates the
+    /// PPL restrictions of Definition 1; each violation is reported.
+    NotPpl(Vec<PplViolation>),
+    /// A binary query was requested for an expression with variables.
+    NotVariableFree(NotVariableFree),
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::Parse(e) => write!(f, "{e}"),
+            CompileError::NotPpl(violations) => {
+                write!(f, "query is not in the PPL fragment (Definition 1):")?;
+                for v in violations {
+                    write!(f, "\n  - {v}")?;
+                }
+                Ok(())
+            }
+            CompileError::NotVariableFree(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+impl From<ParseError> for CompileError {
+    fn from(e: ParseError) -> CompileError {
+        CompileError::Parse(e)
+    }
+}
+
+impl From<TranslateError> for CompileError {
+    fn from(e: TranslateError) -> CompileError {
+        match e {
+            TranslateError::NotPpl(v) => CompileError::NotPpl(v),
+        }
+    }
+}
+
+/// Errors raised while answering a compiled query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QueryError {
+    /// The HCL engine rejected the expression (cannot happen for queries
+    /// compiled through [`PplQuery::compile`], which enforce NVS(/)).
+    Hcl(HclError),
+    /// The naive baseline failed (e.g. an unbound variable when evaluating a
+    /// raw Core XPath 2.0 expression).
+    Naive(String),
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::Hcl(e) => write!(f, "{e}"),
+            QueryError::Naive(e) => write!(f, "naive evaluation failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+/// The answer set of an n-ary query: sorted, duplicate-free tuples of nodes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AnswerSet {
+    variables: Vec<Var>,
+    tuples: Vec<Vec<NodeId>>,
+}
+
+impl AnswerSet {
+    pub(crate) fn new(variables: Vec<Var>, tuples: BTreeSet<Vec<NodeId>>) -> AnswerSet {
+        AnswerSet {
+            variables,
+            tuples: tuples.into_iter().collect(),
+        }
+    }
+
+    /// The output variables, in tuple order.
+    pub fn variables(&self) -> &[Var] {
+        &self.variables
+    }
+
+    /// Tuple width `n`.
+    pub fn arity(&self) -> usize {
+        self.variables.len()
+    }
+
+    /// Number of answer tuples `|A|`.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// Is the answer set empty?
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// The tuples, in lexicographic node order.
+    pub fn tuples(&self) -> &[Vec<NodeId>] {
+        &self.tuples
+    }
+
+    /// Iterate over the tuples.
+    pub fn iter(&self) -> impl Iterator<Item = &Vec<NodeId>> {
+        self.tuples.iter()
+    }
+
+    /// Render the answers with node labels resolved against a document —
+    /// convenient for examples and debugging.
+    pub fn render(&self, doc: &Document) -> String {
+        let mut out = String::new();
+        for tuple in &self.tuples {
+            let cells: Vec<String> = self
+                .variables
+                .iter()
+                .zip(tuple)
+                .map(|(v, n)| format!("{v}={}", doc.describe(*n)))
+                .collect();
+            out.push_str(&format!("({})\n", cells.join(", ")));
+        }
+        out
+    }
+}
+
+/// A compiled PPL query: the full pipeline of Theorem 1.
+#[derive(Debug, Clone)]
+pub struct PplQuery {
+    source: PathExpr,
+    hcl: Hcl<BinExpr>,
+    output: Vec<Var>,
+}
+
+impl PplQuery {
+    /// Parse, check (Definition 1) and translate (Fig. 7) a query given in
+    /// Core XPath 2.0 concrete syntax, with the given output variables.
+    pub fn compile(source: &str, output: &[&str]) -> Result<PplQuery, CompileError> {
+        let path = parse_path(source)?;
+        Self::compile_path(path, output.iter().map(|n| Var::new(n)).collect())
+    }
+
+    /// Compile an already parsed path expression.
+    pub fn compile_path(path: PathExpr, output: Vec<Var>) -> Result<PplQuery, CompileError> {
+        let hcl = ppl_to_hcl(&path)?;
+        Ok(PplQuery {
+            source: path,
+            hcl,
+            output,
+        })
+    }
+
+    /// The source Core XPath 2.0 expression.
+    pub fn source(&self) -> &PathExpr {
+        &self.source
+    }
+
+    /// The output variables, in tuple order.
+    pub fn output(&self) -> &[Var] {
+        &self.output
+    }
+
+    /// The intermediate `HCL⁻(PPLbin)` expression (Fig. 7 image), exposed
+    /// for inspection and for the translation benchmarks.
+    pub fn hcl(&self) -> &Hcl<BinExpr> {
+        &self.hcl
+    }
+
+    /// `|P|` — the size of the source expression.
+    pub fn size(&self) -> usize {
+        self.source.size()
+    }
+
+    /// Answer the query on a document with the polynomial-time engine
+    /// (Fig. 8 over PPLbin atoms).
+    pub fn answers(&self, doc: &Document) -> Result<AnswerSet, QueryError> {
+        let tuples =
+            answer_hcl_pplbin(doc.tree(), &self.hcl, &self.output).map_err(QueryError::Hcl)?;
+        Ok(AnswerSet::new(self.output.clone(), tuples))
+    }
+
+    /// Answer the query as a Boolean query: is the answer set non-empty for
+    /// some assignment?  (Arity-0 special case of [`PplQuery::answers`].)
+    pub fn is_satisfiable(&self, doc: &Document) -> Result<bool, QueryError> {
+        let tuples =
+            answer_hcl_pplbin(doc.tree(), &self.hcl, &[]).map_err(QueryError::Hcl)?;
+        Ok(!tuples.is_empty())
+    }
+
+    /// A human-readable explanation of the compiled pipeline: the PPL
+    /// source, its size, the HCL⁻(PPLbin) image and its atoms.
+    pub fn explain(&self) -> String {
+        let atoms = self.hcl.atoms();
+        let mut out = String::new();
+        out.push_str(&format!("PPL source   : {}\n", self.source));
+        out.push_str(&format!("source size  : {}\n", self.source.size()));
+        out.push_str(&format!(
+            "output vars  : {}\n",
+            self.output
+                .iter()
+                .map(|v| v.to_string())
+                .collect::<Vec<_>>()
+                .join(", ")
+        ));
+        out.push_str(&format!("HCL⁻(PPLbin) : {}\n", self.hcl));
+        out.push_str(&format!("HCL size     : {}\n", self.hcl.size()));
+        out.push_str(&format!("PPLbin atoms : {}\n", atoms.len()));
+        for (i, a) in atoms.iter().enumerate() {
+            out.push_str(&format!("  b{i} = {a}\n"));
+        }
+        out
+    }
+}
+
+/// A compiled variable-free binary query (PPLbin, Theorem 2).
+#[derive(Debug, Clone)]
+pub struct BinaryQuery {
+    source: PathExpr,
+    bin: BinExpr,
+}
+
+impl BinaryQuery {
+    /// Parse and compile a variable-free Core XPath 2.0 expression into
+    /// PPLbin (Fig. 4).
+    pub fn compile(source: &str) -> Result<BinaryQuery, CompileError> {
+        let path = parse_path(source)?;
+        Self::compile_path(path)
+    }
+
+    /// Compile an already parsed variable-free path expression.
+    pub fn compile_path(path: PathExpr) -> Result<BinaryQuery, CompileError> {
+        let bin = from_variable_free_path(&path).map_err(CompileError::NotVariableFree)?;
+        Ok(BinaryQuery { source: path, bin })
+    }
+
+    /// The source expression.
+    pub fn source(&self) -> &PathExpr {
+        &self.source
+    }
+
+    /// The PPLbin expression.
+    pub fn binexpr(&self) -> &BinExpr {
+        &self.bin
+    }
+
+    /// Answer the binary query as a Boolean node×node matrix (Theorem 2).
+    pub fn matrix(&self, doc: &Document) -> NodeMatrix {
+        xpath_pplbin::answer_binary(doc.tree(), &self.bin)
+    }
+
+    /// Answer the binary query as a pair list.
+    pub fn pairs(&self, doc: &Document) -> Vec<(NodeId, NodeId)> {
+        self.matrix(doc).pairs()
+    }
+
+    /// The nodes reachable from the document root (unary query).
+    pub fn select_from_root(&self, doc: &Document) -> Vec<NodeId> {
+        self.matrix(doc).successors(doc.root()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc() -> Document {
+        Document::from_terms("bib(book(author,title),book(author,author,title))").unwrap()
+    }
+
+    #[test]
+    fn compile_and_answer_the_intro_query() {
+        let d = doc();
+        let q = PplQuery::compile(
+            "descendant::book[child::author[. is $y] and child::title[. is $z]]",
+            &["y", "z"],
+        )
+        .unwrap();
+        assert_eq!(q.output().len(), 2);
+        assert_eq!(q.size(), q.source().size());
+        let ans = q.answers(&d).unwrap();
+        assert_eq!(ans.len(), 3);
+        assert_eq!(ans.arity(), 2);
+        assert!(!ans.is_empty());
+        let rendered = ans.render(&d);
+        assert_eq!(rendered.lines().count(), 3);
+        assert!(rendered.contains("$y=author#"));
+        assert!(q.is_satisfiable(&d).unwrap());
+    }
+
+    #[test]
+    fn compile_errors_are_informative() {
+        let parse_err = PplQuery::compile("child::", &[]).unwrap_err();
+        assert!(matches!(parse_err, CompileError::Parse(_)));
+        let ppl_err =
+            PplQuery::compile("for $x in child::a return child::b", &[]).unwrap_err();
+        match &ppl_err {
+            CompileError::NotPpl(v) => assert!(!v.is_empty()),
+            other => panic!("expected NotPpl, got {other:?}"),
+        }
+        assert!(ppl_err.to_string().contains("N(for)"));
+        let shared =
+            PplQuery::compile("child::a[. is $x]/child::b[. is $x]", &["x"]).unwrap_err();
+        assert!(shared.to_string().contains("NVS(/)"));
+    }
+
+    #[test]
+    fn explain_lists_pipeline_stages() {
+        let q = PplQuery::compile("descendant::book[child::author[. is $y]]", &["y"]).unwrap();
+        let text = q.explain();
+        assert!(text.contains("PPL source"));
+        assert!(text.contains("HCL⁻(PPLbin)"));
+        assert!(text.contains("b0 ="));
+    }
+
+    #[test]
+    fn binary_queries() {
+        let d = doc();
+        let q = BinaryQuery::compile("child::book/child::author").unwrap();
+        assert_eq!(q.pairs(&d).len(), 3);
+        assert_eq!(q.select_from_root(&d).len(), 3);
+        assert_eq!(q.matrix(&d).count_pairs(), 3);
+        assert!(q.binexpr().size() >= 2);
+        let err = BinaryQuery::compile("child::a[. is $x]").unwrap_err();
+        assert!(matches!(err, CompileError::NotVariableFree(_)));
+        assert!(err.to_string().contains("N($x)"));
+    }
+
+    #[test]
+    fn unsatisfiable_queries_have_empty_answers() {
+        let d = doc();
+        let q = PplQuery::compile("descendant::publisher[. is $p]", &["p"]).unwrap();
+        let ans = q.answers(&d).unwrap();
+        assert!(ans.is_empty());
+        assert!(!q.is_satisfiable(&d).unwrap());
+        assert_eq!(ans.render(&d), "");
+    }
+}

@@ -1,0 +1,35 @@
+//! # `xpath_fo` — first-order logic over unranked trees
+//!
+//! Section 2 of the paper works with FO logic over unranked trees with the
+//! signature `{ns*, ch*, lab_a}`:
+//!
+//! ```text
+//! φ := ns*(x, y) | ch*(x, y) | lab_a(x) | ¬φ | φ₁ ∧ φ₂ | ∃x φ
+//! ```
+//!
+//! This crate provides:
+//!
+//! * [`formula::Formula`] — the FO abstract syntax, with derived connectives
+//!   (`∨`, `→`, `∀`, node equality `x = y` as `ch*(x,y) ∧ ch*(y,x)`);
+//! * [`parser`] — a small concrete syntax (`exists x. chstar(x,y) and lab(book, x)`);
+//! * [`eval`] — the Tarskian satisfaction relation `t, α ⊨ φ` and n-ary FO
+//!   query answering `q_{φ,x}(t)` by assignment enumeration (the FO
+//!   baseline);
+//! * [`to_xpath`] — the linear-time translation `⟦φ⟧` of FO into
+//!   Core XPath 2.0 (Lemma 1 / Proposition 1), with
+//!   `∃x.φ ↦ for $x in nodes return ⟦φ⟧`, `¬φ ↦ .[not ⟦φ⟧]`,
+//!   `φ∧φ' ↦ ⟦φ⟧/⟦φ'⟧` and the two axis literals mapped to navigation
+//!   paths anchored at `$x`.
+//!
+//! The crate is used by the FO-completeness example and by the benchmark
+//! experiment E9 (translation linearity and answer preservation).
+
+pub mod eval;
+pub mod formula;
+pub mod parser;
+pub mod to_xpath;
+
+pub use eval::{fo_answer_nary, fo_satisfies};
+pub use formula::Formula;
+pub use parser::{parse_formula, FoParseError};
+pub use to_xpath::fo_to_xpath;

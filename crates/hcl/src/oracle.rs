@@ -1,0 +1,225 @@
+//! Binary-query oracles for HCL(L).
+//!
+//! The answering algorithm of Fig. 8 assumes that "all binary queries
+//! occurring in `D_∆` are precompiled in a data structure that returns in
+//! time `|S_{u,b}|` the set `S_{u,b} = {u' | (u, u') ∈ q_b(t)}`"
+//! (Prop. 10).  [`CompiledAtoms`] is exactly that data structure: one sorted
+//! successor list per (atom, node) pair.
+//!
+//! Two compilers are provided:
+//!
+//! * [`PplBinAtoms`] — atoms are PPLbin expressions, answered by the
+//!   Boolean-matrix engine of `xpath_pplbin` in `O(|b|·|t|³)` each
+//!   (Theorem 2), which instantiates the `p(|b|, |t|)` of Prop. 10;
+//! * [`AxisAtoms`] — atoms are raw `(Axis, NameTest)` steps, answered
+//!   directly from the tree in `O(|t|²)`; used by the ACQ experiments.
+
+use crate::lang::Hcl;
+use std::collections::HashMap;
+use std::hash::Hash;
+use xpath_ast::{BinExpr, NameTest};
+use xpath_pplbin::answer_binary;
+use xpath_tree::{Axis, NodeId, Tree};
+
+/// Identifier of an interned atom inside a [`CompiledAtoms`] table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct AtomId(pub u32);
+
+impl AtomId {
+    /// Dense index of the atom.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Precompiled successor lists for a set of binary queries over one tree.
+#[derive(Debug, Clone)]
+pub struct CompiledAtoms {
+    /// `succ[atom][node]` — sorted successors of `node` under `atom`.
+    succ: Vec<Vec<Vec<NodeId>>>,
+    domain: usize,
+}
+
+impl CompiledAtoms {
+    /// Build a table directly from per-atom pair lists.
+    pub fn from_pairs(domain: usize, atoms: Vec<Vec<(NodeId, NodeId)>>) -> CompiledAtoms {
+        let mut succ = Vec::with_capacity(atoms.len());
+        for pairs in atoms {
+            let mut lists = vec![Vec::new(); domain];
+            for (u, v) in pairs {
+                lists[u.index()].push(v);
+            }
+            for l in lists.iter_mut() {
+                l.sort_unstable();
+                l.dedup();
+            }
+            succ.push(lists);
+        }
+        CompiledAtoms { succ, domain }
+    }
+
+    /// Number of nodes of the underlying tree.
+    pub fn domain(&self) -> usize {
+        self.domain
+    }
+
+    /// Number of compiled atoms.
+    pub fn atom_count(&self) -> usize {
+        self.succ.len()
+    }
+
+    /// The successors `S_{u,b}` of `u` under atom `b`, in document order.
+    pub fn successors(&self, atom: AtomId, u: NodeId) -> &[NodeId] {
+        &self.succ[atom.index()][u.index()]
+    }
+
+    /// Does `u` have any successor under `atom`?
+    pub fn has_successor(&self, atom: AtomId, u: NodeId) -> bool {
+        !self.successors(atom, u).is_empty()
+    }
+
+    /// Total number of stored pairs (the size of the induced relational
+    /// database `db = {q_b(t) | b ∈ L}` of Section 6).
+    pub fn pair_count(&self) -> usize {
+        self.succ
+            .iter()
+            .map(|per_node| per_node.iter().map(Vec::len).sum::<usize>())
+            .sum()
+    }
+}
+
+/// Intern the atoms of an HCL expression: equal atoms share an [`AtomId`].
+///
+/// Returns the rewritten expression together with the distinct atoms in
+/// first-occurrence order.
+pub fn intern_atoms<B: Clone + Eq + Hash>(hcl: &Hcl<B>) -> (Hcl<AtomId>, Vec<B>) {
+    let mut table: HashMap<B, AtomId> = HashMap::new();
+    let mut atoms: Vec<B> = Vec::new();
+    let rewritten = hcl.map_atoms(&mut |b: &B| {
+        *table.entry(b.clone()).or_insert_with(|| {
+            let id = AtomId(atoms.len() as u32);
+            atoms.push(b.clone());
+            id
+        })
+    });
+    (rewritten, atoms)
+}
+
+/// Atom compiler backed by the PPLbin Boolean-matrix engine.
+pub struct PplBinAtoms;
+
+impl PplBinAtoms {
+    /// Compile each PPLbin atom on the tree (Theorem 2 per atom).
+    pub fn compile(tree: &Tree, atoms: &[BinExpr]) -> CompiledAtoms {
+        let pair_lists: Vec<Vec<(NodeId, NodeId)>> = atoms
+            .iter()
+            .map(|b| answer_binary(tree, b).pairs())
+            .collect();
+        CompiledAtoms::from_pairs(tree.len(), pair_lists)
+    }
+}
+
+/// Atom compiler for raw axis steps `(Axis, NameTest)`.
+pub struct AxisAtoms;
+
+impl AxisAtoms {
+    /// Compile each `(axis, name-test)` atom by direct axis iteration.
+    pub fn compile(tree: &Tree, atoms: &[(Axis, NameTest)]) -> CompiledAtoms {
+        let pair_lists: Vec<Vec<(NodeId, NodeId)>> = atoms
+            .iter()
+            .map(|(axis, test)| {
+                let mut pairs = Vec::new();
+                for u in tree.nodes() {
+                    for v in tree.axis_iter(*axis, u) {
+                        if test.matches(tree.label_str(v)) {
+                            pairs.push((u, v));
+                        }
+                    }
+                }
+                pairs
+            })
+            .collect();
+        CompiledAtoms::from_pairs(tree.len(), pair_lists)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xpath_ast::binexpr::from_variable_free_path;
+    use xpath_ast::{parse_path, Var};
+
+    fn tree() -> Tree {
+        Tree::from_terms("a(b(c,d),b(d))").unwrap()
+    }
+
+    #[test]
+    fn interning_deduplicates_equal_atoms() {
+        let c: Hcl<String> = Hcl::Atom("ch".to_string())
+            .then(Hcl::Var(Var::new("x")))
+            .or(Hcl::Atom("ch".to_string()).then(Hcl::Atom("desc".to_string())));
+        let (interned, atoms) = intern_atoms(&c);
+        assert_eq!(atoms, vec!["ch".to_string(), "desc".to_string()]);
+        assert_eq!(interned.atoms().len(), 3);
+        assert_eq!(interned.atoms().iter().filter(|a| ***a == AtomId(0)).count(), 2);
+    }
+
+    #[test]
+    fn pplbin_atoms_match_matrix_rows() {
+        let t = tree();
+        let child = from_variable_free_path(&parse_path("child::*").unwrap()).unwrap();
+        let desc_d = from_variable_free_path(&parse_path("descendant::d").unwrap()).unwrap();
+        let compiled = PplBinAtoms::compile(&t, &[child.clone(), desc_d.clone()]);
+        assert_eq!(compiled.atom_count(), 2);
+        assert_eq!(compiled.domain(), t.len());
+        for (i, b) in [child, desc_d].iter().enumerate() {
+            let m = answer_binary(&t, b);
+            for u in t.nodes() {
+                let expected: Vec<NodeId> = m.successors(u).collect();
+                assert_eq!(compiled.successors(AtomId(i as u32), u), expected.as_slice());
+                assert_eq!(compiled.has_successor(AtomId(i as u32), u), !expected.is_empty());
+            }
+        }
+        assert!(compiled.pair_count() > 0);
+    }
+
+    #[test]
+    fn axis_atoms_match_direct_iteration() {
+        let t = tree();
+        let atoms = vec![
+            (Axis::Child, NameTest::Wildcard),
+            (Axis::Descendant, NameTest::name("d")),
+            (Axis::Parent, NameTest::Wildcard),
+        ];
+        let compiled = AxisAtoms::compile(&t, &atoms);
+        for (i, (axis, test)) in atoms.iter().enumerate() {
+            for u in t.nodes() {
+                let expected: Vec<NodeId> = t
+                    .axis_iter(*axis, u)
+                    .filter(|&v| test.matches(t.label_str(v)))
+                    .collect();
+                let mut expected_sorted = expected.clone();
+                expected_sorted.sort_unstable();
+                assert_eq!(
+                    compiled.successors(AtomId(i as u32), u),
+                    expected_sorted.as_slice()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn from_pairs_deduplicates_and_sorts() {
+        let compiled = CompiledAtoms::from_pairs(
+            3,
+            vec![vec![
+                (NodeId(0), NodeId(2)),
+                (NodeId(0), NodeId(1)),
+                (NodeId(0), NodeId(2)),
+            ]],
+        );
+        assert_eq!(compiled.successors(AtomId(0), NodeId(0)), &[NodeId(1), NodeId(2)]);
+        assert_eq!(compiled.pair_count(), 2);
+        assert!(compiled.successors(AtomId(0), NodeId(1)).is_empty());
+    }
+}

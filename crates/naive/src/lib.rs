@@ -1,0 +1,29 @@
+//! # `xpath_naive` — the specification evaluator for Core XPath 2.0
+//!
+//! This crate implements the denotational semantics of Fig. 2 of the paper
+//! *literally*: a path expression `P` denotes a set of node pairs
+//! `⟦P⟧^{t,α} ⊆ nodes(t)²` for every tree `t` and variable assignment
+//! `α : Var → nodes(t)`, and a test expression denotes a set of nodes.
+//!
+//! Two evaluation entry points are provided:
+//!
+//! * [`eval::eval_path`] / [`eval::eval_test`] — evaluate a single expression
+//!   under a fixed assignment (model checking / Boolean queries);
+//! * [`nary::answer_nary`] — answer an n-ary query
+//!   `q_{P,x}(t) = {(α(x₁),…,α(xₙ)) | ⟦P⟧^{t,α} ≠ ∅}`
+//!   by **enumerating all assignments** of the free variables.
+//!
+//! The n-ary algorithm is intentionally the brute-force one: its cost is
+//! `Θ(|t|^{#vars})` evaluations, which is the exponential baseline that the
+//! paper's PPL algorithm (crates `xpath_hcl` / `ppl_xpath`) improves to
+//! polynomial time.  It is used throughout the workspace as the *oracle* in
+//! differential tests and as the baseline in the benchmark experiments
+//! (EXPERIMENTS.md, experiment E4).
+
+pub mod assignment;
+pub mod eval;
+pub mod nary;
+
+pub use assignment::Assignment;
+pub use eval::{eval_path, eval_test, EvalError, PairSet};
+pub use nary::{answer_binary, answer_nary, boolean_query, NaryAnswer};

@@ -1,0 +1,235 @@
+//! The linear-time set-based evaluator for the `except`-free fragment
+//! (Core XPath 1.0), after Gottlob–Koch–Pichler.
+//!
+//! Section 4 of the paper recalls the "main evaluation trick" of Core
+//! XPath 1.0: the successor set `S_a(N) = {u' | ∃u ∈ N. a(u, u')}` of a node
+//! set under an axis is computable in time `O(|t|)`, which extends to full
+//! Core XPath 1.0 expressions and yields `O(|P|·|t|)` unary query answering.
+//! The paper also notes that the trick does **not** extend to PPLbin because
+//! `S_{except P}(N) ≠ S_P(N)` in general — that is exactly why the matrix
+//! algorithm of [`crate::eval`] is needed.  This module implements the
+//! set-based algorithm for the `except`-free fragment so that the benchmark
+//! harness can exhibit the contrast (experiment E9 in EXPERIMENTS.md).
+
+use std::fmt;
+use xpath_ast::{BinExpr, NameTest};
+use xpath_tree::{NodeId, NodeSet, Tree};
+
+/// Error raised when the set-based evaluator meets an `except` operator,
+/// which is outside Core XPath 1.0.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NotCoreXPath1 {
+    /// Rendering of the offending subexpression.
+    pub subexpression: String,
+}
+
+impl fmt::Display for NotCoreXPath1 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "`except` is not part of Core XPath 1.0: `{}`",
+            self.subexpression
+        )
+    }
+}
+
+impl std::error::Error for NotCoreXPath1 {}
+
+fn restrict_by_label(tree: &Tree, mut set: NodeSet, test: &NameTest) -> NodeSet {
+    match test {
+        NameTest::Wildcard => set,
+        NameTest::Name(name) => {
+            let mut labelled = NodeSet::empty(tree.len());
+            for &v in tree.nodes_with_label_str(name) {
+                labelled.insert(v);
+            }
+            set.intersect_with(&labelled);
+            set
+        }
+    }
+}
+
+/// `S_P(N)` — the successor set of `N` under an `except`-free PPLbin
+/// expression, computed in time `O(|P| · |t|)`.
+pub fn succ_set(tree: &Tree, expr: &BinExpr, set: &NodeSet) -> Result<NodeSet, NotCoreXPath1> {
+    match expr {
+        BinExpr::Step(axis, test) => {
+            let moved = tree.axis_successors(*axis, set);
+            Ok(restrict_by_label(tree, moved, test))
+        }
+        BinExpr::Seq(a, b) => {
+            let mid = succ_set(tree, a, set)?;
+            succ_set(tree, b, &mid)
+        }
+        BinExpr::Union(a, b) => {
+            let mut sa = succ_set(tree, a, set)?;
+            let sb = succ_set(tree, b, set)?;
+            sa.union_with(&sb);
+            Ok(sa)
+        }
+        BinExpr::Test(p) => {
+            // [P] is a partial identity: keep the nodes of `set` that have a
+            // P-successor.
+            let holds = has_successor_set(tree, p)?;
+            let mut out = set.clone();
+            out.intersect_with(&holds);
+            Ok(out)
+        }
+        BinExpr::Except(_) => Err(NotCoreXPath1 {
+            subexpression: expr.to_string(),
+        }),
+    }
+}
+
+/// The set `{u | ∃v. (u, v) ∈ ⟦P⟧}` of nodes with a `P`-successor, in time
+/// `O(|P| · |t|)`, by evaluating the *inverse* expression from the full node
+/// set.
+pub fn has_successor_set(tree: &Tree, expr: &BinExpr) -> Result<NodeSet, NotCoreXPath1> {
+    let inv = inverse(expr)?;
+    succ_set(tree, &inv, &NodeSet::full(tree.len()))
+}
+
+/// The inverse relation of an `except`-free PPLbin expression, as an
+/// expression of the same fragment and linear size.
+pub fn inverse(expr: &BinExpr) -> Result<BinExpr, NotCoreXPath1> {
+    match expr {
+        BinExpr::Step(axis, test) => {
+            // (A::N)^{-1} relates v to u when A(u,v) and N(v): moving
+            // backwards we must first check the label of the *start* node,
+            // then move along the inverse axis.  Encode the label check as a
+            // self-step composed before the inverse axis step.
+            let label_check = BinExpr::Step(xpath_tree::Axis::SelfAxis, test.clone());
+            let back = BinExpr::Step(axis.inverse(), NameTest::Wildcard);
+            Ok(match test {
+                NameTest::Wildcard => back,
+                NameTest::Name(_) => label_check.then(back),
+            })
+        }
+        BinExpr::Seq(a, b) => Ok(inverse(b)?.then(inverse(a)?)),
+        BinExpr::Union(a, b) => Ok(inverse(a)?.or(inverse(b)?)),
+        BinExpr::Test(p) => Ok(BinExpr::Test(Box::new(p.as_ref().clone()))),
+        BinExpr::Except(_) => Err(NotCoreXPath1 {
+            subexpression: expr.to_string(),
+        }),
+    }
+}
+
+/// Answer a unary Core XPath 1.0 query from the document root:
+/// `S_P({root})`, in time `O(|P|·|t|)`.
+pub fn unary_from_root(tree: &Tree, expr: &BinExpr) -> Result<Vec<NodeId>, NotCoreXPath1> {
+    let start = NodeSet::singleton(tree.len(), tree.root());
+    Ok(succ_set(tree, expr, &start)?.iter().collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::answer_binary;
+    use xpath_ast::binexpr::from_variable_free_path;
+    use xpath_ast::parse_path;
+    use xpath_tree::Tree;
+
+    fn tree() -> Tree {
+        Tree::from_terms("bib(book(author,title),book(author,author,title),paper(title))")
+            .unwrap()
+    }
+
+    fn bin(src: &str) -> BinExpr {
+        from_variable_free_path(&parse_path(src).unwrap()).unwrap()
+    }
+
+    fn set_of(tree: &Tree, nodes: &[NodeId]) -> NodeSet {
+        NodeSet::from_iter(tree.len(), nodes.iter().copied())
+    }
+
+    #[test]
+    fn succ_set_agrees_with_matrix_engine() {
+        let t = tree();
+        for src in [
+            "child::book",
+            "child::book/child::author",
+            "descendant::title",
+            "child::book[child::author]/child::title",
+            "(child::book union child::paper)/child::title",
+            "child::*[child::author or child::title]",
+            "ancestor::*",
+            "following_sibling::*/child::title",
+        ] {
+            let e = bin(src);
+            let matrix = answer_binary(&t, &e);
+            // From every singleton start set...
+            for u in t.nodes() {
+                let got = succ_set(&t, &e, &set_of(&t, &[u])).unwrap();
+                let expected: Vec<NodeId> = matrix.successors(u).collect();
+                assert_eq!(got.iter().collect::<Vec<_>>(), expected, "{src} from {u}");
+            }
+            // ...and from the full set.
+            let got_full = succ_set(&t, &e, &NodeSet::full(t.len())).unwrap();
+            let mut expected_full = NodeSet::empty(t.len());
+            for (_, v) in matrix.pairs() {
+                expected_full.insert(v);
+            }
+            assert_eq!(got_full, expected_full, "{src} from full set");
+        }
+    }
+
+    #[test]
+    fn has_successor_set_agrees_with_matrix_rows() {
+        let t = tree();
+        for src in [
+            "child::author",
+            "child::book/child::author",
+            "descendant::title",
+            "parent::book",
+            "child::book[child::author[following_sibling::author]]",
+        ] {
+            let e = bin(src);
+            let got = has_successor_set(&t, &e).unwrap();
+            let expected = answer_binary(&t, &e).nonempty_rows();
+            assert_eq!(got, expected, "{src}");
+        }
+    }
+
+    #[test]
+    fn except_is_rejected() {
+        let e = bin("descendant::* except child::*");
+        assert!(succ_set(&tree(), &e, &NodeSet::full(tree().len())).is_err());
+        assert!(inverse(&e).is_err());
+        let err = has_successor_set(&tree(), &e).unwrap_err();
+        assert!(err.to_string().contains("except"));
+    }
+
+    #[test]
+    fn unary_from_root_selects_expected_nodes() {
+        let t = tree();
+        let titles = unary_from_root(&t, &bin("child::book/child::title")).unwrap();
+        assert_eq!(titles.len(), 2);
+        assert!(titles.iter().all(|&v| t.label_str(v) == "title"));
+        let all_titles = unary_from_root(&t, &bin("descendant::title")).unwrap();
+        assert_eq!(all_titles.len(), 3);
+    }
+
+    #[test]
+    fn inverse_of_named_steps_checks_the_target_label() {
+        let t = tree();
+        let e = bin("child::title");
+        let inv = inverse(&e).unwrap();
+        // The inverse relates each title to its parent; computing successors
+        // of the title set under the inverse must give exactly the parents.
+        let titles = set_of(&t, t.nodes_with_label_str("title"));
+        let parents = succ_set(&t, &inv, &titles).unwrap();
+        let expected: Vec<NodeId> = t
+            .nodes_with_label_str("title")
+            .iter()
+            .map(|&v| t.parent(v).unwrap())
+            .collect();
+        let mut expected_set = NodeSet::empty(t.len());
+        for p in expected {
+            expected_set.insert(p);
+        }
+        assert_eq!(parents, expected_set);
+        // Starting from non-title nodes the inverse yields nothing.
+        let authors = set_of(&t, t.nodes_with_label_str("author"));
+        assert!(succ_set(&t, &inv, &authors).unwrap().is_empty());
+    }
+}

@@ -1,0 +1,208 @@
+//! Matrix evaluation of PPLbin expressions (Theorem 2).
+//!
+//! Every [`BinExpr`] is mapped to its Boolean matrix by structural recursion,
+//! using the four operations of Section 4 of the paper.  The total cost is
+//! `O(|P| · |t|³)` (word-parallelised), dominated by one matrix product per
+//! composition node.
+
+use crate::matrix::NodeMatrix;
+use xpath_ast::{BinExpr, NameTest};
+use xpath_tree::{Axis, NodeId, Tree};
+
+/// Build the step matrix `M_{A::N}` for an axis and name test:
+/// `M[u, v] = 1` iff `(u, v) ∈ A(t)` and the label of `v` matches `N`.
+pub fn step_matrix(tree: &Tree, axis: Axis, test: &NameTest) -> NodeMatrix {
+    let n = tree.len();
+    let mut m = NodeMatrix::empty(n);
+    match test {
+        NameTest::Wildcard => {
+            for u in tree.nodes() {
+                for v in tree.axis_iter(axis, u) {
+                    m.set(u, v);
+                }
+            }
+        }
+        NameTest::Name(name) => {
+            // Enumerate only nodes with the right label and use the inverse
+            // axis, which is usually much sparser than scanning all targets.
+            let inverse = axis.inverse();
+            for &v in tree.nodes_with_label_str(name) {
+                for u in tree.axis_iter(inverse, v) {
+                    if axis.relates(tree, u, v) {
+                        m.set(u, v);
+                    }
+                }
+            }
+        }
+    }
+    m
+}
+
+/// Evaluate a PPLbin expression to its Boolean matrix.
+pub fn eval_binexpr(tree: &Tree, expr: &BinExpr) -> NodeMatrix {
+    match expr {
+        BinExpr::Step(axis, test) => step_matrix(tree, *axis, test),
+        BinExpr::Seq(a, b) => {
+            let ma = eval_binexpr(tree, a);
+            let mb = eval_binexpr(tree, b);
+            ma.product(&mb)
+        }
+        BinExpr::Union(a, b) => {
+            let mut ma = eval_binexpr(tree, a);
+            let mb = eval_binexpr(tree, b);
+            ma.union_with(&mb);
+            ma
+        }
+        BinExpr::Except(p) => {
+            let mut m = eval_binexpr(tree, p);
+            m.complement();
+            m
+        }
+        BinExpr::Test(p) => eval_binexpr(tree, p).diagonal_filter(),
+    }
+}
+
+/// Answer the binary query `q^bin_P(t)` of a PPLbin expression: the full
+/// relation as a matrix.  This is the entry point used by Theorem 2 and by
+/// the HCL oracle.
+pub fn answer_binary(tree: &Tree, expr: &BinExpr) -> NodeMatrix {
+    eval_binexpr(tree, expr)
+}
+
+/// Answer a *unary* query: the nodes reachable from `start` via `expr`.
+pub fn answer_unary_from(tree: &Tree, expr: &BinExpr, start: NodeId) -> Vec<NodeId> {
+    let m = eval_binexpr(tree, expr);
+    m.successors(start).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xpath_ast::binexpr::from_variable_free_path;
+    use xpath_ast::parse_path;
+    use xpath_naive::{answer_binary as naive_binary, Assignment};
+    use xpath_tree::Tree;
+
+    fn tree() -> Tree {
+        Tree::from_terms("bib(book(author,title),book(author,author,title),paper(title))")
+            .unwrap()
+    }
+
+    fn check_against_naive(t: &Tree, src: &str) {
+        let path = parse_path(src).unwrap();
+        let bin = from_variable_free_path(&path).unwrap();
+        let matrix = answer_binary(t, &bin);
+        let expected = naive_binary(t, &path).unwrap();
+        assert_eq!(
+            matrix.pairs(),
+            expected,
+            "matrix evaluation disagrees with the specification on {src:?}"
+        );
+    }
+
+    #[test]
+    fn steps_match_specification() {
+        let t = tree();
+        for src in [
+            "child::book",
+            "child::*",
+            "descendant::title",
+            "descendant::*",
+            "parent::*",
+            "ancestor::bib",
+            "following_sibling::*",
+            "preceding_sibling::book",
+            "self::book",
+            ".",
+        ] {
+            check_against_naive(&t, src);
+        }
+    }
+
+    #[test]
+    fn compositions_and_unions_match_specification() {
+        let t = tree();
+        for src in [
+            "child::book/child::author",
+            "child::*/child::*",
+            "descendant::author union descendant::title",
+            "child::book/child::title union child::paper/child::title",
+            "(child::book union child::paper)/child::title",
+        ] {
+            check_against_naive(&t, src);
+        }
+    }
+
+    #[test]
+    fn intersect_except_and_filters_match_specification() {
+        let t = tree();
+        for src in [
+            "descendant::* intersect child::*",
+            "descendant::* except child::*",
+            "child::book[child::author]",
+            "child::*[not(child::author)]",
+            "child::book[child::author and child::title]",
+            "child::*[child::author or child::title]",
+            "child::book[child::author[following_sibling::author]]",
+            "child::*[. is .]",
+            "child::*[not(. is .)]",
+        ] {
+            check_against_naive(&t, src);
+        }
+    }
+
+    #[test]
+    fn unary_except_is_relation_complement() {
+        let t = tree();
+        let child = from_variable_free_path(&parse_path("child::*").unwrap()).unwrap();
+        let m = answer_binary(&t, &child);
+        let mut c = answer_binary(&t, &child.complement());
+        assert_eq!(c.count_pairs(), t.len() * t.len() - m.count_pairs());
+        c.complement();
+        assert_eq!(c, m);
+    }
+
+    #[test]
+    fn nodes_expression_is_the_full_relation() {
+        let t = tree();
+        let nodes = answer_binary(&t, &BinExpr::nodes());
+        assert_eq!(nodes.count_pairs(), t.len() * t.len());
+    }
+
+    #[test]
+    fn unary_answers() {
+        let t = tree();
+        let bin = from_variable_free_path(&parse_path("child::book/child::author").unwrap())
+            .unwrap();
+        let from_root = answer_unary_from(&t, &bin, t.root());
+        assert_eq!(from_root.len(), 3);
+        assert!(from_root.iter().all(|&v| t.label_str(v) == "author"));
+        let from_leaf = answer_unary_from(&t, &bin, t.nodes_with_label_str("title")[0]);
+        assert!(from_leaf.is_empty());
+    }
+
+    #[test]
+    fn step_matrix_name_test_uses_inverse_enumeration() {
+        // Regression guard: named steps must agree with wildcard+label
+        // filtering for every axis.
+        let t = tree();
+        for axis in xpath_tree::axes::ALL_AXES {
+            let named = step_matrix(&t, axis, &NameTest::name("title"));
+            let wild = step_matrix(&t, axis, &NameTest::Wildcard);
+            for u in t.nodes() {
+                for v in t.nodes() {
+                    let expected = wild.get(u, v) && t.label_str(v) == "title";
+                    assert_eq!(named.get(u, v), expected, "axis {axis:?} at ({u},{v})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn deep_tree_sanity() {
+        let t = Tree::from_terms("a(b(c(d(e(f)))))").unwrap();
+        check_against_naive(&t, "descendant::*/ancestor::*");
+        check_against_naive(&t, "descendant::* except descendant::*/descendant::*");
+        let _ = Assignment::new(); // keep the naive crate linked in this test module
+    }
+}

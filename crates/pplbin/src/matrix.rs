@@ -1,0 +1,406 @@
+//! Bit-packed Boolean node×node matrices.
+//!
+//! `M[u, v] = 1` means the pair `(u, v)` belongs to the binary query.  Rows
+//! are stored contiguously as `u64` words, so the Boolean matrix product —
+//! the dominant cost of the PPLbin algorithm — processes 64 columns per word
+//! operation while retaining the cubic asymptotics of the paper's analysis.
+
+use std::fmt;
+use xpath_tree::{NodeId, NodeSet};
+
+/// A square Boolean matrix indexed by node ids.
+#[derive(Clone, PartialEq, Eq)]
+pub struct NodeMatrix {
+    /// Number of nodes (rows == columns == `n`).
+    n: usize,
+    /// Words per row.
+    stride: usize,
+    /// Row-major bit storage, `n * stride` words.
+    words: Vec<u64>,
+}
+
+impl NodeMatrix {
+    /// The all-zero matrix (the empty relation).
+    pub fn empty(n: usize) -> NodeMatrix {
+        let stride = n.div_ceil(64);
+        NodeMatrix {
+            n,
+            stride,
+            words: vec![0; n * stride],
+        }
+    }
+
+    /// The all-one matrix (the full relation `nodes(t)²`).
+    pub fn full(n: usize) -> NodeMatrix {
+        let mut m = NodeMatrix::empty(n);
+        for w in m.words.iter_mut() {
+            *w = u64::MAX;
+        }
+        m.clear_tails();
+        m
+    }
+
+    /// The identity relation (`self::*`).
+    pub fn identity(n: usize) -> NodeMatrix {
+        let mut m = NodeMatrix::empty(n);
+        for i in 0..n {
+            m.set(NodeId(i as u32), NodeId(i as u32));
+        }
+        m
+    }
+
+    fn clear_tails(&mut self) {
+        let extra = self.stride * 64 - self.n;
+        if extra == 0 || self.stride == 0 {
+            return;
+        }
+        let mask = u64::MAX >> extra;
+        for r in 0..self.n {
+            self.words[r * self.stride + self.stride - 1] &= mask;
+        }
+    }
+
+    /// Number of rows/columns.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True if the matrix has zero rows.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    #[inline]
+    fn row_range(&self, u: NodeId) -> std::ops::Range<usize> {
+        let start = u.index() * self.stride;
+        start..start + self.stride
+    }
+
+    /// Set `M[u, v] = 1`.
+    #[inline]
+    pub fn set(&mut self, u: NodeId, v: NodeId) {
+        debug_assert!(u.index() < self.n && v.index() < self.n);
+        self.words[u.index() * self.stride + v.index() / 64] |= 1u64 << (v.index() % 64);
+    }
+
+    /// Read `M[u, v]`.
+    #[inline]
+    pub fn get(&self, u: NodeId, v: NodeId) -> bool {
+        debug_assert!(u.index() < self.n && v.index() < self.n);
+        (self.words[u.index() * self.stride + v.index() / 64] >> (v.index() % 64)) & 1 == 1
+    }
+
+    /// The raw words of row `u`.
+    pub fn row_words(&self, u: NodeId) -> &[u64] {
+        &self.words[self.row_range(u)]
+    }
+
+    /// Iterate over the columns set in row `u` (the successors of `u`).
+    pub fn successors(&self, u: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        let row = self.row_words(u);
+        row.iter().enumerate().flat_map(|(wi, &w)| {
+            let mut w = w;
+            let mut out = Vec::new();
+            while w != 0 {
+                let bit = w.trailing_zeros() as usize;
+                out.push(NodeId((wi * 64 + bit) as u32));
+                w &= w - 1;
+            }
+            out
+        })
+    }
+
+    /// Number of pairs in the relation.
+    pub fn count_pairs(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Is the relation empty?
+    pub fn is_relation_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Does row `u` contain at least one 1?
+    pub fn row_nonempty(&self, u: NodeId) -> bool {
+        self.row_words(u).iter().any(|&w| w != 0)
+    }
+
+    /// Element-wise union (`self ∨= other`).
+    pub fn union_with(&mut self, other: &NodeMatrix) {
+        debug_assert_eq!(self.n, other.n);
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= b;
+        }
+    }
+
+    /// Element-wise intersection (`self ∧= other`).
+    pub fn intersect_with(&mut self, other: &NodeMatrix) {
+        debug_assert_eq!(self.n, other.n);
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= b;
+        }
+    }
+
+    /// Element-wise difference (`self ∧= ¬other`).
+    pub fn difference_with(&mut self, other: &NodeMatrix) {
+        debug_assert_eq!(self.n, other.n);
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= !b;
+        }
+    }
+
+    /// Complement every entry (`¬M`, the `except` operator).
+    pub fn complement(&mut self) {
+        for w in self.words.iter_mut() {
+            *w = !*w;
+        }
+        self.clear_tails();
+    }
+
+    /// Boolean matrix product `self · other` (relation composition):
+    /// `(A·B)[u, w] = ⋁_v A[u, v] ∧ B[v, w]`.
+    ///
+    /// Implementation: for every set bit `v` of row `u` of `A`, OR row `v`
+    /// of `B` into row `u` of the result — `O(n³ / 64)` word operations.
+    pub fn product(&self, other: &NodeMatrix) -> NodeMatrix {
+        debug_assert_eq!(self.n, other.n);
+        let mut out = NodeMatrix::empty(self.n);
+        for u in 0..self.n {
+            let a_row = &self.words[u * self.stride..(u + 1) * self.stride];
+            let out_row_start = u * self.stride;
+            for (wi, &word) in a_row.iter().enumerate() {
+                let mut w = word;
+                while w != 0 {
+                    let bit = w.trailing_zeros() as usize;
+                    w &= w - 1;
+                    let v = wi * 64 + bit;
+                    let b_row_start = v * other.stride;
+                    for k in 0..self.stride {
+                        out.words[out_row_start + k] |= other.words[b_row_start + k];
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Reference implementation of the product using a triple loop over
+    /// individual entries.  Used by tests and by the ablation benchmark that
+    /// compares the word-parallel product against the naïve cubic one.
+    pub fn product_naive(&self, other: &NodeMatrix) -> NodeMatrix {
+        debug_assert_eq!(self.n, other.n);
+        let mut out = NodeMatrix::empty(self.n);
+        for u in 0..self.n {
+            for v in 0..self.n {
+                if !self.get(NodeId(u as u32), NodeId(v as u32)) {
+                    continue;
+                }
+                for w in 0..self.n {
+                    if other.get(NodeId(v as u32), NodeId(w as u32)) {
+                        out.set(NodeId(u as u32), NodeId(w as u32));
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// The `[M]` operation of the paper: `[M][u, u'] = 1` iff `u = u'` and
+    /// row `u` of `M` is non-empty.
+    pub fn diagonal_filter(&self) -> NodeMatrix {
+        let mut out = NodeMatrix::empty(self.n);
+        for u in 0..self.n {
+            let id = NodeId(u as u32);
+            if self.row_nonempty(id) {
+                out.set(id, id);
+            }
+        }
+        out
+    }
+
+    /// Transpose (the inverse relation).
+    pub fn transpose(&self) -> NodeMatrix {
+        let mut out = NodeMatrix::empty(self.n);
+        for u in 0..self.n {
+            let id = NodeId(u as u32);
+            for v in self.successors(id) {
+                out.set(v, id);
+            }
+        }
+        out
+    }
+
+    /// The set of start nodes with at least one successor
+    /// (`{u | ∃v. M[u,v]}`).
+    pub fn nonempty_rows(&self) -> NodeSet {
+        let mut s = NodeSet::empty(self.n);
+        for u in 0..self.n {
+            let id = NodeId(u as u32);
+            if self.row_nonempty(id) {
+                s.insert(id);
+            }
+        }
+        s
+    }
+
+    /// Collect the relation as a sorted vector of pairs (for tests and small
+    /// result reporting).
+    pub fn pairs(&self) -> Vec<(NodeId, NodeId)> {
+        let mut out = Vec::with_capacity(self.count_pairs());
+        for u in 0..self.n {
+            let id = NodeId(u as u32);
+            for v in self.successors(id) {
+                out.push((id, v));
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Debug for NodeMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "NodeMatrix({}x{})", self.n, self.n)?;
+        if self.n <= 32 {
+            for u in 0..self.n {
+                let row: String = (0..self.n)
+                    .map(|v| {
+                        if self.get(NodeId(u as u32), NodeId(v as u32)) {
+                            '1'
+                        } else {
+                            '.'
+                        }
+                    })
+                    .collect();
+                writeln!(f, "  {row}")?;
+            }
+        } else {
+            writeln!(f, "  ({} pairs)", self.count_pairs())?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(n: usize, pairs: &[(u32, u32)]) -> NodeMatrix {
+        let mut out = NodeMatrix::empty(n);
+        for &(u, v) in pairs {
+            out.set(NodeId(u), NodeId(v));
+        }
+        out
+    }
+
+    #[test]
+    fn set_get_count() {
+        let mut a = NodeMatrix::empty(70);
+        assert!(a.is_relation_empty());
+        a.set(NodeId(0), NodeId(69));
+        a.set(NodeId(69), NodeId(0));
+        assert!(a.get(NodeId(0), NodeId(69)));
+        assert!(!a.get(NodeId(69), NodeId(69)));
+        assert_eq!(a.count_pairs(), 2);
+        assert_eq!(a.pairs(), vec![(NodeId(0), NodeId(69)), (NodeId(69), NodeId(0))]);
+    }
+
+    #[test]
+    fn identity_and_full() {
+        let id = NodeMatrix::identity(65);
+        assert_eq!(id.count_pairs(), 65);
+        let full = NodeMatrix::full(65);
+        assert_eq!(full.count_pairs(), 65 * 65);
+        let mut c = full.clone();
+        c.complement();
+        assert!(c.is_relation_empty());
+    }
+
+    #[test]
+    fn complement_respects_domain_tail() {
+        for n in [1, 63, 64, 65, 130] {
+            let mut m = NodeMatrix::empty(n);
+            m.complement();
+            assert_eq!(m.count_pairs(), n * n, "n={n}");
+        }
+    }
+
+    #[test]
+    fn product_matches_naive_product() {
+        // Pseudo-random sparse matrices over a domain straddling a word
+        // boundary.
+        let n = 70;
+        let mut a = NodeMatrix::empty(n);
+        let mut b = NodeMatrix::empty(n);
+        let mut state = 12345u64;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            (state >> 33) as usize
+        };
+        for _ in 0..300 {
+            a.set(NodeId((next() % n) as u32), NodeId((next() % n) as u32));
+            b.set(NodeId((next() % n) as u32), NodeId((next() % n) as u32));
+        }
+        let fast = a.product(&b);
+        let slow = a.product_naive(&b);
+        assert_eq!(fast, slow);
+    }
+
+    #[test]
+    fn product_is_relation_composition() {
+        let a = m(5, &[(0, 1), (1, 2)]);
+        let b = m(5, &[(1, 3), (2, 4)]);
+        let c = a.product(&b);
+        assert_eq!(c.pairs(), vec![(NodeId(0), NodeId(3)), (NodeId(1), NodeId(4))]);
+        // Identity is neutral.
+        assert_eq!(a.product(&NodeMatrix::identity(5)), a);
+        assert_eq!(NodeMatrix::identity(5).product(&a), a);
+    }
+
+    #[test]
+    fn diagonal_filter_selects_rows_with_successors() {
+        let a = m(4, &[(0, 3), (2, 1)]);
+        let d = a.diagonal_filter();
+        assert_eq!(d.pairs(), vec![(NodeId(0), NodeId(0)), (NodeId(2), NodeId(2))]);
+        assert_eq!(d.nonempty_rows().iter().collect::<Vec<_>>(), vec![NodeId(0), NodeId(2)]);
+    }
+
+    #[test]
+    fn union_intersection_difference() {
+        let mut a = m(4, &[(0, 1), (1, 2)]);
+        let b = m(4, &[(1, 2), (2, 3)]);
+        let mut u = a.clone();
+        u.union_with(&b);
+        assert_eq!(u.count_pairs(), 3);
+        let mut i = a.clone();
+        i.intersect_with(&b);
+        assert_eq!(i.pairs(), vec![(NodeId(1), NodeId(2))]);
+        a.difference_with(&b);
+        assert_eq!(a.pairs(), vec![(NodeId(0), NodeId(1))]);
+    }
+
+    #[test]
+    fn transpose_inverts_pairs() {
+        let a = m(4, &[(0, 1), (2, 3)]);
+        let t = a.transpose();
+        assert_eq!(t.pairs(), vec![(NodeId(1), NodeId(0)), (NodeId(3), NodeId(2))]);
+        assert_eq!(t.transpose(), a);
+    }
+
+    #[test]
+    fn successors_iteration() {
+        let a = m(70, &[(5, 0), (5, 64), (5, 69)]);
+        let succ: Vec<_> = a.successors(NodeId(5)).collect();
+        assert_eq!(succ, vec![NodeId(0), NodeId(64), NodeId(69)]);
+        assert!(a.successors(NodeId(6)).next().is_none());
+    }
+
+    #[test]
+    fn debug_rendering_small_and_large() {
+        let a = m(3, &[(0, 1)]);
+        let s = format!("{a:?}");
+        assert!(s.contains(".1."));
+        let big = NodeMatrix::empty(100);
+        assert!(format!("{big:?}").contains("pairs"));
+    }
+}

@@ -1,0 +1,212 @@
+//! The firstchild/nextsibling binary encoding of unranked trees.
+//!
+//! Section 8 of the paper lifts its FO-completeness proof from binary trees
+//! to unranked trees "via the binary encoding firstchild-nextsibling".  This
+//! module implements that encoding and its inverse:
+//!
+//! * `bin(t)` has the same node set as `t`;
+//! * the **first child** of a node in `bin(t)` is its first child in `t`;
+//! * the **second child** of a node in `bin(t)` is its next sibling in `t`.
+//!
+//! The encoding is a bijection between unranked trees and binary trees whose
+//! root has no second child.  [`BinaryTree`] keeps the original [`NodeId`]s so
+//! that queries can be transported between the two views without renaming.
+
+use crate::tree::{NodeId, Tree};
+
+/// A binary-tree view of an unranked [`Tree`] under the firstchild/
+/// nextsibling encoding.
+#[derive(Debug, Clone)]
+pub struct BinaryTree {
+    /// `ch1[v]` — the first child of `v` in the binary encoding
+    /// (= first child of `v` in the unranked tree).
+    ch1: Vec<Option<NodeId>>,
+    /// `ch2[v]` — the second child of `v` in the binary encoding
+    /// (= next sibling of `v` in the unranked tree).
+    ch2: Vec<Option<NodeId>>,
+    /// Parent in the *binary* tree (differs from the unranked parent for
+    /// every node that is not a first child).
+    bparent: Vec<Option<NodeId>>,
+    labels: Vec<String>,
+    root: NodeId,
+}
+
+impl BinaryTree {
+    /// Encode an unranked tree.
+    pub fn encode(tree: &Tree) -> BinaryTree {
+        let n = tree.len();
+        let mut ch1 = vec![None; n];
+        let mut ch2 = vec![None; n];
+        let mut bparent = vec![None; n];
+        let mut labels = Vec::with_capacity(n);
+        for v in tree.nodes() {
+            labels.push(tree.label_str(v).to_string());
+            ch1[v.index()] = tree.first_child(v);
+            ch2[v.index()] = tree.next_sibling(v);
+        }
+        for v in tree.nodes() {
+            if let Some(c) = ch1[v.index()] {
+                bparent[c.index()] = Some(v);
+            }
+            if let Some(s) = ch2[v.index()] {
+                bparent[s.index()] = Some(v);
+            }
+        }
+        BinaryTree {
+            ch1,
+            ch2,
+            bparent,
+            labels,
+            root: tree.root(),
+        }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// True when the tree has no nodes (never the case for encodings).
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// The root node.
+    pub fn root(&self) -> NodeId {
+        self.root
+    }
+
+    /// Label of a node.
+    pub fn label_str(&self, v: NodeId) -> &str {
+        &self.labels[v.index()]
+    }
+
+    /// `ch1(v)` — first child in the binary encoding.
+    pub fn first_child(&self, v: NodeId) -> Option<NodeId> {
+        self.ch1[v.index()]
+    }
+
+    /// `ch2(v)` — second child in the binary encoding.
+    pub fn second_child(&self, v: NodeId) -> Option<NodeId> {
+        self.ch2[v.index()]
+    }
+
+    /// Parent in the binary encoding.
+    pub fn parent(&self, v: NodeId) -> Option<NodeId> {
+        self.bparent[v.index()]
+    }
+
+    /// Iterate over all nodes (same ids as the source unranked tree).
+    pub fn nodes(&self) -> impl ExactSizeIterator<Item = NodeId> + '_ {
+        (0..self.labels.len() as u32).map(NodeId)
+    }
+
+    /// `ch*` in the binary tree: is `desc` reachable from `anc` by zero or
+    /// more `ch1`/`ch2` steps?  Computed by an upward walk, O(depth).
+    pub fn is_descendant_or_self(&self, desc: NodeId, anc: NodeId) -> bool {
+        let mut cur = Some(desc);
+        while let Some(v) = cur {
+            if v == anc {
+                return true;
+            }
+            cur = self.parent(v);
+        }
+        false
+    }
+
+    /// Decode back into an unranked tree.
+    ///
+    /// Node ids are preserved only up to document order: the decoded tree
+    /// re-numbers nodes in document order, which coincides with the original
+    /// numbering for trees produced by [`crate::TreeBuilder`].
+    pub fn decode(&self) -> Tree {
+        let mut b = crate::TreeBuilder::new();
+        self.decode_node(self.root, &mut b);
+        b.finish().expect("binary decoding is balanced")
+    }
+
+    fn decode_node(&self, v: NodeId, b: &mut crate::TreeBuilder) {
+        b.open(self.label_str(v));
+        let mut child = self.first_child(v);
+        while let Some(c) = child {
+            self.decode_node(c, b);
+            child = self.second_child(c);
+        }
+        b.close();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_simple() {
+        let t = Tree::from_terms("a(b,c,d(e))").unwrap();
+        let bt = BinaryTree::encode(&t);
+        let root = t.root();
+        let b = t.nodes_with_label_str("b")[0];
+        let c = t.nodes_with_label_str("c")[0];
+        let d = t.nodes_with_label_str("d")[0];
+        let e = t.nodes_with_label_str("e")[0];
+
+        assert_eq!(bt.first_child(root), Some(b));
+        assert_eq!(bt.second_child(root), None);
+        assert_eq!(bt.first_child(b), None);
+        assert_eq!(bt.second_child(b), Some(c));
+        assert_eq!(bt.second_child(c), Some(d));
+        assert_eq!(bt.first_child(d), Some(e));
+        assert_eq!(bt.second_child(d), None);
+        assert_eq!(bt.parent(c), Some(b));
+        assert_eq!(bt.parent(b), Some(root));
+        assert_eq!(bt.parent(root), None);
+    }
+
+    #[test]
+    fn root_of_encoding_has_no_second_child() {
+        for s in ["a", "a(b)", "a(b,c)", "a(b(c,d),e(f,g(h)))"] {
+            let t = Tree::from_terms(s).unwrap();
+            let bt = BinaryTree::encode(&t);
+            assert_eq!(bt.second_child(bt.root()), None, "{s}");
+        }
+    }
+
+    #[test]
+    fn decode_round_trips() {
+        for s in [
+            "a",
+            "a(b)",
+            "a(b,c,d)",
+            "a(b(c,d),e(f,g(h)),i)",
+            "bib(book(author,title),book(author,title,title))",
+        ] {
+            let t = Tree::from_terms(s).unwrap();
+            let bt = BinaryTree::encode(&t);
+            let back = bt.decode();
+            assert_eq!(back.to_terms(), s);
+        }
+    }
+
+    #[test]
+    fn binary_descendant_mixes_children_and_siblings() {
+        let t = Tree::from_terms("a(b,c,d)").unwrap();
+        let bt = BinaryTree::encode(&t);
+        let b = t.nodes_with_label_str("b")[0];
+        let d = t.nodes_with_label_str("d")[0];
+        // In the binary encoding, later siblings are descendants of earlier
+        // siblings (via ch2 chains).
+        assert!(bt.is_descendant_or_self(d, b));
+        assert!(!bt.is_descendant_or_self(b, d));
+        assert!(bt.is_descendant_or_self(d, t.root()));
+    }
+
+    #[test]
+    fn labels_and_node_ids_are_preserved() {
+        let t = Tree::from_terms("x(y(z),w)").unwrap();
+        let bt = BinaryTree::encode(&t);
+        assert_eq!(bt.len(), t.len());
+        for v in t.nodes() {
+            assert_eq!(bt.label_str(v), t.label_str(v));
+        }
+    }
+}

@@ -1,0 +1,327 @@
+//! Random and synthetic tree generators.
+//!
+//! The paper's complexity bounds are stated over arbitrary trees `t`; to
+//! validate their *shape* empirically (EXPERIMENTS.md) we need families of
+//! trees whose size, branching and depth can be controlled precisely.  These
+//! generators are used by the benchmark harness and by property tests.
+//!
+//! All generators are deterministic given a seed, so benchmark runs are
+//! reproducible.
+
+use crate::builder::TreeBuilder;
+use crate::tree::Tree;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Shape of the random trees produced by [`random_tree`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TreeShape {
+    /// Uniformly random attachment: every new node picks a uniformly random
+    /// existing node as its parent.  Produces shallow, bushy trees
+    /// (expected depth O(log n)).
+    RandomAttachment,
+    /// Each node has a bounded random number of children; the tree is grown
+    /// breadth-first until the size budget is exhausted.  `max_children`
+    /// controls the branching factor.
+    BoundedBranching { max_children: usize },
+    /// A single path (each node has exactly one child) — the deep/narrow
+    /// extreme, worst case for ancestor/descendant scans.
+    Path,
+    /// A root with `n - 1` leaf children — the wide/flat extreme, worst case
+    /// for sibling axes.
+    Star,
+    /// Perfect `arity`-ary tree truncated to the requested size.
+    Complete { arity: usize },
+}
+
+/// Configuration for [`random_tree`].
+#[derive(Debug, Clone)]
+pub struct TreeGenConfig {
+    /// Number of nodes to generate (≥ 1).
+    pub size: usize,
+    /// Shape family.
+    pub shape: TreeShape,
+    /// Number of distinct labels; labels are named `l0`, `l1`, ….
+    pub alphabet: usize,
+    /// RNG seed (generation is deterministic given the seed).
+    pub seed: u64,
+}
+
+impl Default for TreeGenConfig {
+    fn default() -> Self {
+        TreeGenConfig {
+            size: 100,
+            shape: TreeShape::RandomAttachment,
+            alphabet: 4,
+            seed: 0xF111_07,
+        }
+    }
+}
+
+/// Generate a random tree according to `config`.
+pub fn random_tree(config: &TreeGenConfig) -> Tree {
+    assert!(config.size >= 1, "a tree needs at least one node");
+    assert!(config.alphabet >= 1, "need at least one label");
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let labels: Vec<String> = (0..config.alphabet).map(|i| format!("l{i}")).collect();
+    let pick_label = |rng: &mut StdRng| -> usize { rng.gen_range(0..labels.len()) };
+
+    // First decide the parent of every node (parents must precede children),
+    // then emit the tree with a builder in one DFS pass.
+    let n = config.size;
+    let mut parent: Vec<usize> = vec![0; n];
+    match config.shape {
+        TreeShape::RandomAttachment => {
+            for i in 1..n {
+                parent[i] = rng.gen_range(0..i);
+            }
+        }
+        TreeShape::BoundedBranching { max_children } => {
+            let max_children = max_children.max(1);
+            // Breadth-first fill: maintain a frontier of nodes that can still
+            // receive children.
+            let mut frontier: Vec<usize> = vec![0];
+            let mut next = 1;
+            while next < n {
+                let mut new_frontier = Vec::new();
+                for &p in &frontier {
+                    if next >= n {
+                        break;
+                    }
+                    let k = rng.gen_range(1..=max_children).min(n - next);
+                    for _ in 0..k {
+                        parent[next] = p;
+                        new_frontier.push(next);
+                        next += 1;
+                        if next >= n {
+                            break;
+                        }
+                    }
+                }
+                if new_frontier.is_empty() {
+                    // Degenerate (k could not be assigned): attach remaining
+                    // nodes to the root to guarantee progress.
+                    while next < n {
+                        parent[next] = 0;
+                        next += 1;
+                    }
+                    break;
+                }
+                frontier = new_frontier;
+            }
+        }
+        TreeShape::Path => {
+            for i in 1..n {
+                parent[i] = i - 1;
+            }
+        }
+        TreeShape::Star => {
+            for i in 1..n {
+                parent[i] = 0;
+            }
+        }
+        TreeShape::Complete { arity } => {
+            let arity = arity.max(1);
+            for i in 1..n {
+                parent[i] = (i - 1) / arity;
+            }
+        }
+    }
+
+    // Children of each node, in increasing id order (document order).
+    let mut children: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for i in 1..n {
+        children[parent[i]].push(i);
+    }
+
+    let mut b = TreeBuilder::new();
+    // Iterative DFS to avoid stack overflow on Path shapes.
+    enum Step {
+        Open(usize),
+        Close,
+    }
+    let mut stack = vec![Step::Open(0)];
+    while let Some(step) = stack.pop() {
+        match step {
+            Step::Open(v) => {
+                b.open(&labels[pick_label(&mut rng)]);
+                stack.push(Step::Close);
+                for &c in children[v].iter().rev() {
+                    stack.push(Step::Open(c));
+                }
+            }
+            Step::Close => {
+                b.close();
+            }
+        }
+    }
+    b.finish().expect("generator emits balanced trees")
+}
+
+/// A deterministic "bibliography" document in the style of the paper's
+/// introduction example: `bib(book(author*, title)* )`.
+///
+/// `books` books are generated; book `i` has `1 + (i mod max_authors)`
+/// authors and exactly one title (plus an optional `year` element to add some
+/// label diversity).
+pub fn bibliography(books: usize, max_authors: usize) -> Tree {
+    let max_authors = max_authors.max(1);
+    let mut b = TreeBuilder::new();
+    b.open("bib");
+    for i in 0..books {
+        b.open("book");
+        let authors = 1 + (i % max_authors);
+        for _ in 0..authors {
+            b.leaf("author");
+        }
+        b.leaf("title");
+        if i % 2 == 0 {
+            b.leaf("year");
+        }
+        b.close();
+    }
+    b.close();
+    b.finish().expect("bibliography is balanced")
+}
+
+/// A deterministic "restaurant guide" document with wide records, matching
+/// the paper's motivation that tuple width `n` "can easily get up to 10 or
+/// more" (name, address, phone, …).
+///
+/// Each restaurant element has one child per attribute in `attributes`;
+/// every `missing_every`-th restaurant drops its last attribute so that
+/// queries selecting all attributes have selectivity below 1.
+pub fn restaurants(count: usize, attributes: &[&str], missing_every: usize) -> Tree {
+    let mut b = TreeBuilder::new();
+    b.open("guide");
+    for i in 0..count {
+        b.open("restaurant");
+        let drop_last = missing_every > 0 && (i + 1) % missing_every == 0;
+        let upto = if drop_last && !attributes.is_empty() {
+            attributes.len() - 1
+        } else {
+            attributes.len()
+        };
+        for attr in &attributes[..upto] {
+            b.leaf(attr);
+        }
+        b.close();
+    }
+    b.close();
+    b.finish().expect("restaurant guide is balanced")
+}
+
+/// The default attribute list used by the restaurant workload (11 columns).
+pub const RESTAURANT_ATTRIBUTES: [&str; 11] = [
+    "name",
+    "address",
+    "phone",
+    "fax",
+    "street",
+    "streetnumber",
+    "district",
+    "city",
+    "country",
+    "price",
+    "foodstyle",
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_trees_have_requested_size_and_are_valid() {
+        for shape in [
+            TreeShape::RandomAttachment,
+            TreeShape::BoundedBranching { max_children: 3 },
+            TreeShape::Path,
+            TreeShape::Star,
+            TreeShape::Complete { arity: 2 },
+        ] {
+            for size in [1, 2, 17, 100] {
+                let t = random_tree(&TreeGenConfig {
+                    size,
+                    shape,
+                    alphabet: 3,
+                    seed: 42,
+                });
+                assert_eq!(t.len(), size, "{shape:?} size {size}");
+                t.check_invariants().unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = TreeGenConfig {
+            size: 200,
+            shape: TreeShape::RandomAttachment,
+            alphabet: 5,
+            seed: 7,
+        };
+        let a = random_tree(&cfg);
+        let b = random_tree(&cfg);
+        assert_eq!(a.to_terms(), b.to_terms());
+        let c = random_tree(&TreeGenConfig { seed: 8, ..cfg });
+        assert_ne!(a.to_terms(), c.to_terms());
+    }
+
+    #[test]
+    fn path_and_star_shapes() {
+        let p = random_tree(&TreeGenConfig {
+            size: 50,
+            shape: TreeShape::Path,
+            alphabet: 2,
+            seed: 1,
+        });
+        assert_eq!(p.height(), 49);
+        let s = random_tree(&TreeGenConfig {
+            size: 50,
+            shape: TreeShape::Star,
+            alphabet: 2,
+            seed: 1,
+        });
+        assert_eq!(s.height(), 1);
+        assert_eq!(s.child_count(s.root()), 49);
+    }
+
+    #[test]
+    fn complete_tree_shape() {
+        let t = random_tree(&TreeGenConfig {
+            size: 15,
+            shape: TreeShape::Complete { arity: 2 },
+            alphabet: 1,
+            seed: 0,
+        });
+        // A perfect binary tree with 15 nodes has height 3.
+        assert_eq!(t.height(), 3);
+        assert_eq!(t.child_count(t.root()), 2);
+    }
+
+    #[test]
+    fn bibliography_shape() {
+        let t = bibliography(10, 3);
+        assert_eq!(t.nodes_with_label_str("book").len(), 10);
+        assert_eq!(t.nodes_with_label_str("title").len(), 10);
+        assert!(t.nodes_with_label_str("author").len() >= 10);
+        assert_eq!(t.label_str(t.root()), "bib");
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn restaurants_shape_and_selectivity() {
+        let t = restaurants(10, &RESTAURANT_ATTRIBUTES, 5);
+        assert_eq!(t.nodes_with_label_str("restaurant").len(), 10);
+        assert_eq!(t.nodes_with_label_str("name").len(), 10);
+        // every 5th restaurant misses the last attribute (foodstyle)
+        assert_eq!(t.nodes_with_label_str("foodstyle").len(), 8);
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn restaurants_without_missing() {
+        let t = restaurants(4, &["name", "city"], 0);
+        assert_eq!(t.nodes_with_label_str("city").len(), 4);
+    }
+}

@@ -1,0 +1,99 @@
+//! # `xpath_tree` — the unranked-tree data model
+//!
+//! This crate implements the data model used throughout the reproduction of
+//! *"Polynomial Time Fragments of XPath with Variables"* (Filiot, Niehren,
+//! Talbot, Tison — PODS 2007): **unranked, sibling-ordered, labelled trees**
+//! over some label alphabet Σ.
+//!
+//! A tree `t ∈ T_Σ` is a pair `a(t1 … tn)` of a label `a ∈ Σ` and a possibly
+//! empty sequence of child trees.  Every tree defines a logical structure
+//! whose domain is `nodes(t)`; the signature contains every XPath axis and
+//! the transitive closures of `child` and `nextsibling`, plus the monadic
+//! label predicates `lab_a`.
+//!
+//! ## Contents
+//!
+//! * [`Tree`] — arena-based tree storage with O(1) parent / first-child /
+//!   next-sibling / previous-sibling links and pre/post-order numbers that
+//!   answer the transitive-closure axes in O(1) per node pair.
+//! * [`TreeBuilder`] — incremental construction of trees.
+//! * [`Axis`] — the XPath axes of the paper (Fig. 1) and iterators over them.
+//! * [`NodeSet`] — a dense bitset over `nodes(t)`, the work-horse set type of
+//!   the evaluation algorithms.
+//! * [`binary`] — the firstchild/nextsibling binary encoding used by
+//!   Section 8 of the paper.
+//! * [`generate`] — random tree generators used by the benchmark harness.
+//! * [`terms`] — a compact `a(b,c(d))` term syntax for tests and examples.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use xpath_tree::{Tree, Axis};
+//!
+//! // bib(book(author,title), book(author,title,title))
+//! let t = Tree::from_terms("bib(book(author,title),book(author,title,title))").unwrap();
+//! let root = t.root();
+//! assert_eq!(t.label_str(root), "bib");
+//! let books: Vec<_> = t.axis_iter(Axis::Child, root).collect();
+//! assert_eq!(books.len(), 2);
+//! assert!(t.is_ancestor(books[0], root));
+//! ```
+
+pub mod axes;
+pub mod binary;
+pub mod builder;
+pub mod generate;
+pub mod nodeset;
+pub mod terms;
+pub mod tree;
+
+pub use axes::{Axis, AxisIter};
+pub use binary::BinaryTree;
+pub use builder::TreeBuilder;
+pub use nodeset::NodeSet;
+pub use tree::{Label, NodeId, Tree};
+
+/// Errors produced while constructing or parsing trees.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TreeError {
+    /// The term syntax `a(b,c(d))` could not be parsed.
+    TermSyntax { position: usize, message: String },
+    /// An operation received a node id that does not belong to the tree.
+    InvalidNode(u32),
+    /// A builder was finished while children were still open.
+    UnbalancedBuilder,
+    /// The tree would be empty (the data model requires at least a root).
+    EmptyTree,
+}
+
+impl std::fmt::Display for TreeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TreeError::TermSyntax { position, message } => {
+                write!(f, "term syntax error at byte {position}: {message}")
+            }
+            TreeError::InvalidNode(id) => write!(f, "invalid node id {id}"),
+            TreeError::UnbalancedBuilder => write!(f, "builder finished with unclosed elements"),
+            TreeError::EmptyTree => write!(f, "a tree must contain at least the root node"),
+        }
+    }
+}
+
+impl std::error::Error for TreeError {}
+
+#[cfg(test)]
+mod lib_tests {
+    use super::*;
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = TreeError::TermSyntax {
+            position: 3,
+            message: "expected label".into(),
+        };
+        assert!(e.to_string().contains("byte 3"));
+        assert!(TreeError::InvalidNode(7).to_string().contains('7'));
+        assert!(!TreeError::UnbalancedBuilder.to_string().is_empty());
+        assert!(!TreeError::EmptyTree.to_string().is_empty());
+    }
+}

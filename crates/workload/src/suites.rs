@@ -1,0 +1,182 @@
+//! Parameterised query suites and tree sweeps for the benchmark harness.
+
+use xpath_ast::dsl::{and_all, has, is_var, step_child, step_desc};
+use xpath_ast::{BinExpr, NameTest, PathExpr, Var};
+use xpath_tree::generate::{random_tree, TreeGenConfig, TreeShape};
+use xpath_tree::{Axis, Tree};
+
+/// A sweep of random trees of increasing sizes (same shape and seed base),
+/// used by the `|t|`-scaling experiments.
+pub fn tree_sweep(sizes: &[usize], shape: TreeShape, seed: u64) -> Vec<Tree> {
+    sizes
+        .iter()
+        .map(|&size| {
+            random_tree(&TreeGenConfig {
+                size,
+                shape,
+                alphabet: 4,
+                seed: seed ^ (size as u64),
+            })
+        })
+        .collect()
+}
+
+/// The paper's introduction query generalised to one output variable per
+/// attribute: select, per `record` element, the tuple of its attribute
+/// children.
+///
+/// ```text
+/// descendant::record[child::a1[. is $v0] and … and child::ak[. is $v{k-1}]]
+/// ```
+///
+/// Used with the bibliography documents (`record = book`,
+/// `attributes = [author, title]`) and the restaurant documents
+/// (`record = restaurant`, the 11 attribute columns).
+pub fn record_attributes_query(record: &str, attributes: &[&str]) -> (PathExpr, Vec<Var>) {
+    assert!(!attributes.is_empty());
+    let vars: Vec<Var> = (0..attributes.len())
+        .map(|i| Var::new(&format!("v{i}")))
+        .collect();
+    let tests = attributes.iter().zip(&vars).map(|(attr, var)| {
+        has(step_child(attr).filter(is_var(var.name())))
+    });
+    let query = step_desc(record).filter(and_all(tests));
+    (query, vars)
+}
+
+/// The author–title pair query of the paper's introduction, over the
+/// bibliography documents.
+pub fn bibliography_pairs_query() -> (PathExpr, Vec<Var>) {
+    record_attributes_query("book", &["author", "title"])
+}
+
+/// A restaurant query selecting the first `width` attribute columns
+/// (`1 ≤ width ≤ 11`), exercising growing tuple widths `n`.
+pub fn restaurant_query(width: usize) -> (PathExpr, Vec<Var>) {
+    let attrs = &xpath_tree::generate::RESTAURANT_ATTRIBUTES[..width.clamp(1, 11)];
+    record_attributes_query("restaurant", attrs)
+}
+
+/// A chain query of `k` child steps each binding a fresh variable:
+/// `child::*[. is $v0]/child::*[. is $v1]/…` — selects all downward paths of
+/// length `k`, with answer-set size governed by the tree shape.
+pub fn chain_query(k: usize) -> (PathExpr, Vec<Var>) {
+    assert!(k >= 1);
+    let vars: Vec<Var> = (0..k).map(|i| Var::new(&format!("v{i}"))).collect();
+    let mut query: Option<PathExpr> = None;
+    for var in &vars {
+        let step = PathExpr::Step(Axis::Child, NameTest::Wildcard).filter(is_var(var.name()));
+        query = Some(match query {
+            None => step,
+            Some(acc) => acc.then(step),
+        });
+    }
+    (query.expect("k >= 1"), vars)
+}
+
+/// A suite of PPLbin expressions of increasing size, built by repeatedly
+/// composing and uniting axis steps and adding `except`/filter layers.
+/// `levels` controls the size; the expression size grows linearly in it.
+pub fn pplbin_suite(levels: usize) -> BinExpr {
+    let step = |axis: Axis, name: Option<&str>| {
+        BinExpr::Step(
+            axis,
+            match name {
+                Some(n) => NameTest::name(n),
+                None => NameTest::Wildcard,
+            },
+        )
+    };
+    let mut expr = step(Axis::Child, None);
+    for i in 0..levels {
+        expr = match i % 4 {
+            0 => expr.then(step(Axis::Child, None)),
+            1 => expr.or(step(Axis::Descendant, Some("l0"))),
+            2 => BinExpr::minus(expr, step(Axis::FollowingSibling, None)),
+            _ => expr.then(step(Axis::Parent, None).test()),
+        };
+    }
+    expr
+}
+
+/// Convenience re-export of the document generators most benches need.
+pub mod documents {
+    pub use xpath_tree::generate::{
+        bibliography, restaurants, random_tree, TreeGenConfig, TreeShape, RESTAURANT_ATTRIBUTES,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xpath_ast::ppl::check_ppl;
+    use xpath_tree::generate::{bibliography, restaurants, RESTAURANT_ATTRIBUTES};
+
+    #[test]
+    fn tree_sweep_produces_requested_sizes() {
+        let trees = tree_sweep(&[10, 50, 100], TreeShape::RandomAttachment, 3);
+        assert_eq!(trees.iter().map(Tree::len).collect::<Vec<_>>(), vec![10, 50, 100]);
+    }
+
+    #[test]
+    fn record_queries_are_ppl_and_have_the_right_arity() {
+        let (q, vars) = bibliography_pairs_query();
+        assert!(check_ppl(&q).is_ok());
+        assert_eq!(vars.len(), 2);
+        assert_eq!(
+            q.to_string(),
+            "descendant::book[child::author[. is $v0] and child::title[. is $v1]]"
+        );
+
+        for width in [1, 5, 11] {
+            let (q, vars) = restaurant_query(width);
+            assert!(check_ppl(&q).is_ok(), "width {width}");
+            assert_eq!(vars.len(), width);
+        }
+    }
+
+    #[test]
+    fn restaurant_query_answers_scale_with_selectivity() {
+        use xpath_ast::Var;
+        use xpath_naive::answer_nary;
+        let doc = restaurants(6, &RESTAURANT_ATTRIBUTES[..3], 3);
+        let (q, vars) = record_attributes_query("restaurant", &RESTAURANT_ATTRIBUTES[..3]);
+        let ans = answer_nary(&doc, &q, &vars).unwrap();
+        // Every third restaurant misses its last attribute, so 4 of 6 match.
+        assert_eq!(ans.len(), 4);
+        let _ = Var::new("unused");
+    }
+
+    #[test]
+    fn bibliography_query_counts_author_title_pairs() {
+        use xpath_naive::answer_nary;
+        let doc = bibliography(5, 3);
+        let (q, vars) = bibliography_pairs_query();
+        let ans = answer_nary(&doc, &q, &vars).unwrap();
+        // Books have 1 + (i mod 3) authors and one title each:
+        // 1 + 2 + 3 + 1 + 2 = 9 pairs.
+        assert_eq!(ans.len(), 9);
+    }
+
+    #[test]
+    fn chain_queries_are_ppl_and_follow_paths() {
+        use xpath_naive::answer_nary;
+        let (q, vars) = chain_query(3);
+        assert!(check_ppl(&q).is_ok());
+        assert_eq!(vars.len(), 3);
+        let t = Tree::from_terms("a(b(c(d)),e)").unwrap();
+        let ans = answer_nary(&t, &q, &vars).unwrap();
+        // Downward paths of length 3 starting anywhere: only b→c→d... and
+        // they must be consecutive children: (b,c,d) from a, so 1 tuple.
+        assert_eq!(ans.len(), 1);
+    }
+
+    #[test]
+    fn pplbin_suite_grows_linearly() {
+        let sizes: Vec<usize> = (0..8).map(|l| pplbin_suite(l).size()).collect();
+        for w in sizes.windows(2) {
+            assert!(w[1] > w[0]);
+            assert!(w[1] - w[0] <= 4);
+        }
+    }
+}

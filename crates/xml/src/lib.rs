@@ -1,0 +1,51 @@
+//! # `xpath_xml` — a minimal XML parser and serializer
+//!
+//! The paper abstracts XML documents to unranked, sibling-ordered trees whose
+//! nodes are labelled with element names; "other features are ignored, such
+//! as attributes, data values, and name spaces".  This crate provides exactly
+//! that bridge: it parses a practical subset of XML 1.0 into
+//! [`xpath_tree::Tree`] values and serializes trees back to XML.
+//!
+//! The parser is hand-written (no external dependencies) and supports:
+//!
+//! * elements with arbitrary nesting, including self-closing tags;
+//! * attributes (parsed and validated, then **discarded** by default, or
+//!   mapped to child elements with [`ParseOptions::attributes_as_children`]);
+//! * character data (discarded by default, or kept as `#text`-labelled leaf
+//!   nodes with [`ParseOptions::keep_text`]);
+//! * comments, processing instructions, the XML declaration and DOCTYPE
+//!   declarations (all skipped);
+//! * CDATA sections (treated as character data);
+//! * the five predefined entities and decimal/hexadecimal character
+//!   references.
+//!
+//! ## Example
+//!
+//! ```
+//! use xpath_xml::{parse, to_xml};
+//!
+//! let t = parse("<bib><book><author/><title/></book></bib>").unwrap();
+//! assert_eq!(t.to_terms(), "bib(book(author,title))");
+//! let xml = to_xml(&t);
+//! assert!(xml.starts_with("<bib>"));
+//! ```
+
+pub mod parser;
+pub mod serializer;
+
+pub use parser::{parse, parse_with, ParseOptions, XmlError};
+pub use serializer::{to_xml, to_xml_pretty};
+
+#[cfg(test)]
+mod round_trip_tests {
+    use super::*;
+
+    #[test]
+    fn parse_then_serialize_then_parse_is_stable() {
+        let src = "<a><b><c/><c/></b><d/></a>";
+        let t1 = parse(src).unwrap();
+        let xml = to_xml(&t1);
+        let t2 = parse(&xml).unwrap();
+        assert_eq!(t1.to_terms(), t2.to_terms());
+    }
+}

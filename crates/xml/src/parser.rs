@@ -1,0 +1,551 @@
+//! Hand-written recursive-descent parser for a practical XML subset.
+
+use xpath_tree::{Tree, TreeBuilder, TreeError};
+
+/// Errors reported by the XML parser.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum XmlError {
+    /// Unexpected end of input.
+    UnexpectedEof { context: &'static str },
+    /// A syntactic problem at a byte offset.
+    Syntax { position: usize, message: String },
+    /// Closing tag does not match the open element.
+    MismatchedTag {
+        position: usize,
+        expected: String,
+        found: String,
+    },
+    /// The document contains no root element.
+    NoRootElement,
+    /// Content found after the root element closed.
+    TrailingContent { position: usize },
+    /// The underlying tree construction failed.
+    Tree(TreeError),
+}
+
+impl std::fmt::Display for XmlError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            XmlError::UnexpectedEof { context } => {
+                write!(f, "unexpected end of input while parsing {context}")
+            }
+            XmlError::Syntax { position, message } => {
+                write!(f, "XML syntax error at byte {position}: {message}")
+            }
+            XmlError::MismatchedTag {
+                position,
+                expected,
+                found,
+            } => write!(
+                f,
+                "mismatched closing tag at byte {position}: expected </{expected}>, found </{found}>"
+            ),
+            XmlError::NoRootElement => write!(f, "document has no root element"),
+            XmlError::TrailingContent { position } => {
+                write!(f, "content after the root element at byte {position}")
+            }
+            XmlError::Tree(e) => write!(f, "tree construction failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for XmlError {}
+
+impl From<TreeError> for XmlError {
+    fn from(e: TreeError) -> XmlError {
+        XmlError::Tree(e)
+    }
+}
+
+/// Options controlling how XML documents are mapped to trees.
+#[derive(Debug, Clone)]
+pub struct ParseOptions {
+    /// Keep non-whitespace character data as `#text`-labelled leaves.
+    /// Default: `false` (the paper's data model ignores data values).
+    pub keep_text: bool,
+    /// Map each attribute `name="…"` to a child element labelled
+    /// `@name`.  Default: `false`.
+    pub attributes_as_children: bool,
+}
+
+impl Default for ParseOptions {
+    fn default() -> Self {
+        ParseOptions {
+            keep_text: false,
+            attributes_as_children: false,
+        }
+    }
+}
+
+/// Label given to text leaves when [`ParseOptions::keep_text`] is enabled.
+pub const TEXT_LABEL: &str = "#text";
+
+/// Parse an XML document with default options (elements only).
+pub fn parse(input: &str) -> Result<Tree, XmlError> {
+    parse_with(input, &ParseOptions::default())
+}
+
+/// Parse an XML document with explicit [`ParseOptions`].
+pub fn parse_with(input: &str, options: &ParseOptions) -> Result<Tree, XmlError> {
+    let mut p = Parser {
+        input: input.as_bytes(),
+        pos: 0,
+        options: options.clone(),
+        builder: TreeBuilder::new(),
+        open_names: Vec::new(),
+        seen_root: false,
+    };
+    p.document()?;
+    Ok(p.builder.finish()?)
+}
+
+struct Parser<'a> {
+    input: &'a [u8],
+    pos: usize,
+    options: ParseOptions,
+    builder: TreeBuilder,
+    open_names: Vec<String>,
+    seen_root: bool,
+}
+
+impl<'a> Parser<'a> {
+    fn syntax(&self, message: impl Into<String>) -> XmlError {
+        XmlError::Syntax {
+            position: self.pos,
+            message: message.into(),
+        }
+    }
+
+    fn eof(&self) -> bool {
+        self.pos >= self.input.len()
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.input.get(self.pos).copied()
+    }
+
+    fn starts_with(&self, s: &str) -> bool {
+        self.input[self.pos..].starts_with(s.as_bytes())
+    }
+
+    fn advance(&mut self, n: usize) {
+        self.pos += n;
+    }
+
+    fn skip_whitespace(&mut self) {
+        while let Some(c) = self.peek() {
+            if c.is_ascii_whitespace() {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn expect(&mut self, s: &str, context: &'static str) -> Result<(), XmlError> {
+        if self.starts_with(s) {
+            self.advance(s.len());
+            Ok(())
+        } else if self.eof() {
+            Err(XmlError::UnexpectedEof { context })
+        } else {
+            Err(self.syntax(format!("expected `{s}` while parsing {context}")))
+        }
+    }
+
+    fn skip_until(&mut self, terminator: &str, context: &'static str) -> Result<(), XmlError> {
+        match find_subslice(&self.input[self.pos..], terminator.as_bytes()) {
+            Some(offset) => {
+                self.pos += offset + terminator.len();
+                Ok(())
+            }
+            None => Err(XmlError::UnexpectedEof { context }),
+        }
+    }
+
+    fn name(&mut self) -> Result<String, XmlError> {
+        let start = self.pos;
+        while let Some(c) = self.peek() {
+            let ok = c.is_ascii_alphanumeric() || matches!(c, b'_' | b'-' | b'.' | b':');
+            if ok {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        if self.pos == start {
+            return Err(self.syntax("expected a name"));
+        }
+        let name = std::str::from_utf8(&self.input[start..self.pos])
+            .map_err(|_| self.syntax("name is not valid UTF-8"))?;
+        if name.as_bytes()[0].is_ascii_digit() {
+            return Err(self.syntax("names must not start with a digit"));
+        }
+        Ok(name.to_string())
+    }
+
+    fn document(&mut self) -> Result<(), XmlError> {
+        loop {
+            self.skip_whitespace();
+            if self.eof() {
+                break;
+            }
+            if self.starts_with("<?") {
+                self.skip_until("?>", "processing instruction")?;
+            } else if self.starts_with("<!--") {
+                self.skip_until("-->", "comment")?;
+            } else if self.starts_with("<!DOCTYPE") || self.starts_with("<!doctype") {
+                self.skip_doctype()?;
+            } else if self.starts_with("<") {
+                if self.seen_root {
+                    return Err(XmlError::TrailingContent { position: self.pos });
+                }
+                self.element()?;
+                self.seen_root = true;
+            } else {
+                // Character data outside the root element: only whitespace is
+                // allowed, and whitespace was already skipped.
+                return Err(if self.seen_root {
+                    XmlError::TrailingContent { position: self.pos }
+                } else {
+                    self.syntax("character data before the root element")
+                });
+            }
+        }
+        if !self.seen_root {
+            return Err(XmlError::NoRootElement);
+        }
+        Ok(())
+    }
+
+    fn skip_doctype(&mut self) -> Result<(), XmlError> {
+        // Skip to the matching `>` taking a possible internal subset
+        // `[...]` into account.
+        let mut depth = 0usize;
+        while let Some(c) = self.peek() {
+            match c {
+                b'[' => depth += 1,
+                b']' => depth = depth.saturating_sub(1),
+                b'>' if depth == 0 => {
+                    self.pos += 1;
+                    return Ok(());
+                }
+                _ => {}
+            }
+            self.pos += 1;
+        }
+        Err(XmlError::UnexpectedEof { context: "DOCTYPE" })
+    }
+
+    fn element(&mut self) -> Result<(), XmlError> {
+        self.expect("<", "element start tag")?;
+        let name = self.name()?;
+        self.builder.open(&name);
+        self.open_names.push(name.clone());
+
+        // Attributes.
+        loop {
+            self.skip_whitespace();
+            match self.peek() {
+                Some(b'>') => {
+                    self.advance(1);
+                    break;
+                }
+                Some(b'/') => {
+                    self.expect("/>", "self-closing tag")?;
+                    self.builder.close();
+                    self.open_names.pop();
+                    return Ok(());
+                }
+                Some(_) => {
+                    let (attr, _value) = self.attribute()?;
+                    if self.options.attributes_as_children {
+                        self.builder.leaf(&format!("@{attr}"));
+                    }
+                }
+                None => return Err(XmlError::UnexpectedEof { context: "start tag" }),
+            }
+        }
+
+        // Content.
+        loop {
+            if self.eof() {
+                return Err(XmlError::UnexpectedEof { context: "element content" });
+            }
+            if self.starts_with("</") {
+                self.advance(2);
+                let close = self.name()?;
+                self.skip_whitespace();
+                self.expect(">", "closing tag")?;
+                let open = self.open_names.pop().expect("open element on the stack");
+                if open != close {
+                    return Err(XmlError::MismatchedTag {
+                        position: self.pos,
+                        expected: open,
+                        found: close,
+                    });
+                }
+                self.builder.close();
+                return Ok(());
+            } else if self.starts_with("<!--") {
+                self.skip_until("-->", "comment")?;
+            } else if self.starts_with("<![CDATA[") {
+                let start = self.pos + "<![CDATA[".len();
+                let end_rel = find_subslice(&self.input[start..], b"]]>")
+                    .ok_or(XmlError::UnexpectedEof { context: "CDATA" })?;
+                let text = std::str::from_utf8(&self.input[start..start + end_rel])
+                    .map_err(|_| self.syntax("CDATA is not valid UTF-8"))?
+                    .to_string();
+                self.pos = start + end_rel + 3;
+                self.text_node(&text);
+            } else if self.starts_with("<?") {
+                self.skip_until("?>", "processing instruction")?;
+            } else if self.starts_with("<") {
+                self.element()?;
+            } else {
+                let text = self.char_data()?;
+                self.text_node(&text);
+            }
+        }
+    }
+
+    fn text_node(&mut self, text: &str) {
+        if self.options.keep_text && !text.trim().is_empty() {
+            self.builder.leaf(TEXT_LABEL);
+        }
+    }
+
+    fn char_data(&mut self) -> Result<String, XmlError> {
+        let mut out = String::new();
+        while let Some(c) = self.peek() {
+            match c {
+                b'<' => break,
+                b'&' => out.push(self.entity()?),
+                _ => {
+                    // Accumulate a UTF-8 code point byte-by-byte.
+                    out.push(self.input[self.pos] as char);
+                    self.pos += 1;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    fn entity(&mut self) -> Result<char, XmlError> {
+        self.expect("&", "entity reference")?;
+        let start = self.pos;
+        while let Some(c) = self.peek() {
+            if c == b';' {
+                break;
+            }
+            self.pos += 1;
+        }
+        if self.eof() {
+            return Err(XmlError::UnexpectedEof { context: "entity reference" });
+        }
+        let body = std::str::from_utf8(&self.input[start..self.pos])
+            .map_err(|_| self.syntax("entity is not valid UTF-8"))?
+            .to_string();
+        self.advance(1); // the ';'
+        let ch = match body.as_str() {
+            "lt" => '<',
+            "gt" => '>',
+            "amp" => '&',
+            "apos" => '\'',
+            "quot" => '"',
+            _ if body.starts_with("#x") || body.starts_with("#X") => {
+                let code = u32::from_str_radix(&body[2..], 16)
+                    .map_err(|_| self.syntax(format!("invalid character reference &{body};")))?;
+                char::from_u32(code)
+                    .ok_or_else(|| self.syntax(format!("invalid code point in &{body};")))?
+            }
+            _ if body.starts_with('#') => {
+                let code = body[1..]
+                    .parse::<u32>()
+                    .map_err(|_| self.syntax(format!("invalid character reference &{body};")))?;
+                char::from_u32(code)
+                    .ok_or_else(|| self.syntax(format!("invalid code point in &{body};")))?
+            }
+            _ => return Err(self.syntax(format!("unknown entity &{body};"))),
+        };
+        Ok(ch)
+    }
+
+    fn attribute(&mut self) -> Result<(String, String), XmlError> {
+        let name = self.name()?;
+        self.skip_whitespace();
+        self.expect("=", "attribute")?;
+        self.skip_whitespace();
+        let quote = match self.peek() {
+            Some(q @ (b'"' | b'\'')) => q,
+            _ => return Err(self.syntax("attribute value must be quoted")),
+        };
+        self.advance(1);
+        let start = self.pos;
+        while let Some(c) = self.peek() {
+            if c == quote {
+                break;
+            }
+            self.pos += 1;
+        }
+        if self.eof() {
+            return Err(XmlError::UnexpectedEof { context: "attribute value" });
+        }
+        let value = std::str::from_utf8(&self.input[start..self.pos])
+            .map_err(|_| self.syntax("attribute value is not valid UTF-8"))?
+            .to_string();
+        self.advance(1);
+        Ok((name, value))
+    }
+}
+
+fn find_subslice(haystack: &[u8], needle: &[u8]) -> Option<usize> {
+    if needle.is_empty() || haystack.len() < needle.len() {
+        return None;
+    }
+    (0..=haystack.len() - needle.len()).find(|&i| &haystack[i..i + needle.len()] == needle)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn elements_only() {
+        let t = parse("<bib><book><author/><title/></book></bib>").unwrap();
+        assert_eq!(t.to_terms(), "bib(book(author,title))");
+    }
+
+    #[test]
+    fn self_closing_and_nested() {
+        let t = parse("<a><b/><c><d/></c></a>").unwrap();
+        assert_eq!(t.to_terms(), "a(b,c(d))");
+    }
+
+    #[test]
+    fn declaration_comments_doctype_are_skipped() {
+        let src = r#"<?xml version="1.0" encoding="UTF-8"?>
+            <!DOCTYPE bib [ <!ELEMENT bib (book*)> ]>
+            <!-- a bibliography -->
+            <bib><!-- inner --><book/></bib>"#;
+        let t = parse(src).unwrap();
+        assert_eq!(t.to_terms(), "bib(book)");
+    }
+
+    #[test]
+    fn text_is_dropped_by_default_and_kept_on_request() {
+        let src = "<book><title>T &amp; A</title></book>";
+        let t = parse(src).unwrap();
+        assert_eq!(t.to_terms(), "book(title)");
+        let t2 = parse_with(
+            src,
+            &ParseOptions {
+                keep_text: true,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(t2.to_terms(), "book(title(#text))");
+    }
+
+    #[test]
+    fn attributes_are_validated_and_optionally_mapped() {
+        let src = r#"<book isbn="123" lang='en'><title/></book>"#;
+        let t = parse(src).unwrap();
+        assert_eq!(t.to_terms(), "book(title)");
+        let t2 = parse_with(
+            src,
+            &ParseOptions {
+                attributes_as_children: true,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(t2.to_terms(), "book(@isbn,@lang,title)");
+    }
+
+    #[test]
+    fn cdata_and_char_refs() {
+        let src = "<a><![CDATA[ <raw> ]]>&#65;&#x42;</a>";
+        let t = parse_with(
+            src,
+            &ParseOptions {
+                keep_text: true,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(t.to_terms(), "a(#text,#text)");
+        // Default options drop the text entirely.
+        assert_eq!(parse(src).unwrap().to_terms(), "a");
+    }
+
+    #[test]
+    fn whitespace_only_text_never_creates_nodes() {
+        let t = parse_with(
+            "<a>\n   <b/>   \n</a>",
+            &ParseOptions {
+                keep_text: true,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(t.to_terms(), "a(b)");
+    }
+
+    #[test]
+    fn mismatched_tags_are_reported() {
+        let err = parse("<a><b></a></b>").unwrap_err();
+        assert!(matches!(err, XmlError::MismatchedTag { .. }));
+        let msg = err.to_string();
+        assert!(msg.contains("</b>") || msg.contains("expected"));
+    }
+
+    #[test]
+    fn structural_errors() {
+        assert!(matches!(parse(""), Err(XmlError::NoRootElement)));
+        assert!(matches!(parse("   \n "), Err(XmlError::NoRootElement)));
+        assert!(matches!(
+            parse("<a/><b/>"),
+            Err(XmlError::TrailingContent { .. })
+        ));
+        assert!(matches!(parse("<a>"), Err(XmlError::UnexpectedEof { .. })));
+        assert!(matches!(parse("<a"), Err(XmlError::UnexpectedEof { .. })));
+        assert!(matches!(parse("hello"), Err(XmlError::Syntax { .. })));
+        assert!(matches!(parse("<1a/>"), Err(XmlError::Syntax { .. })));
+        assert!(matches!(
+            parse("<a attr=unquoted/>"),
+            Err(XmlError::Syntax { .. })
+        ));
+        assert!(matches!(parse("<a>&bogus;</a>"), Err(XmlError::Syntax { .. })));
+    }
+
+    #[test]
+    fn error_messages_are_informative() {
+        let e = parse("<a>&bogus;</a>").unwrap_err();
+        assert!(e.to_string().contains("bogus"));
+        let e = parse("<a/><b/>").unwrap_err();
+        assert!(e.to_string().contains("after the root"));
+    }
+
+    #[test]
+    fn deeply_nested_document() {
+        let mut src = String::new();
+        for _ in 0..200 {
+            src.push_str("<d>");
+        }
+        src.push_str("<leaf/>");
+        for _ in 0..200 {
+            src.push_str("</d>");
+        }
+        let t = parse(&src).unwrap();
+        assert_eq!(t.len(), 201);
+        assert_eq!(t.height(), 200);
+    }
+
+    #[test]
+    fn namespaced_names_are_plain_labels() {
+        let t = parse("<x:doc><x:item/></x:doc>").unwrap();
+        assert_eq!(t.to_terms(), "x:doc(x:item)");
+    }
+}

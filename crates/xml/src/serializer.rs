@@ -1,0 +1,133 @@
+//! Serialization of trees back to XML.
+
+use xpath_tree::{NodeId, Tree};
+
+/// Serialize a tree as a compact, single-line XML document.
+///
+/// Leaf elements are emitted as self-closing tags.  Labels are emitted
+/// verbatim (tree labels originating from the XML parser are valid names;
+/// labels containing characters that are not valid in XML names — e.g. the
+/// `#text` pseudo-label or `@attr` pseudo-elements — are prefixed with `x-`
+/// and sanitised so the output is always well-formed).
+pub fn to_xml(tree: &Tree) -> String {
+    let mut out = String::new();
+    write_node(tree, tree.root(), &mut out, None);
+    out
+}
+
+/// Serialize a tree as indented XML, one element per line.
+pub fn to_xml_pretty(tree: &Tree) -> String {
+    let mut out = String::new();
+    write_node(tree, tree.root(), &mut out, Some(0));
+    out
+}
+
+fn sanitize_name(label: &str) -> String {
+    let mut name: String = label
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || matches!(c, '_' | '-' | '.' | ':') {
+                c
+            } else {
+                '-'
+            }
+        })
+        .collect();
+    let needs_prefix = name
+        .chars()
+        .next()
+        .map(|c| c.is_ascii_digit() || c == '-' || c == '.' || c == ':')
+        .unwrap_or(true);
+    if needs_prefix {
+        name = format!("x-{name}");
+    }
+    name
+}
+
+fn write_node(tree: &Tree, node: NodeId, out: &mut String, indent: Option<usize>) {
+    let name = sanitize_name(tree.label_str(node));
+    let pad = |out: &mut String, level: usize| {
+        for _ in 0..level {
+            out.push_str("  ");
+        }
+    };
+    if let Some(level) = indent {
+        pad(out, level);
+    }
+    if tree.is_leaf(node) {
+        out.push('<');
+        out.push_str(&name);
+        out.push_str("/>");
+        if indent.is_some() {
+            out.push('\n');
+        }
+        return;
+    }
+    out.push('<');
+    out.push_str(&name);
+    out.push('>');
+    if indent.is_some() {
+        out.push('\n');
+    }
+    for c in tree.children(node) {
+        write_node(tree, c, out, indent.map(|l| l + 1));
+    }
+    if let Some(level) = indent {
+        pad(out, level);
+    }
+    out.push_str("</");
+    out.push_str(&name);
+    out.push('>');
+    if indent.is_some() {
+        out.push('\n');
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    #[test]
+    fn compact_serialization() {
+        let t = Tree::from_terms("a(b,c(d))").unwrap();
+        assert_eq!(to_xml(&t), "<a><b/><c><d/></c></a>");
+    }
+
+    #[test]
+    fn pretty_serialization_is_indented() {
+        let t = Tree::from_terms("a(b,c(d))").unwrap();
+        let xml = to_xml_pretty(&t);
+        assert!(xml.contains("\n  <b/>\n"));
+        assert!(xml.contains("\n    <d/>\n"));
+        // Pretty output parses back to the same tree.
+        assert_eq!(parse(&xml).unwrap().to_terms(), "a(b,c(d))");
+    }
+
+    #[test]
+    fn invalid_labels_are_sanitized() {
+        let t = Tree::from_terms("a(b)").unwrap();
+        // Build a tree with odd labels through the builder.
+        let mut b = xpath_tree::TreeBuilder::new();
+        b.open("2root");
+        b.leaf("#text");
+        b.close();
+        let odd = b.finish().unwrap();
+        let xml = to_xml(&odd);
+        assert!(xml.starts_with("<x-2root>"));
+        assert!(xml.contains("<x--text/>"));
+        // Sanitized output is parseable.
+        parse(&xml).unwrap();
+        // Sanity: normal labels are untouched.
+        assert_eq!(to_xml(&t), "<a><b/></a>");
+    }
+
+    #[test]
+    fn parse_serialize_round_trip_on_generated_shapes() {
+        for terms in ["a", "a(b)", "root(x(y,z),w(v(u)))"] {
+            let t = Tree::from_terms(terms).unwrap();
+            let back = parse(&to_xml(&t)).unwrap();
+            assert_eq!(back.to_terms(), terms);
+        }
+    }
+}
