@@ -67,7 +67,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     let mut explain = false;
 
     let mut i = 0;
-    let mut value = |i: &mut usize, flag: &str| -> Result<String, String> {
+    let value = |i: &mut usize, flag: &str| -> Result<String, String> {
         *i += 1;
         args.get(*i)
             .cloned()

@@ -69,7 +69,7 @@ pub fn answer_hcl_pplbin(
     hcl: &Hcl<BinExpr>,
     output: &[Var],
 ) -> Result<BTreeSet<Tuple>, HclError> {
-    answer_hcl(tree, hcl, output, |t, atoms| PplBinAtoms::compile(t, atoms))
+    answer_hcl(tree, hcl, output, PplBinAtoms::compile)
 }
 
 /// Answer an `HCL⁻(L)` query with a caller-provided atom compiler.

@@ -403,4 +403,133 @@ mod tests {
         let big = NodeMatrix::empty(100);
         assert!(format!("{big:?}").contains("pairs"));
     }
+
+    // -- word-boundary edge cases ------------------------------------------
+    //
+    // The bit-packed storage strides in 64-bit words; every off-by-one in
+    // `clear_tails` / `stride` shows up exactly at n ∈ {0, 1, 63, 64, 65}.
+
+    /// Word counts per row for the boundary sizes.
+    #[test]
+    fn stride_at_word_boundaries() {
+        for (n, words_per_row) in [(0usize, 0usize), (1, 1), (63, 1), (64, 1), (65, 2)] {
+            let m = NodeMatrix::empty(n);
+            assert_eq!(m.stride, words_per_row, "n={n}");
+            assert_eq!(m.words.len(), n * words_per_row, "n={n}");
+            assert_eq!(m.len(), n);
+            assert_eq!(m.count_pairs(), 0, "n={n}");
+            if n >= 1 {
+                assert_eq!(m.row_words(NodeId(0)).len(), words_per_row, "n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn zero_sized_matrix_supports_every_operation() {
+        let mut z = NodeMatrix::empty(0);
+        assert!(z.is_empty());
+        assert!(z.is_relation_empty());
+        assert_eq!(z.count_pairs(), 0);
+        assert!(z.pairs().is_empty());
+        z.complement();
+        assert_eq!(z.count_pairs(), 0, "complement must not invent bits");
+        let f = NodeMatrix::full(0);
+        assert_eq!(f.count_pairs(), 0);
+        assert_eq!(z.product(&f).count_pairs(), 0);
+        assert_eq!(z.transpose().len(), 0);
+        assert_eq!(z.diagonal_filter().len(), 0);
+        assert_eq!(NodeMatrix::identity(0).count_pairs(), 0);
+    }
+
+    #[test]
+    fn single_node_matrix() {
+        let mut one = NodeMatrix::full(1);
+        assert_eq!(one.count_pairs(), 1);
+        assert!(one.get(NodeId(0), NodeId(0)));
+        assert_eq!(one, NodeMatrix::identity(1));
+        assert_eq!(one.product(&one), one);
+        assert_eq!(one.transpose(), one);
+        one.complement();
+        assert!(one.is_relation_empty());
+    }
+
+    #[test]
+    fn full_clears_tail_bits_exactly() {
+        // The tail mask is what separates `count_pairs` from over-counting:
+        // at n=63 one spare bit per row, at n=64 none, at n=65 63 spare bits
+        // in the second word of each row.
+        for (n, last_word_mask) in [
+            (1usize, 1u64),
+            (63, u64::MAX >> 1),
+            (64, u64::MAX),
+            (65, 1),
+        ] {
+            let f = NodeMatrix::full(n);
+            assert_eq!(f.count_pairs(), n * n, "n={n}");
+            for u in 0..n {
+                let row = f.row_words(NodeId(u as u32));
+                assert_eq!(*row.last().unwrap(), last_word_mask, "n={n} row {u}");
+                for w in &row[..row.len() - 1] {
+                    assert_eq!(*w, u64::MAX, "n={n} row {u} interior word");
+                }
+            }
+            // The last column must be populated and column n (if it existed)
+            // must not leak into `successors`.
+            let succ: Vec<NodeId> = f.successors(NodeId(0)).collect();
+            assert_eq!(succ.len(), n, "n={n}");
+            assert_eq!(succ.last(), Some(&NodeId(n as u32 - 1)), "n={n}");
+        }
+    }
+
+    #[test]
+    fn product_round_trips_at_word_boundaries() {
+        // (A·I) = (I·A) = A, and A·F has exactly `nonempty_rows(A) * n`
+        // pairs, for domains on both sides of the word boundary.
+        for n in [1usize, 63, 64, 65] {
+            let mut a = NodeMatrix::empty(n);
+            // A sparse pattern touching the first, last and boundary columns.
+            let cols = [0, n / 2, n - 1];
+            for (i, &c) in cols.iter().enumerate() {
+                a.set(NodeId((i % n) as u32), NodeId(c as u32));
+            }
+            let id = NodeMatrix::identity(n);
+            assert_eq!(a.product(&id), a, "A·I, n={n}");
+            assert_eq!(id.product(&a), a, "I·A, n={n}");
+            let f = NodeMatrix::full(n);
+            let af = a.product(&f);
+            assert_eq!(
+                af.count_pairs(),
+                a.nonempty_rows().len() * n,
+                "A·F, n={n}"
+            );
+            assert_eq!(a.product(&a), a.product_naive(&a), "A·A, n={n}");
+        }
+    }
+
+    #[test]
+    fn transpose_round_trips_at_word_boundaries() {
+        for n in [1usize, 63, 64, 65] {
+            let mut a = NodeMatrix::empty(n);
+            a.set(NodeId(0), NodeId(n as u32 - 1));
+            if n > 1 {
+                a.set(NodeId(n as u32 - 1), NodeId(1));
+            }
+            let t = a.transpose();
+            assert_eq!(t.transpose(), a, "Aᵀᵀ = A, n={n}");
+            assert!(t.get(NodeId(n as u32 - 1), NodeId(0)), "n={n}");
+            // Full and identity are symmetric; transposition fixes them.
+            assert_eq!(NodeMatrix::full(n).transpose(), NodeMatrix::full(n));
+            assert_eq!(
+                NodeMatrix::identity(n).transpose(),
+                NodeMatrix::identity(n)
+            );
+            // (A·B)ᵀ = Bᵀ·Aᵀ.
+            let b = NodeMatrix::full(n);
+            assert_eq!(
+                a.product(&b).transpose(),
+                b.transpose().product(&a.transpose()),
+                "n={n}"
+            );
+        }
+    }
 }

@@ -53,7 +53,7 @@ impl Default for TreeGenConfig {
             size: 100,
             shape: TreeShape::RandomAttachment,
             alphabet: 4,
-            seed: 0xF111_07,
+            seed: 0x00F1_1107,
         }
     }
 }
@@ -72,8 +72,8 @@ pub fn random_tree(config: &TreeGenConfig) -> Tree {
     let mut parent: Vec<usize> = vec![0; n];
     match config.shape {
         TreeShape::RandomAttachment => {
-            for i in 1..n {
-                parent[i] = rng.gen_range(0..i);
+            for (i, p) in parent.iter_mut().enumerate().skip(1) {
+                *p = rng.gen_range(0..i);
             }
         }
         TreeShape::BoundedBranching { max_children } => {
@@ -111,19 +111,19 @@ pub fn random_tree(config: &TreeGenConfig) -> Tree {
             }
         }
         TreeShape::Path => {
-            for i in 1..n {
-                parent[i] = i - 1;
+            for (i, p) in parent.iter_mut().enumerate().skip(1) {
+                *p = i - 1;
             }
         }
         TreeShape::Star => {
-            for i in 1..n {
-                parent[i] = 0;
+            for p in parent.iter_mut().skip(1) {
+                *p = 0;
             }
         }
         TreeShape::Complete { arity } => {
             let arity = arity.max(1);
-            for i in 1..n {
-                parent[i] = (i - 1) / arity;
+            for (i, p) in parent.iter_mut().enumerate().skip(1) {
+                *p = (i - 1) / arity;
             }
         }
     }

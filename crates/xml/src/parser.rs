@@ -58,7 +58,7 @@ impl From<TreeError> for XmlError {
 }
 
 /// Options controlling how XML documents are mapped to trees.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct ParseOptions {
     /// Keep non-whitespace character data as `#text`-labelled leaves.
     /// Default: `false` (the paper's data model ignores data values).
@@ -66,15 +66,6 @@ pub struct ParseOptions {
     /// Map each attribute `name="…"` to a child element labelled
     /// `@name`.  Default: `false`.
     pub attributes_as_children: bool,
-}
-
-impl Default for ParseOptions {
-    fn default() -> Self {
-        ParseOptions {
-            keep_text: false,
-            attributes_as_children: false,
-        }
-    }
 }
 
 /// Label given to text leaves when [`ParseOptions::keep_text`] is enabled.

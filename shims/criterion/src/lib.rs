@@ -1,0 +1,244 @@
+//! Minimal, offline stand-in for the `criterion` benchmark harness.
+//!
+//! The build environment has no crates.io access, so this crate vendors just
+//! enough of the criterion API for the workspace benches to compile and run:
+//! [`Criterion::benchmark_group`], [`BenchmarkGroup`] configuration methods,
+//! [`Bencher::iter`], [`BenchmarkId`], [`black_box`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Measurement is intentionally simple — a warm-up pass followed by
+//! `sample_size` timed samples, reporting the median — with none of
+//! criterion's statistics, plotting, or baseline comparison. It is good
+//! enough to eyeball relative costs; treat absolute numbers with suspicion.
+
+use std::time::{Duration, Instant};
+
+/// Re-export-compatible opaque value sink (compiler fence).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Identifier for a parameterised benchmark: `function_name/parameter`.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Passed to the closure given to `bench_function` / `bench_with_input`.
+pub struct Bencher {
+    samples: usize,
+    /// Median per-iteration time of the last `iter` call.
+    last_median: Duration,
+}
+
+impl Bencher {
+    /// Time `routine`, storing the median of `samples` runs.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up (also forces lazy initialisation inside the routine).
+        black_box(routine());
+        let mut times: Vec<Duration> = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            black_box(routine());
+            times.push(start.elapsed());
+        }
+        times.sort();
+        self.last_median = times[times.len() / 2];
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Accepted for API compatibility; the shim's time budget is per-sample.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; the shim warms up with one iteration.
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            samples: self.sample_size,
+            last_median: Duration::ZERO,
+        };
+        f(&mut b);
+        self.criterion
+            .report(&format!("{}/{}", self.name, id.into_benchmark_id()), b.last_median);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher {
+            samples: self.sample_size,
+            last_median: Duration::ZERO,
+        };
+        f(&mut b, input);
+        self.criterion
+            .report(&format!("{}/{}", self.name, id.into_benchmark_id()), b.last_median);
+        self
+    }
+
+    pub fn finish(&mut self) {}
+}
+
+/// Conversion of the various id forms accepted by the bench methods.
+pub trait IntoBenchmarkId {
+    fn into_benchmark_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> String {
+        self
+    }
+}
+
+/// Throughput hint (ignored by the shim).
+pub enum Throughput {
+    Bytes(u64),
+    Elements(u64),
+}
+
+/// The benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 10,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            samples: 10,
+            last_median: Duration::ZERO,
+        };
+        f(&mut b);
+        self.report(name, b.last_median);
+        self
+    }
+
+    /// Accepted for API compatibility with `Criterion::default().sample_size(..)`.
+    pub fn sample_size(self, _n: usize) -> Self {
+        self
+    }
+
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    fn report(&mut self, id: &str, median: Duration) {
+        println!("{id:<48} median {median:>12.2?}");
+    }
+
+    pub fn final_summary(&mut self) {}
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut ran = 0usize;
+        {
+            let mut g = c.benchmark_group("g");
+            g.sample_size(3)
+                .measurement_time(Duration::from_millis(1))
+                .warm_up_time(Duration::from_millis(1));
+            g.bench_function("f", |b| b.iter(|| ran += 1));
+            g.bench_with_input(BenchmarkId::new("p", 7), &7usize, |b, &n| {
+                b.iter(|| black_box(n * 2))
+            });
+            g.finish();
+        }
+        // warm-up + 3 samples
+        assert_eq!(ran, 4);
+    }
+}

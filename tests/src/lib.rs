@@ -1,1 +1,8 @@
-//! Cross-crate integration tests live in `tests/tests/`.
+//! Cross-crate integration test support.
+//!
+//! * [`differential`] — random-query/random-tree generators and the
+//!   cross-engine differential check used by `tests/differential.rs`.
+//!
+//! The theorem-by-theorem integration tests live in `tests/tests/`.
+
+pub mod differential;

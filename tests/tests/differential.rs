@@ -1,0 +1,69 @@
+//! Cross-engine differential fuzzing (see `xpath_tests::differential`).
+//!
+//! Hundreds of random (tree, PPL-query) pairs are answered by four distinct
+//! pipelines — the polynomial PPL engine, the exponential specification
+//! baseline, the Fig. 8 HCL algorithm, and ACQ/Yannakakis — which must agree
+//! tuple-for-tuple. A second suite checks the Lemma 1 FO round trip. All
+//! seeds are fixed, so failures reproduce deterministically.
+
+use xpath_tests::differential::{run_fo_fuzz, run_ppl_fuzz, FuzzConfig};
+
+#[test]
+fn fuzz_all_engines_agree_on_200_random_cases() {
+    let report = run_ppl_fuzz(&FuzzConfig {
+        seed: 0xD1FF_5EED,
+        cases: 200,
+        max_tree_size: 12,
+        alphabet: 3,
+        max_vars: 3,
+    });
+    assert_eq!(report.cases, 200);
+    // Meta-assertions: the fuzz must exercise real behaviour, not vacuously
+    // agree on empty sets. With the fixed seed these are deterministic.
+    assert!(
+        report.nonempty_answers > report.cases / 4,
+        "too many empty answer sets: {report:?}"
+    );
+    assert!(report.total_tuples > 200, "too few tuples: {report:?}");
+    assert!(report.union_queries > 10, "unions under-exercised: {report:?}");
+    assert!(report.max_arity >= 3, "wide tuples never generated: {report:?}");
+    assert!(
+        report.acq_checked > report.cases * 3 / 4,
+        "ACQ path skipped too often: {report:?}"
+    );
+}
+
+#[test]
+fn fuzz_single_label_alphabet_stresses_wildcard_overlap() {
+    // One label + wildcards: every name test matches every node, maximising
+    // answer-set sizes and intersect/except interactions.
+    let report = run_ppl_fuzz(&FuzzConfig {
+        seed: 0xA11_0B57,
+        cases: 60,
+        max_tree_size: 8,
+        alphabet: 1,
+        max_vars: 2,
+    });
+    assert_eq!(report.cases, 60);
+    assert!(report.nonempty_answers > report.cases / 3, "{report:?}");
+}
+
+#[test]
+fn fuzz_wide_alphabet_stresses_selective_queries() {
+    // Many labels over small trees: most name tests miss, exercising empty
+    // intermediate relations in the HCL/ACQ pipelines.
+    let report = run_ppl_fuzz(&FuzzConfig {
+        seed: 0x5E1EC7,
+        cases: 60,
+        max_tree_size: 10,
+        alphabet: 6,
+        max_vars: 2,
+    });
+    assert_eq!(report.cases, 60);
+}
+
+#[test]
+fn fuzz_fo_round_trip_agrees_with_naive_engine() {
+    let tuples = run_fo_fuzz(0xF0F0, 100, 8, 3);
+    assert!(tuples > 50, "FO fuzz produced almost no tuples ({tuples})");
+}
