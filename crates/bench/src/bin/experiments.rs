@@ -1,11 +1,21 @@
 //! Deterministic experiment runner.
 //!
-//! Prints one table per experiment of EXPERIMENTS.md (E1–E9), each
-//! validating the *shape* of a complexity claim of the paper (who wins, how
-//! the cost grows, where the crossover is).  Absolute numbers depend on the
-//! machine; the shapes should not.
+//! With no arguments, prints one table per experiment of EXPERIMENTS.md
+//! (E1–E9), each validating the *shape* of a complexity claim of the paper
+//! (who wins, how the cost grows, where the crossover is).  Absolute
+//! numbers depend on the machine; the shapes should not.
 //!
 //! Run with: `cargo run -p xpath_bench --bin experiments --release`
+//!
+//! ## Regression-harness modes
+//!
+//! * `--bench [--smoke] [--out <path>]` — run the E10 repeated-query sweep
+//!   (tree size × engine over a shared workload, see EXPERIMENTS.md) and
+//!   write the result as `BENCH_*.json`-schema JSON to `<path>` (default
+//!   `BENCH_2.json`).  `--smoke` shrinks every dimension for CI.
+//! * `--check <path>` — parse an emitted JSON file and validate the schema
+//!   (exit non-zero on any missing key), so CI notices when the harness or
+//!   the trajectory file rots.
 
 use ppl_xpath::{Document, Engine, PplQuery};
 use std::time::Duration;
@@ -31,6 +41,11 @@ fn header(id: &str, claim: &str) {
 }
 
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if !args.is_empty() {
+        std::process::exit(run_harness_mode(&args));
+    }
+
     println!("PPL XPath reproduction — experiment runner (median of {RUNS} runs per cell)");
 
     e1_pplbin_tree_scaling();
@@ -44,6 +59,100 @@ fn main() {
     e9_fo_translation_and_corexpath1();
 
     println!("\nAll experiments completed.");
+}
+
+/// Handle `--bench`/`--check` invocations; returns the process exit code.
+fn run_harness_mode(args: &[String]) -> i32 {
+    const USAGE: &str =
+        "usage: experiments [--bench [--smoke] [--out <path>]] [--check <path>]";
+    let mut bench = false;
+    let mut smoke = false;
+    let mut out: Option<String> = None;
+    let mut check: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--bench" => bench = true,
+            "--smoke" => smoke = true,
+            "--out" => {
+                i += 1;
+                match args.get(i) {
+                    Some(path) => out = Some(path.clone()),
+                    None => {
+                        eprintln!("missing value for --out\n{USAGE}");
+                        return 2;
+                    }
+                }
+            }
+            "--check" => {
+                i += 1;
+                match args.get(i) {
+                    Some(path) => check = Some(path.clone()),
+                    None => {
+                        eprintln!("missing value for --check\n{USAGE}");
+                        return 2;
+                    }
+                }
+            }
+            other => {
+                eprintln!("unknown argument '{other}'\n{USAGE}");
+                return 2;
+            }
+        }
+        i += 1;
+    }
+    if !bench && check.is_none() {
+        eprintln!("{USAGE}");
+        return 2;
+    }
+
+    if bench {
+        let cfg = if smoke {
+            xpath_bench::RegressConfig::smoke()
+        } else {
+            xpath_bench::RegressConfig::full()
+        };
+        let path = out.unwrap_or_else(|| "BENCH_2.json".to_string());
+        eprintln!(
+            "running repeated-query regression sweep ({} mode): trees {:?}, {} queries x{} repeats, {} runs/cell",
+            if smoke { "smoke" } else { "full" },
+            cfg.tree_sizes,
+            xpath_bench::regress::suite().len(),
+            cfg.repeats,
+            cfg.runs,
+        );
+        let doc = xpath_bench::run_regression(&cfg);
+        let text = doc.render();
+        if let Err(e) = std::fs::write(&path, &text) {
+            eprintln!("cannot write {path}: {e}");
+            return 1;
+        }
+        if let Some(summary) = doc.get("summary") {
+            eprintln!(
+                "wrote {path}: cold {} us vs cached {} us at |t|={} (speedup x{})",
+                summary.get("cold_median_us").and_then(xpath_bench::Json::as_f64).unwrap_or(0.0),
+                summary.get("cached_median_us").and_then(xpath_bench::Json::as_f64).unwrap_or(0.0),
+                summary.get("largest_tree_size").and_then(xpath_bench::Json::as_f64).unwrap_or(0.0),
+                summary.get("cached_speedup").and_then(xpath_bench::Json::as_f64).unwrap_or(0.0),
+            );
+        }
+    }
+
+    if let Some(path) = check {
+        let text = match std::fs::read_to_string(&path) {
+            Ok(text) => text,
+            Err(e) => {
+                eprintln!("cannot read {path}: {e}");
+                return 1;
+            }
+        };
+        if let Err(e) = xpath_bench::validate_bench_json(&text) {
+            eprintln!("{path} failed schema validation: {e}");
+            return 1;
+        }
+        eprintln!("{path}: valid {} document", xpath_bench::regress::SCHEMA);
+    }
+    0
 }
 
 /// E1 — Theorem 2: PPLbin answering scales polynomially (cubically) in |t|.

@@ -6,6 +6,12 @@
 //! `src/bin/experiments.rs`, and both use the workload constructors below so
 //! the numbers are comparable.
 
+pub mod json;
+pub mod regress;
+
+pub use json::Json;
+pub use regress::{run_regression, validate_bench_json, RegressConfig};
+
 use std::time::{Duration, Instant};
 
 /// Measure a closure once and return its wall-clock duration together with

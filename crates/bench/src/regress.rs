@@ -1,0 +1,416 @@
+//! The perf-regression sweep behind `experiments --bench` and the
+//! `BENCH_*.json` trajectory files.
+//!
+//! One fixed workload — a suite of PPL queries over random trees of swept
+//! sizes, repeated to model multi-query traffic against a shared document —
+//! is answered by every engine:
+//!
+//! * `ppl_cached` — `Document::answer_batch`, compiling PPLbin matrices
+//!   through the document's `MatrixStore` (steps and hash-consed subterms
+//!   shared across queries and repeats);
+//! * `ppl_cold`   — `PplQuery::answers_cold` per query, recompiling every
+//!   matrix from scratch (the pre-cache behaviour);
+//! * `naive`      — `Engine::NaiveEnumeration`, the exponential Fig. 2
+//!   baseline (restricted to small trees, one workload pass);
+//! * `acq`        — Yannakakis on the ACQ image (union-free queries only).
+//!
+//! The output is a single JSON document (see EXPERIMENTS.md for the schema)
+//! with one row per (engine, tree size) cell and a `summary` comparing the
+//! cached and cold medians at the largest swept size.  `--smoke` shrinks
+//! every dimension so CI can validate the emitted file in milliseconds.
+
+use crate::json::Json;
+use crate::time_median;
+use ppl_xpath::{Document, Engine, PplQuery};
+use std::time::Duration;
+use xpath_acq::{answer_acq, hcl_to_acq};
+use xpath_tree::generate::{random_tree, TreeGenConfig, TreeShape};
+use xpath_tree::Tree;
+
+/// Schema identifier written into every emitted file.
+pub const SCHEMA: &str = "ppl-xpath-bench/v1";
+
+/// Keys every result row must carry (checked by [`validate_bench_json`]).
+pub const ROW_KEYS: [&str; 6] = [
+    "experiment",
+    "engine",
+    "tree_size",
+    "workload_queries",
+    "workload_repeats",
+    "median_us",
+];
+
+/// Sweep dimensions.
+#[derive(Debug, Clone)]
+pub struct RegressConfig {
+    /// Node counts of the swept trees.
+    pub tree_sizes: Vec<usize>,
+    /// How often the query suite is repeated per workload.
+    pub repeats: usize,
+    /// Timed runs per cell (the median is recorded).
+    pub runs: usize,
+    /// Largest tree the exponential naive baseline is run on.
+    pub naive_max_size: usize,
+}
+
+impl RegressConfig {
+    /// The full sweep used to produce `BENCH_*.json`.
+    pub fn full() -> RegressConfig {
+        RegressConfig {
+            tree_sizes: vec![60, 120, 240, 480],
+            repeats: 8,
+            runs: 5,
+            naive_max_size: 60,
+        }
+    }
+
+    /// Tiny sizes for CI smoke validation.
+    pub fn smoke() -> RegressConfig {
+        RegressConfig {
+            tree_sizes: vec![12, 24],
+            repeats: 2,
+            runs: 2,
+            naive_max_size: 24,
+        }
+    }
+}
+
+/// The filter bodies of the E10 suite: variable-free compositions of
+/// `except`-complemented relations.  Each complement is *dense* (≈`|t|²`
+/// pairs), so the `/` between them is a genuinely cubic `|t|³/64` Boolean
+/// product — the cost profile Theorem 1 attributes to PPLbin compilation.
+/// Wrapped in `not(…)` they evaluate to partial identities (≤`|t|` pairs),
+/// so answering stays cheap and compilation dominates a cold run.
+const DENSE_FILTERS: [&str; 3] = [
+    "(descendant::* except child::l0)/(descendant::* except child::l1)\
+     /(descendant::* except child::l2)/(ancestor::* except child::l1)",
+    "(descendant::* except child::l0)/(descendant::* except child::l1)\
+     /(ancestor::* except child::l0)/(descendant::* except child::l2)",
+    "(descendant::* except child::l2)/(ancestor::* except child::l1)\
+     /(descendant::* except child::l0)/(ancestor::* except child::l2)",
+];
+
+/// The fixed query suite: PPL queries over the `l0…l2` generator alphabet.
+///
+/// The workload models the traffic the cache is built for: each query
+/// carries one or two [`DENSE_FILTERS`] (compile-heavy, answer-light —
+/// Fig. 4 collapses maximal variable-free subexpressions into single PPLbin
+/// atoms), the filters repeat across queries on purpose so the hash-consing
+/// layer has shared subterms to merge, arities are mixed, and the last
+/// query exercises an HCL-level union (both branches bind `$x`).
+pub fn suite() -> Vec<PplQuery> {
+    let [f1, f2, f3] = DENSE_FILTERS;
+    let specs: [(String, &[&str]); 6] = [
+        (format!("descendant::l0[not({f1})][. is $x]"), &["x"]),
+        (
+            format!("descendant::l1[not({f1})][not({f2})][. is $x]"),
+            &["x"],
+        ),
+        (format!("descendant::l2[not({f2})][. is $x]"), &["x"]),
+        (
+            format!("descendant::l0[not({f3})][child::l1[. is $x] and child::l2[. is $y]]"),
+            &["x", "y"],
+        ),
+        (
+            format!("descendant::l0[. is $x]/child::l1[not({f2})][. is $y]"),
+            &["x", "y"],
+        ),
+        (
+            format!(
+                "descendant::l0[not({f1})][. is $x] union descendant::l1[not({f3})][. is $x]"
+            ),
+            &["x"],
+        ),
+    ];
+    specs
+        .iter()
+        .map(|(src, vars)| {
+            PplQuery::compile(src, vars)
+                .unwrap_or_else(|e| panic!("suite query {src:?} failed to compile: {e}"))
+        })
+        .collect()
+}
+
+fn sweep_tree(size: usize) -> Tree {
+    random_tree(&TreeGenConfig {
+        size,
+        shape: TreeShape::BoundedBranching { max_children: 4 },
+        alphabet: 3,
+        seed: 0xBE7C_0000 + size as u64,
+    })
+}
+
+fn us(d: Duration) -> f64 {
+    (d.as_secs_f64() * 1e6 * 10.0).round() / 10.0
+}
+
+fn row(
+    engine: &str,
+    tree_size: usize,
+    queries: usize,
+    repeats: usize,
+    median: Duration,
+    answers: usize,
+    extra: Vec<(String, Json)>,
+) -> Json {
+    let mut members = vec![
+        ("experiment".to_string(), Json::Str("repeated_query_workload".into())),
+        ("engine".to_string(), Json::Str(engine.into())),
+        ("tree_size".to_string(), Json::Num(tree_size as f64)),
+        ("workload_queries".to_string(), Json::Num(queries as f64)),
+        ("workload_repeats".to_string(), Json::Num(repeats as f64)),
+        ("median_us".to_string(), Json::Num(us(median))),
+        ("answers".to_string(), Json::Num(answers as f64)),
+    ];
+    members.extend(extra);
+    Json::Obj(members)
+}
+
+/// Run the sweep and return the JSON document to be written to
+/// `BENCH_*.json`.
+pub fn run_regression(cfg: &RegressConfig) -> Json {
+    let suite = suite();
+    let union_free: Vec<&PplQuery> = suite
+        .iter()
+        .filter(|q| q.hcl().is_union_free())
+        .collect();
+    let mut results: Vec<Json> = Vec::new();
+    let mut summary: Option<(usize, f64, f64)> = None;
+
+    for &size in &cfg.tree_sizes {
+        let tree = sweep_tree(size);
+
+        // Workload: the suite repeated `repeats` times against one document.
+        let workload: Vec<PplQuery> = (0..cfg.repeats)
+            .flat_map(|_| suite.iter().cloned())
+            .collect();
+
+        // ppl_cached — answer_batch over a fresh document each run, so each
+        // timed run pays exactly one compilation of each distinct subterm.
+        let (cached_t, cached_answers) = time_median(cfg.runs, || {
+            let doc = Document::from_tree(tree.clone());
+            let answers = doc.answer_batch(&workload).expect("suite queries answer");
+            answers.iter().map(|a| a.len()).sum::<usize>()
+        });
+        // Cache counters for the same workload, measured outside the timer.
+        let stats_doc = Document::from_tree(tree.clone());
+        stats_doc.answer_batch(&workload).expect("suite queries answer");
+        let stats = stats_doc.cache_stats();
+        results.push(row(
+            "ppl_cached",
+            size,
+            suite.len(),
+            cfg.repeats,
+            cached_t,
+            cached_answers,
+            vec![
+                ("cache_hits".to_string(), Json::Num(stats.hits as f64)),
+                ("cache_misses".to_string(), Json::Num(stats.misses as f64)),
+            ],
+        ));
+
+        // ppl_cold — per-query recompilation, same workload.
+        let (cold_t, cold_answers) = time_median(cfg.runs, || {
+            let doc = Document::from_tree(tree.clone());
+            workload
+                .iter()
+                .map(|q| q.answers_cold(&doc).expect("suite queries answer").len())
+                .sum::<usize>()
+        });
+        assert_eq!(
+            cached_answers, cold_answers,
+            "cached and cold engines disagree at |t|={size}"
+        );
+        results.push(row(
+            "ppl_cold",
+            size,
+            suite.len(),
+            cfg.repeats,
+            cold_t,
+            cold_answers,
+            vec![],
+        ));
+        summary = Some((size, us(cold_t), us(cached_t)));
+
+        // acq — Yannakakis over the ACQ image, union-free queries only,
+        // recompiled per call like the cold engine.
+        let (acq_t, acq_answers) = time_median(cfg.runs, || {
+            (0..cfg.repeats)
+                .flat_map(|_| union_free.iter())
+                .map(|q| {
+                    let (cq, db) =
+                        hcl_to_acq(&tree, q.hcl(), q.output()).expect("union-free image");
+                    answer_acq(&cq, &db).expect("acyclic query answers").len()
+                })
+                .sum::<usize>()
+        });
+        results.push(row(
+            "acq",
+            size,
+            union_free.len(),
+            cfg.repeats,
+            acq_t,
+            acq_answers,
+            vec![],
+        ));
+
+        // naive — exponential baseline, one workload pass, small trees only.
+        if size <= cfg.naive_max_size {
+            let doc = Document::from_tree(tree.clone());
+            let (naive_t, naive_answers) = time_median(1, || {
+                suite
+                    .iter()
+                    .map(|q| {
+                        Engine::NaiveEnumeration
+                            .answer(&doc, q.source(), q.output())
+                            .expect("naive answers suite queries")
+                            .len()
+                    })
+                    .sum::<usize>()
+            });
+            assert_eq!(
+                naive_answers * cfg.repeats,
+                cold_answers,
+                "naive engine disagrees at |t|={size}"
+            );
+            results.push(row("naive", size, suite.len(), 1, naive_t, naive_answers, vec![]));
+        }
+    }
+
+    let (largest, cold_us, cached_us) = summary.expect("at least one tree size");
+    Json::Obj(vec![
+        ("schema".to_string(), Json::Str(SCHEMA.into())),
+        ("experiment_doc".to_string(), Json::Str("EXPERIMENTS.md".into())),
+        (
+            "tree_sizes".to_string(),
+            Json::Arr(cfg.tree_sizes.iter().map(|&s| Json::Num(s as f64)).collect()),
+        ),
+        ("suite_queries".to_string(), Json::Num(suite.len() as f64)),
+        ("workload_repeats".to_string(), Json::Num(cfg.repeats as f64)),
+        ("runs_per_cell".to_string(), Json::Num(cfg.runs as f64)),
+        ("results".to_string(), Json::Arr(results)),
+        (
+            "summary".to_string(),
+            Json::Obj(vec![
+                ("largest_tree_size".to_string(), Json::Num(largest as f64)),
+                ("cold_median_us".to_string(), Json::Num(cold_us)),
+                ("cached_median_us".to_string(), Json::Num(cached_us)),
+                (
+                    "cached_speedup".to_string(),
+                    Json::Num(((cold_us / cached_us.max(0.1)) * 100.0).round() / 100.0),
+                ),
+            ]),
+        ),
+    ])
+}
+
+/// Validate an emitted `BENCH_*.json` document: it must parse, carry the
+/// schema marker, and every result row must have the expected keys.  Used by
+/// `experiments --check` (and so by CI) to keep the harness honest.
+pub fn validate_bench_json(text: &str) -> Result<(), String> {
+    let doc = Json::parse(text)?;
+    if doc.get("schema").and_then(Json::as_str) != Some(SCHEMA) {
+        return Err(format!("missing or wrong \"schema\" (expected {SCHEMA:?})"));
+    }
+    let results = doc
+        .get("results")
+        .and_then(Json::as_arr)
+        .ok_or("missing \"results\" array")?;
+    if results.is_empty() {
+        return Err("\"results\" is empty".into());
+    }
+    let mut engines_seen: Vec<String> = Vec::new();
+    for (i, row) in results.iter().enumerate() {
+        for key in ROW_KEYS {
+            row.get(key).ok_or(format!("results[{i}] is missing {key:?}"))?;
+        }
+        let median = row
+            .get("median_us")
+            .and_then(Json::as_f64)
+            .ok_or(format!("results[{i}].median_us is not a number"))?;
+        if !median.is_finite() || median < 0.0 {
+            return Err(format!("results[{i}].median_us = {median} is not a valid timing"));
+        }
+        if let Some(engine) = row.get("engine").and_then(Json::as_str) {
+            if !engines_seen.iter().any(|e| e == engine) {
+                engines_seen.push(engine.to_string());
+            }
+        }
+    }
+    for required in ["ppl_cached", "ppl_cold"] {
+        if !engines_seen.iter().any(|e| e == required) {
+            return Err(format!("no {required:?} rows in \"results\""));
+        }
+    }
+    let summary = doc.get("summary").ok_or("missing \"summary\"")?;
+    for key in ["largest_tree_size", "cold_median_us", "cached_median_us", "cached_speedup"] {
+        summary
+            .get(key)
+            .and_then(Json::as_f64)
+            .ok_or(format!("summary.{key} missing or not a number"))?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_compiles_and_mixes_arities() {
+        let suite = suite();
+        assert_eq!(suite.len(), 6);
+        assert!(suite.iter().any(|q| q.output().len() == 2));
+        assert!(suite.iter().any(|q| q.output().len() == 1));
+        // At least one union-bearing query (excluded from the ACQ engine)
+        // and at least four union-free ones.
+        let union_free = suite.iter().filter(|q| q.hcl().is_union_free()).count();
+        assert!(union_free >= 4);
+        assert!(union_free < suite.len());
+    }
+
+    #[test]
+    fn smoke_regression_emits_a_valid_document() {
+        let doc = run_regression(&RegressConfig::smoke());
+        let text = doc.render();
+        validate_bench_json(&text).unwrap();
+        // The smoke sweep must exercise every engine, including naive.
+        let parsed = Json::parse(&text).unwrap();
+        let engines: Vec<&str> = parsed
+            .get("results")
+            .unwrap()
+            .as_arr()
+            .unwrap()
+            .iter()
+            .filter_map(|r| r.get("engine").and_then(Json::as_str))
+            .collect();
+        for required in ["ppl_cached", "ppl_cold", "acq", "naive"] {
+            assert!(engines.contains(&required), "missing engine {required}");
+        }
+        // Cached rows expose the cache counters.
+        let cached_row = parsed
+            .get("results")
+            .unwrap()
+            .as_arr()
+            .unwrap()
+            .iter()
+            .find(|r| r.get("engine").and_then(Json::as_str) == Some("ppl_cached"))
+            .unwrap();
+        assert!(cached_row.get("cache_hits").and_then(Json::as_f64).unwrap() > 0.0);
+    }
+
+    #[test]
+    fn validator_rejects_broken_documents() {
+        assert!(validate_bench_json("not json").is_err());
+        assert!(validate_bench_json("{}").is_err());
+        assert!(
+            validate_bench_json(&format!("{{\"schema\": \"{SCHEMA}\", \"results\": []}}"))
+                .is_err()
+        );
+        let missing_key = format!(
+            "{{\"schema\": \"{SCHEMA}\", \"results\": [{{\"engine\": \"ppl_cached\"}}]}}"
+        );
+        let err = validate_bench_json(&missing_key).unwrap_err();
+        assert!(err.contains("missing"), "{err}");
+    }
+}

@@ -4,6 +4,8 @@
 //! USAGE:
 //!     pplx --query <XPATH> [--vars y,z] (--file doc.xml | --terms 'a(b,c)' | --stdin)
 //!          [--engine ppl|naive] [--format table|csv] [--explain]
+//!     pplx --batch <queries.txt> (--file doc.xml | --terms 'a(b,c)' | --stdin)
+//!          [--vars y,z] [--format table|csv] [--stats]
 //!
 //! EXAMPLES:
 //!     pplx --terms 'bib(book(author,title))' \
@@ -11,6 +13,8 @@
 //!          --vars y,z
 //!
 //!     cat bib.xml | pplx --stdin --query 'descendant::title[. is $t]' --vars t --format csv
+//!
+//!     pplx --terms 'bib(book(author,title))' --batch workload.txt --stats
 //! ```
 //!
 //! The tool compiles the query through the full PPL pipeline (rejecting
@@ -18,6 +22,16 @@
 //! `--engine naive` is given, in which case any Core XPath 2.0 expression —
 //! including `for` loops and variable sharing — is answered by the
 //! specification engine.
+//!
+//! ## Batch mode
+//!
+//! `--batch <file>` answers many queries over one document with shared
+//! compilation state (`Document::answer_batch`): PPLbin subterms occurring
+//! in several queries are compiled once.  The file holds one query per
+//! line; blank lines and `#` comments are skipped.  A line may override the
+//! output variables with a ` -> v1,v2` suffix, otherwise `--vars` applies.
+//! `--stats` appends the matrix-cache hit/miss counters after the answers.
+//! Batch mode always uses the PPL engine.
 
 use ppl_xpath::{Document, Engine, PplQuery};
 use std::io::Read;
@@ -27,12 +41,21 @@ use xpath_ast::{parse_path, Var};
 /// Parsed command-line options.
 #[derive(Debug, Clone, PartialEq, Eq)]
 struct Options {
-    query: String,
+    mode: Mode,
     vars: Vec<String>,
     source: Source,
     engine: EngineChoice,
     format: Format,
     explain: bool,
+    stats: bool,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Mode {
+    /// A single `--query`.
+    Single(String),
+    /// A `--batch` file of queries answered with shared compilation state.
+    Batch(String),
 }
 
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -54,17 +77,19 @@ enum Format {
     Csv,
 }
 
-const USAGE: &str = "usage: pplx --query <XPATH> [--vars a,b,...] \
+const USAGE: &str = "usage: pplx (--query <XPATH> | --batch <file>) [--vars a,b,...] \
 (--file <path> | --terms <term-tree> | --stdin) \
-[--engine ppl|naive] [--format table|csv] [--explain]";
+[--engine ppl|naive] [--format table|csv] [--explain] [--stats]";
 
 fn parse_args(args: &[String]) -> Result<Options, String> {
     let mut query = None;
+    let mut batch = None;
     let mut vars = Vec::new();
     let mut source = None;
     let mut engine = EngineChoice::Ppl;
     let mut format = Format::Table;
     let mut explain = false;
+    let mut stats = false;
 
     let mut i = 0;
     let value = |i: &mut usize, flag: &str| -> Result<String, String> {
@@ -76,6 +101,8 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     while i < args.len() {
         match args[i].as_str() {
             "--query" | "-q" => query = Some(value(&mut i, "--query")?),
+            "--batch" | "-b" => batch = Some(value(&mut i, "--batch")?),
+            "--stats" => stats = true,
             "--vars" | "-v" => {
                 vars = value(&mut i, "--vars")?
                     .split(',')
@@ -107,13 +134,27 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         i += 1;
     }
 
+    let mode = match (query, batch) {
+        (Some(_), Some(_)) => {
+            return Err(format!("--query and --batch are mutually exclusive\n{USAGE}"))
+        }
+        (Some(q), None) => Mode::Single(q),
+        (None, Some(b)) => {
+            if engine == EngineChoice::Naive {
+                return Err("--batch always uses the PPL engine (drop --engine naive)".into());
+            }
+            Mode::Batch(b)
+        }
+        (None, None) => return Err(format!("--query or --batch is required\n{USAGE}")),
+    };
     Ok(Options {
-        query: query.ok_or_else(|| format!("--query is required\n{USAGE}"))?,
+        mode,
         vars,
         source: source.ok_or_else(|| format!("one of --file/--terms/--stdin is required\n{USAGE}"))?,
         engine,
         format,
         explain,
+        stats,
     })
 }
 
@@ -135,41 +176,39 @@ fn load_document(source: &Source) -> Result<Document, String> {
     }
 }
 
-fn run(options: &Options) -> Result<String, String> {
-    let doc = load_document(&options.source)?;
-    let var_names: Vec<&str> = options.vars.iter().map(String::as_str).collect();
-    let vars: Vec<Var> = var_names.iter().map(|n| Var::new(n)).collect();
+/// Parse one batch line: `<query>` with an optional ` -> v1,v2` variable
+/// suffix overriding the default variables.
+fn parse_batch_line(line: &str, default_vars: &[String]) -> (String, Vec<String>) {
+    match line.rsplit_once("->") {
+        Some((query, vars)) => (
+            query.trim().to_string(),
+            vars.split(',')
+                .map(|s| s.trim().trim_start_matches('$').to_string())
+                .filter(|s| !s.is_empty())
+                .collect(),
+        ),
+        None => (line.trim().to_string(), default_vars.to_vec()),
+    }
+}
 
-    let mut out = String::new();
-    let answers = match options.engine {
-        EngineChoice::Ppl => {
-            let compiled =
-                PplQuery::compile(&options.query, &var_names).map_err(|e| e.to_string())?;
-            if options.explain {
-                out.push_str(&compiled.explain());
-                out.push('\n');
-            }
-            compiled.answers(&doc).map_err(|e| e.to_string())?
-        }
-        EngineChoice::Naive => {
-            let path = parse_path(&options.query).map_err(|e| e.to_string())?;
-            Engine::NaiveEnumeration
-                .answer(&doc, &path, &vars)
-                .map_err(|e| e.to_string())?
-        }
-    };
-
-    match options.format {
+fn render_answers(
+    out: &mut String,
+    doc: &Document,
+    answers: &ppl_xpath::AnswerSet,
+    vars: &[String],
+    format: Format,
+) {
+    match format {
         Format::Table => {
             out.push_str(&format!(
                 "{} answer tuple(s) over ({})\n",
                 answers.len(),
-                options.vars.join(", ")
+                vars.join(", ")
             ));
-            out.push_str(&answers.render(&doc));
+            out.push_str(&answers.render(doc));
         }
         Format::Csv => {
-            out.push_str(&options.vars.join(","));
+            out.push_str(&vars.join(","));
             out.push('\n');
             for tuple in answers.tuples() {
                 let row: Vec<String> = tuple.iter().map(|n| doc.describe(*n)).collect();
@@ -178,7 +217,79 @@ fn run(options: &Options) -> Result<String, String> {
             }
         }
     }
+}
+
+fn run_single(options: &Options, doc: &Document, query: &str) -> Result<String, String> {
+    let var_names: Vec<&str> = options.vars.iter().map(String::as_str).collect();
+    let vars: Vec<Var> = var_names.iter().map(|n| Var::new(n)).collect();
+
+    let mut out = String::new();
+    let answers = match options.engine {
+        EngineChoice::Ppl => {
+            let compiled = PplQuery::compile(query, &var_names).map_err(|e| e.to_string())?;
+            if options.explain {
+                out.push_str(&compiled.explain());
+                out.push('\n');
+            }
+            doc.answer(&compiled).map_err(|e| e.to_string())?
+        }
+        EngineChoice::Naive => {
+            let path = parse_path(query).map_err(|e| e.to_string())?;
+            Engine::NaiveEnumeration
+                .answer(doc, &path, &vars)
+                .map_err(|e| e.to_string())?
+        }
+    };
+    render_answers(&mut out, doc, &answers, &options.vars, options.format);
     Ok(out)
+}
+
+fn run_batch(options: &Options, doc: &Document, path: &str) -> Result<String, String> {
+    let content =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let mut compiled = Vec::new();
+    let mut specs: Vec<(String, Vec<String>)> = Vec::new();
+    for (lineno, line) in content.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (query, vars) = parse_batch_line(line, &options.vars);
+        let var_names: Vec<&str> = vars.iter().map(String::as_str).collect();
+        let q = PplQuery::compile(&query, &var_names)
+            .map_err(|e| format!("{path}:{}: {e}", lineno + 1))?;
+        compiled.push(q);
+        specs.push((query, vars));
+    }
+    if compiled.is_empty() {
+        return Err(format!("{path}: no queries (blank lines and # comments are skipped)"));
+    }
+
+    let answers = doc.answer_batch(&compiled).map_err(|e| e.to_string())?;
+    let mut out = String::new();
+    for (i, ((query, vars), answer)) in specs.iter().zip(&answers).enumerate() {
+        out.push_str(&format!("# [{}] {query}\n", i + 1));
+        render_answers(&mut out, doc, answer, vars, options.format);
+    }
+    if options.stats {
+        let stats = doc.cache_stats();
+        out.push_str(&format!(
+            "# cache: {} hits, {} misses, {} matrices for {} queries\n",
+            stats.hits,
+            stats.misses,
+            stats.compiled,
+            compiled.len()
+        ));
+    }
+    Ok(out)
+}
+
+fn run(options: &Options) -> Result<String, String> {
+    let doc = load_document(&options.source)?;
+    match &options.mode {
+        Mode::Single(query) => run_single(options, &doc, query),
+        Mode::Batch(path) => run_batch(options, &doc, path),
+    }
 }
 
 fn main() -> ExitCode {
@@ -226,12 +337,50 @@ mod tests {
             "--explain",
         ]))
         .unwrap();
-        assert_eq!(opts.query, "descendant::a[. is $x]");
+        assert_eq!(opts.mode, Mode::Single("descendant::a[. is $x]".into()));
         assert_eq!(opts.vars, vec!["x", "y"]);
         assert_eq!(opts.source, Source::Terms("r(a,b)".into()));
         assert_eq!(opts.engine, EngineChoice::Naive);
         assert_eq!(opts.format, Format::Csv);
         assert!(opts.explain);
+        assert!(!opts.stats);
+    }
+
+    #[test]
+    fn parse_batch_arguments() {
+        let opts = parse_args(&args(&[
+            "--batch", "queries.txt", "--terms", "r(a)", "--stats",
+        ]))
+        .unwrap();
+        assert_eq!(opts.mode, Mode::Batch("queries.txt".into()));
+        assert!(opts.stats);
+        assert!(parse_args(&args(&[
+            "--batch", "q.txt", "--query", "child::a", "--terms", "r",
+        ]))
+        .unwrap_err()
+        .contains("mutually exclusive"));
+        assert!(parse_args(&args(&[
+            "--batch", "q.txt", "--terms", "r", "--engine", "naive",
+        ]))
+        .unwrap_err()
+        .contains("PPL engine"));
+    }
+
+    #[test]
+    fn batch_lines_support_variable_suffixes() {
+        let defaults = vec!["d".to_string()];
+        assert_eq!(
+            parse_batch_line("descendant::a[. is $x] -> $x", &defaults),
+            ("descendant::a[. is $x]".to_string(), vec!["x".to_string()])
+        );
+        assert_eq!(
+            parse_batch_line("child::a -> x, y", &defaults),
+            ("child::a".to_string(), vec!["x".to_string(), "y".to_string()])
+        );
+        assert_eq!(
+            parse_batch_line("child::a", &defaults),
+            ("child::a".to_string(), defaults.clone())
+        );
     }
 
     #[test]
@@ -298,6 +447,58 @@ mod tests {
         .unwrap();
         let err = run(&opts).unwrap_err();
         assert!(err.contains("NVS(/)"));
+    }
+
+    #[test]
+    fn run_batch_answers_every_query_and_reports_cache_stats() {
+        let path = std::env::temp_dir().join("pplx_batch_test_queries.txt");
+        std::fs::write(
+            &path,
+            "# author/title pairs per book\n\
+             descendant::book[child::author[. is $y] and child::title[. is $z]] -> y,z\n\
+             \n\
+             descendant::author[. is $a] -> a\n\
+             descendant::book[child::author]\n",
+        )
+        .unwrap();
+        let opts = parse_args(&args(&[
+            "--batch",
+            path.to_str().unwrap(),
+            "--terms",
+            "bib(book(author,title),book(author,author,title))",
+            "--stats",
+        ]))
+        .unwrap();
+        let out = run(&opts).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert!(out.contains("# [1] descendant::book[child::author"));
+        assert!(out.contains("3 answer tuple(s) over (y, z)"));
+        assert!(out.contains("# [2] descendant::author"));
+        assert!(out.contains("3 answer tuple(s) over (a)"));
+        // The third line is a boolean (arity-0) query: one empty tuple.
+        assert!(out.contains("# [3] "));
+        assert!(out.contains("1 answer tuple(s) over ()"));
+        // `descendant::book` and `child::author` repeat across the batch, so
+        // the cache must report hits.
+        assert!(out.contains("# cache: "));
+        assert!(!out.contains("# cache: 0 hits"), "{out}");
+    }
+
+    #[test]
+    fn run_batch_reports_compile_errors_with_line_numbers() {
+        let path = std::env::temp_dir().join("pplx_batch_test_bad.txt");
+        std::fs::write(&path, "child::a\nfor $x in child::a return child::b\n").unwrap();
+        let opts = parse_args(&args(&[
+            "--batch",
+            path.to_str().unwrap(),
+            "--terms",
+            "r(a)",
+        ]))
+        .unwrap();
+        let err = run(&opts).unwrap_err();
+        std::fs::remove_file(&path).ok();
+        assert!(err.contains(":2:"), "{err}");
+        assert!(err.contains("N(for)"), "{err}");
     }
 
     #[test]

@@ -1,6 +1,11 @@
-//! Documents — trees with convenient constructors and node accessors.
+//! Documents — trees with convenient constructors, node accessors and a
+//! per-document matrix cache for amortized multi-query evaluation.
 
+use crate::query::{AnswerSet, PplQuery, QueryError};
+use std::cell::RefCell;
 use std::fmt;
+use xpath_ast::BinExpr;
+use xpath_pplbin::{CacheStats, MatrixStore, NodeMatrix};
 use xpath_tree::{NodeId, Tree, TreeError};
 use xpath_xml::{parse_with, ParseOptions, XmlError};
 
@@ -26,9 +31,24 @@ impl std::error::Error for DocumentError {}
 
 /// An XML document abstracted to the paper's data model: an unranked,
 /// sibling-ordered, labelled tree.
+///
+/// Every document owns a [`MatrixStore`] behind interior mutability: the
+/// `|t|³` PPLbin matrix compilation of Theorem 1 depends only on the
+/// *(tree, subterm)* pair, so the store hash-conses subterms and memoises
+/// their compiled matrices.  Repeated [`PplQuery::answers`] calls and the
+/// batched [`Document::answer_batch`] API reuse each compiled matrix instead
+/// of paying the compilation again; [`Document::cache_stats`] exposes the
+/// hit/miss counters.
+///
+/// The cache makes `Document` single-threaded (`!Send`/`!Sync` — the store
+/// uses `RefCell` and `Rc`-shared successor lists, and even `&self`
+/// answering mutates it).  To distribute query traffic across threads,
+/// give each worker its own `Document` (cloning is cheap relative to
+/// matrix compilation and clones the cache state).
 #[derive(Debug, Clone)]
 pub struct Document {
     tree: Tree,
+    store: RefCell<MatrixStore>,
 }
 
 impl Document {
@@ -41,21 +61,22 @@ impl Document {
     /// Parse an XML document with explicit [`ParseOptions`] (e.g. to keep
     /// text nodes as `#text` leaves).
     pub fn from_xml_with(xml: &str, options: &ParseOptions) -> Result<Document, DocumentError> {
-        Ok(Document {
-            tree: parse_with(xml, options).map_err(DocumentError::Xml)?,
-        })
+        Ok(Document::from_tree(
+            parse_with(xml, options).map_err(DocumentError::Xml)?,
+        ))
     }
 
     /// Parse the compact term syntax `a(b,c(d))`.
     pub fn from_terms(terms: &str) -> Result<Document, DocumentError> {
-        Ok(Document {
-            tree: Tree::from_terms(terms).map_err(DocumentError::Terms)?,
-        })
+        Ok(Document::from_tree(
+            Tree::from_terms(terms).map_err(DocumentError::Terms)?,
+        ))
     }
 
     /// Wrap an already constructed tree.
     pub fn from_tree(tree: Tree) -> Document {
-        Document { tree }
+        let store = RefCell::new(MatrixStore::new(tree.len()));
+        Document { tree, store }
     }
 
     /// The underlying tree.
@@ -97,6 +118,48 @@ impl Document {
     /// Serialise to the compact term syntax.
     pub fn to_terms(&self) -> String {
         self.tree.to_terms()
+    }
+
+    // -- cached evaluation --------------------------------------------------
+
+    /// Run a closure against the document's [`MatrixStore`].
+    ///
+    /// This is the single chokepoint through which every cached evaluation
+    /// path borrows the store; the `RefCell` borrow lasts exactly for the
+    /// closure, so `f` must not re-enter cached evaluation on `self`.
+    pub(crate) fn with_store<R>(&self, f: impl FnOnce(&mut MatrixStore) -> R) -> R {
+        f(&mut self.store.borrow_mut())
+    }
+
+    /// Evaluate a PPLbin expression to its Boolean matrix through the
+    /// document cache: structurally equal subterms — from this call or any
+    /// earlier query over this document — are compiled exactly once.
+    pub fn eval_binexpr(&self, expr: &BinExpr) -> NodeMatrix {
+        self.with_store(|store| store.eval(&self.tree, expr))
+    }
+
+    /// Hit/miss counters of the document's matrix cache.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.store.borrow().stats()
+    }
+
+    /// Drop every cached matrix (e.g. to measure cold evaluation).
+    pub fn clear_cache(&self) {
+        self.store.borrow_mut().clear();
+    }
+
+    /// Answer one compiled query through the document cache.  Equivalent to
+    /// [`PplQuery::answers`], reading as `document.answer(&query)`.
+    pub fn answer(&self, query: &PplQuery) -> Result<AnswerSet, QueryError> {
+        query.answers(self)
+    }
+
+    /// Answer a batch of compiled queries with shared state: every PPLbin
+    /// subterm occurring in the batch is compiled once and reused across
+    /// queries (and across any earlier queries on this document).  Answer
+    /// sets are returned in input order.
+    pub fn answer_batch(&self, queries: &[PplQuery]) -> Result<Vec<AnswerSet>, QueryError> {
+        queries.iter().map(|q| q.answers(self)).collect()
     }
 }
 
@@ -142,5 +205,70 @@ mod tests {
         assert_eq!(d.describe(d.root()), "a#0");
         let c = d.tree().nodes_with_label_str("c")[0];
         assert_eq!(d.describe(c), "c#2");
+    }
+
+    #[test]
+    fn repeated_queries_hit_the_document_cache() {
+        let d = Document::from_terms("bib(book(author,title),book(author,author,title))")
+            .unwrap();
+        let q = PplQuery::compile(
+            "descendant::book[child::author[. is $y] and child::title[. is $z]]",
+            &["y", "z"],
+        )
+        .unwrap();
+        assert_eq!(d.cache_stats().lookups(), 0);
+        let first = d.answer(&q).unwrap();
+        let after_first = d.cache_stats();
+        assert!(after_first.misses > 0, "first run must compile matrices");
+        let second = d.answer(&q).unwrap();
+        let after_second = d.cache_stats();
+        assert_eq!(first, second);
+        assert_eq!(
+            after_second.misses, after_first.misses,
+            "second run must not recompile"
+        );
+        assert!(after_second.hits > after_first.hits);
+        d.clear_cache();
+        assert_eq!(d.cache_stats().lookups(), 0);
+        assert_eq!(d.answer(&q).unwrap(), first);
+    }
+
+    #[test]
+    fn answer_batch_matches_per_query_answers_and_shares_matrices() {
+        let d = Document::from_terms("bib(book(author,title),book(author,author,title))")
+            .unwrap();
+        let queries = [
+            PplQuery::compile("descendant::book[child::author[. is $a]]", &["a"]).unwrap(),
+            PplQuery::compile("descendant::book[child::title[. is $t]]", &["t"]).unwrap(),
+            PplQuery::compile("descendant::book[child::author[. is $a]]", &["a"]).unwrap(),
+        ];
+        let batch = d.answer_batch(&queries).unwrap();
+        assert_eq!(batch.len(), 3);
+        assert_eq!(batch[0], batch[2], "equal queries give equal answers");
+        for (q, got) in queries.iter().zip(&batch) {
+            let fresh = Document::from_tree(d.tree().clone());
+            assert_eq!(q.answers_cold(&fresh).unwrap(), *got);
+        }
+        // `descendant::book` is shared by all three queries; with hash
+        // consing it is compiled exactly once.
+        let stats = d.cache_stats();
+        assert!(stats.hits > 0, "batch must reuse shared subterms: {stats:?}");
+        assert!(d.answer_batch(&[]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn cached_binexpr_evaluation_matches_cold() {
+        use xpath_ast::binexpr::from_variable_free_path;
+        use xpath_ast::parse_path;
+        let d = Document::from_terms("a(b(c),b,c)").unwrap();
+        let bin =
+            from_variable_free_path(&parse_path("descendant::* except child::*").unwrap())
+                .unwrap();
+        let warm = d.eval_binexpr(&bin);
+        assert_eq!(warm, xpath_pplbin::answer_binary(d.tree(), &bin));
+        assert_eq!(d.eval_binexpr(&bin), warm);
+        // Cloning a document clones its cache state.
+        let clone = d.clone();
+        assert_eq!(clone.cache_stats(), d.cache_stats());
     }
 }

@@ -42,7 +42,7 @@ impl Engine {
         match self {
             Engine::Ppl => {
                 let compiled = crate::PplQuery::compile_path(query.clone(), output.to_vec())
-                    .map_err(|e| QueryError::Naive(e.to_string()))?;
+                    .map_err(QueryError::Ppl)?;
                 compiled.answers(doc)
             }
             Engine::NaiveEnumeration => {
@@ -88,5 +88,35 @@ mod tests {
         assert!(Engine::Ppl.answer(&d, &q, &output).is_err());
         let slow = Engine::NaiveEnumeration.answer(&d, &q, &output).unwrap();
         assert_eq!(slow.len(), 2);
+    }
+
+    #[test]
+    fn ppl_fragment_rejection_is_distinguishable_from_evaluation_failure() {
+        // Regression: compile errors used to be folded into
+        // `QueryError::Naive(String)`, so callers could not tell "query is
+        // outside PPL" from "evaluation failed".
+        use crate::query::{CompileError, QueryError};
+        let d = doc();
+        let q = parse_path(
+            "for $x in child::book return child::book[. is $x]/child::title[. is $t]",
+        )
+        .unwrap();
+        let err = Engine::Ppl.answer(&d, &q, &[Var::new("t")]).unwrap_err();
+        match &err {
+            QueryError::Ppl(CompileError::NotPpl(violations)) => {
+                assert!(!violations.is_empty())
+            }
+            other => panic!("expected QueryError::Ppl(NotPpl), got {other:?}"),
+        }
+        assert!(err.to_string().contains("PPL compilation failed"));
+        assert!(err.to_string().contains("N(for)"));
+        // Naive-side failures still map to QueryError::Naive.
+        let unbound = parse_path("child::book[. is $x]").unwrap();
+        let naive_err = Engine::NaiveEnumeration
+            .answer(&d, &unbound, &[Var::new("x"), Var::new("ghost")])
+            .map(|a| a.len());
+        if let Err(e) = naive_err {
+            assert!(matches!(e, QueryError::Naive(_)));
+        }
     }
 }

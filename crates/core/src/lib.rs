@@ -39,6 +39,12 @@
 //!
 //! ## What else is in the box
 //!
+//! * [`Document::answer_batch`] — answer many compiled queries over one
+//!   document with shared compilation state: every document owns a
+//!   [`MatrixStore`] cache (hash-consed PPLbin subterms, memoised
+//!   matrices), so repeated and batched queries skip the `|t|³` matrix
+//!   compilation.  [`Document::cache_stats`] exposes the hit/miss counters;
+//!   `*_cold` methods bypass the cache.
 //! * [`BinaryQuery`] — the variable-free PPLbin engine of Theorem 2
 //!   (binary queries as Boolean matrices).
 //! * [`Engine`] — evaluate the same query with the polynomial PPL engine or
@@ -54,6 +60,7 @@ pub mod query;
 pub use document::Document;
 pub use engine::Engine;
 pub use query::{AnswerSet, BinaryQuery, CompileError, PplQuery, QueryError};
+pub use xpath_pplbin::{CacheStats, MatrixStore};
 
 /// Re-exports of the underlying component crates for advanced users.
 pub mod components {

@@ -7,7 +7,9 @@ use std::fmt;
 use xpath_ast::binexpr::{from_variable_free_path, NotVariableFree};
 use xpath_ast::ppl::PplViolation;
 use xpath_ast::{parse_path, BinExpr, ParseError, PathExpr, Var};
-use xpath_hcl::{answer_hcl_pplbin, ppl_to_hcl, Hcl, HclError, TranslateError};
+use xpath_hcl::{
+    answer_hcl_pplbin, answer_hcl_pplbin_with_store, ppl_to_hcl, Hcl, HclError, TranslateError,
+};
 use xpath_pplbin::NodeMatrix;
 use xpath_tree::NodeId;
 
@@ -58,6 +60,9 @@ impl From<TranslateError> for CompileError {
 /// Errors raised while answering a compiled query.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum QueryError {
+    /// The PPL engine rejected the expression at compile time (parse error
+    /// or a Definition 1 fragment violation) — the query never ran.
+    Ppl(CompileError),
     /// The HCL engine rejected the expression (cannot happen for queries
     /// compiled through [`PplQuery::compile`], which enforce NVS(/)).
     Hcl(HclError),
@@ -69,6 +74,7 @@ pub enum QueryError {
 impl fmt::Display for QueryError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
+            QueryError::Ppl(e) => write!(f, "PPL compilation failed: {e}"),
             QueryError::Hcl(e) => write!(f, "{e}"),
             QueryError::Naive(e) => write!(f, "naive evaluation failed: {e}"),
         }
@@ -76,6 +82,12 @@ impl fmt::Display for QueryError {
 }
 
 impl std::error::Error for QueryError {}
+
+impl From<CompileError> for QueryError {
+    fn from(e: CompileError) -> QueryError {
+        QueryError::Ppl(e)
+    }
+}
 
 /// The answer set of an n-ary query: sorted, duplicate-free tuples of nodes.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -188,17 +200,40 @@ impl PplQuery {
 
     /// Answer the query on a document with the polynomial-time engine
     /// (Fig. 8 over PPLbin atoms).
+    ///
+    /// Atom matrices are compiled through the document's [`MatrixStore`]
+    /// cache (`Document::cache_stats` exposes the counters): answering the
+    /// same query — or any query sharing PPLbin subterms — again on the same
+    /// document skips the `|t|³` compilation.  Use
+    /// [`PplQuery::answers_cold`] to bypass the cache.
+    ///
+    /// [`MatrixStore`]: xpath_pplbin::MatrixStore
     pub fn answers(&self, doc: &Document) -> Result<AnswerSet, QueryError> {
+        let tuples = doc
+            .with_store(|store| {
+                answer_hcl_pplbin_with_store(doc.tree(), &self.hcl, &self.output, store)
+            })
+            .map_err(QueryError::Hcl)?;
+        Ok(AnswerSet::new(self.output.clone(), tuples))
+    }
+
+    /// Answer the query without touching the document's matrix cache: every
+    /// atom is recompiled from scratch.  This is the pre-cache behaviour,
+    /// kept for differential tests and for the cold side of the benchmark
+    /// harness.
+    pub fn answers_cold(&self, doc: &Document) -> Result<AnswerSet, QueryError> {
         let tuples =
             answer_hcl_pplbin(doc.tree(), &self.hcl, &self.output).map_err(QueryError::Hcl)?;
         Ok(AnswerSet::new(self.output.clone(), tuples))
     }
 
     /// Answer the query as a Boolean query: is the answer set non-empty for
-    /// some assignment?  (Arity-0 special case of [`PplQuery::answers`].)
+    /// some assignment?  (Arity-0 special case of [`PplQuery::answers`];
+    /// cached like it.)
     pub fn is_satisfiable(&self, doc: &Document) -> Result<bool, QueryError> {
-        let tuples =
-            answer_hcl_pplbin(doc.tree(), &self.hcl, &[]).map_err(QueryError::Hcl)?;
+        let tuples = doc
+            .with_store(|store| answer_hcl_pplbin_with_store(doc.tree(), &self.hcl, &[], store))
+            .map_err(QueryError::Hcl)?;
         Ok(!tuples.is_empty())
     }
 
@@ -258,8 +293,14 @@ impl BinaryQuery {
         &self.bin
     }
 
-    /// Answer the binary query as a Boolean node×node matrix (Theorem 2).
+    /// Answer the binary query as a Boolean node×node matrix (Theorem 2),
+    /// through the document's matrix cache.
     pub fn matrix(&self, doc: &Document) -> NodeMatrix {
+        doc.eval_binexpr(&self.bin)
+    }
+
+    /// Answer the binary query recompiling every subterm (cache bypassed).
+    pub fn matrix_cold(&self, doc: &Document) -> NodeMatrix {
         xpath_pplbin::answer_binary(doc.tree(), &self.bin)
     }
 

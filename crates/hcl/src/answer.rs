@@ -24,6 +24,7 @@ use std::collections::{BTreeSet, HashSet};
 use std::fmt;
 use std::rc::Rc;
 use xpath_ast::{BinExpr, Var};
+use xpath_pplbin::MatrixStore;
 use xpath_tree::{NodeId, Tree};
 
 /// An answer tuple: one node per output variable, in the order of the output
@@ -70,6 +71,22 @@ pub fn answer_hcl_pplbin(
     output: &[Var],
 ) -> Result<BTreeSet<Tuple>, HclError> {
     answer_hcl(tree, hcl, output, PplBinAtoms::compile)
+}
+
+/// Answer an `HCL⁻(PPLbin)` query with atoms compiled through a
+/// [`MatrixStore`], so step matrices, hash-consed subterms and successor
+/// lists shared with earlier queries over the same tree are reused instead
+/// of recompiled.  This is the cached entry point used by
+/// `ppl_xpath::Document` for repeated and batched query workloads.
+pub fn answer_hcl_pplbin_with_store(
+    tree: &Tree,
+    hcl: &Hcl<BinExpr>,
+    output: &[Var],
+    store: &mut MatrixStore,
+) -> Result<BTreeSet<Tuple>, HclError> {
+    answer_hcl(tree, hcl, output, |t: &Tree, atoms: &[BinExpr]| {
+        PplBinAtoms::compile_with_store(t, atoms, store)
+    })
 }
 
 /// Answer an `HCL⁻(L)` query with a caller-provided atom compiler.
@@ -410,5 +427,26 @@ mod tests {
         let ans = answer_hcl_pplbin(&tree, &hcl, &[v("y")]).unwrap();
         assert_eq!(ans.len(), 2);
         assert!(ans.iter().all(|t| tree.label_str(t[0]) == "title"));
+    }
+
+    #[test]
+    fn store_backed_answering_matches_cold_answering() {
+        let tree = bib();
+        let hcl = Hcl::Atom(bin("descendant::book"))
+            .then(Hcl::Filter(Box::new(
+                Hcl::Atom(bin("child::author")).then(Hcl::Var(v("x"))),
+            )))
+            .then(Hcl::Atom(bin("child::title")))
+            .then(Hcl::Var(v("y")));
+        let output = [v("x"), v("y")];
+        let cold = answer_hcl_pplbin(&tree, &hcl, &output).unwrap();
+        let mut store = MatrixStore::new(tree.len());
+        let warm = answer_hcl_pplbin_with_store(&tree, &hcl, &output, &mut store).unwrap();
+        assert_eq!(warm, cold);
+        // A second pass over the same store compiles nothing new.
+        let misses = store.stats().misses;
+        let again = answer_hcl_pplbin_with_store(&tree, &hcl, &output, &mut store).unwrap();
+        assert_eq!(again, cold);
+        assert_eq!(store.stats().misses, misses);
     }
 }

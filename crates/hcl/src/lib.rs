@@ -48,7 +48,7 @@ pub mod oracle;
 pub mod share;
 pub mod translate;
 
-pub use answer::{answer_hcl, answer_hcl_pplbin, HclError};
+pub use answer::{answer_hcl, answer_hcl_pplbin, answer_hcl_pplbin_with_store, HclError};
 pub use lang::Hcl;
 pub use oracle::{AtomId, AxisAtoms, CompiledAtoms, PplBinAtoms};
 pub use share::{EquationSystem, ShareId};

@@ -17,8 +17,9 @@
 use crate::lang::Hcl;
 use std::collections::HashMap;
 use std::hash::Hash;
+use std::rc::Rc;
 use xpath_ast::{BinExpr, NameTest};
-use xpath_pplbin::answer_binary;
+use xpath_pplbin::{answer_binary, MatrixStore};
 use xpath_tree::{Axis, NodeId, Tree};
 
 /// Identifier of an interned atom inside a [`CompiledAtoms`] table.
@@ -33,10 +34,14 @@ impl AtomId {
 }
 
 /// Precompiled successor lists for a set of binary queries over one tree.
+///
+/// Per-atom lists are held behind `Rc` so a cache (the `MatrixStore` of a
+/// `Document`) can hand out the same compiled lists to many queries without
+/// copying them.
 #[derive(Debug, Clone)]
 pub struct CompiledAtoms {
     /// `succ[atom][node]` — sorted successors of `node` under `atom`.
-    succ: Vec<Vec<Vec<NodeId>>>,
+    succ: Vec<Rc<Vec<Vec<NodeId>>>>,
     domain: usize,
 }
 
@@ -53,9 +58,20 @@ impl CompiledAtoms {
                 l.sort_unstable();
                 l.dedup();
             }
-            succ.push(lists);
+            succ.push(Rc::new(lists));
         }
         CompiledAtoms { succ, domain }
+    }
+
+    /// Build a table from already-shared per-atom successor lists (each
+    /// `lists[atom][node]` sorted in document order), e.g. straight out of a
+    /// [`MatrixStore`].
+    pub fn from_successor_lists(
+        domain: usize,
+        atoms: Vec<Rc<Vec<Vec<NodeId>>>>,
+    ) -> CompiledAtoms {
+        debug_assert!(atoms.iter().all(|per_node| per_node.len() == domain));
+        CompiledAtoms { succ: atoms, domain }
     }
 
     /// Number of nodes of the underlying tree.
@@ -116,6 +132,21 @@ impl PplBinAtoms {
             .map(|b| answer_binary(tree, b).pairs())
             .collect();
         CompiledAtoms::from_pairs(tree.len(), pair_lists)
+    }
+
+    /// Compile each PPLbin atom through a [`MatrixStore`]: subterms already
+    /// compiled by earlier queries over the same tree are reused, and the
+    /// successor lists themselves are shared with the store via `Rc`.
+    pub fn compile_with_store(
+        tree: &Tree,
+        atoms: &[BinExpr],
+        store: &mut MatrixStore,
+    ) -> CompiledAtoms {
+        let lists: Vec<Rc<Vec<Vec<NodeId>>>> = atoms
+            .iter()
+            .map(|b| store.successor_lists(tree, b))
+            .collect();
+        CompiledAtoms::from_successor_lists(tree.len(), lists)
     }
 }
 
@@ -206,6 +237,32 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn compile_with_store_matches_cold_compile_and_shares_lists() {
+        let t = tree();
+        let child = from_variable_free_path(&parse_path("child::*").unwrap()).unwrap();
+        let desc_d = from_variable_free_path(&parse_path("descendant::d").unwrap()).unwrap();
+        let atoms = [child, desc_d];
+        let cold = PplBinAtoms::compile(&t, &atoms);
+        let mut store = MatrixStore::new(t.len());
+        let warm = PplBinAtoms::compile_with_store(&t, &atoms, &mut store);
+        for i in 0..atoms.len() {
+            for u in t.nodes() {
+                assert_eq!(
+                    warm.successors(AtomId(i as u32), u),
+                    cold.successors(AtomId(i as u32), u)
+                );
+            }
+        }
+        assert_eq!(warm.pair_count(), cold.pair_count());
+        // Recompiling through the same store is pure cache traffic.
+        let before = store.stats();
+        let again = PplBinAtoms::compile_with_store(&t, &atoms, &mut store);
+        assert_eq!(again.pair_count(), cold.pair_count());
+        assert_eq!(store.stats().misses, before.misses);
+        assert!(store.stats().hits > before.hits);
     }
 
     #[test]

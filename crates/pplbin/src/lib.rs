@@ -26,12 +26,17 @@
 //! * [`corexpath1`] — the *linear-time* set-based evaluator of
 //!   Gottlob–Koch–Pichler for the `except`-free fragment (Core XPath 1.0),
 //!   used as a baseline and for the linear-time unary queries recalled in
-//!   Section 4.
+//!   Section 4;
+//! * [`store`] — [`store::MatrixStore`], a per-document cache that
+//!   hash-conses PPLbin subterms and memoises their compiled matrices, so a
+//!   workload of queries over one tree pays each `|t|³` product once.
 
 pub mod corexpath1;
 pub mod eval;
 pub mod matrix;
+pub mod store;
 
 pub use corexpath1::{has_successor_set, succ_set, unary_from_root, NotCoreXPath1};
 pub use eval::{answer_binary, eval_binexpr, step_matrix};
 pub use matrix::NodeMatrix;
+pub use store::{CacheStats, ExprId, MatrixStore};

@@ -1,0 +1,344 @@
+//! Amortized matrix compilation: a per-document cache of compiled PPLbin
+//! matrices.
+//!
+//! Theorem 1's bound `O(|P|·|t|³ + n·|P|·|t|²·|A|)` is dominated by the
+//! `|t|³` matrix compilation of the PPLbin atoms, yet that work depends only
+//! on the *(tree, expression)* pair — never on the query's variables or
+//! output.  A [`MatrixStore`] therefore memoises every compiled subterm so a
+//! workload of many queries over one document pays each `|t|³` product once:
+//!
+//! * **steps** — the `M_{A::N}` matrices of `step_matrix` are keyed by
+//!   `(Axis, NameTest)`;
+//! * **composite subterms** — `Seq`/`Union`/`Except`/`Test` nodes are
+//!   *hash-consed*: structurally equal subterms (even across different
+//!   queries) intern to the same [`ExprId`] in amortised `O(1)` per AST
+//!   node, and each id's matrix is computed at most once;
+//! * **successor lists** — the Prop. 10 oracle representation
+//!   (`u ↦ {u' | (u,u') ∈ q_b(t)}`) derived from a matrix is cached per
+//!   [`ExprId`] behind an `Rc`, so repeated HCL⁻ answering over the same
+//!   atoms shares one allocation.
+//!
+//! The store is deliberately tree-agnostic in its API (the caller passes the
+//! `&Tree` on every evaluation) but domain-checked: it is created for a
+//! fixed node count and will panic if used with a tree of a different size.
+//! `ppl_xpath::Document` owns one store behind interior mutability and
+//! threads it through every cached entry point.
+
+use crate::eval::step_matrix;
+use crate::matrix::NodeMatrix;
+use std::collections::HashMap;
+use std::rc::Rc;
+use xpath_ast::{BinExpr, NameTest};
+use xpath_tree::{Axis, NodeId, Tree};
+
+/// Identifier of a hash-consed PPLbin subterm inside a [`MatrixStore`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ExprId(u32);
+
+impl ExprId {
+    /// Dense index of the subterm.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// One hash-consing node: a [`BinExpr`] constructor with interned children.
+///
+/// Because children are `ExprId`s rather than boxed subtrees, hashing a
+/// shape is `O(1)` (plus the name-test string for steps), which is what
+/// makes interning a whole expression linear in its size.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum Shape {
+    Step(Axis, NameTest),
+    Seq(ExprId, ExprId),
+    Union(ExprId, ExprId),
+    Except(ExprId),
+    Test(ExprId),
+}
+
+/// Cache-effectiveness counters of a [`MatrixStore`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Subterm evaluations answered from the cache.
+    pub hits: u64,
+    /// Subterm evaluations that had to compile a matrix.
+    pub misses: u64,
+    /// Distinct subterms interned so far.
+    pub interned: usize,
+    /// Subterms whose matrix has been compiled and retained.
+    pub compiled: usize,
+}
+
+impl CacheStats {
+    /// Total lookups (`hits + misses`).
+    pub fn lookups(&self) -> u64 {
+        self.hits + self.misses
+    }
+}
+
+/// A memoising compiler of PPLbin expressions over one fixed document tree.
+#[derive(Debug, Clone, Default)]
+pub struct MatrixStore {
+    domain: usize,
+    /// Hash-consing table: shape → id.
+    ids: HashMap<Shape, ExprId>,
+    /// Shape of each interned id (indexed by `ExprId::index`).
+    shapes: Vec<Shape>,
+    /// Compiled matrix of each interned id, if computed already.
+    matrices: Vec<Option<NodeMatrix>>,
+    /// Cached Prop. 10 successor lists, shared with callers via `Rc`.
+    successors: HashMap<ExprId, Rc<Vec<Vec<NodeId>>>>,
+    hits: u64,
+    misses: u64,
+}
+
+impl MatrixStore {
+    /// An empty store for trees with `domain` nodes.
+    pub fn new(domain: usize) -> MatrixStore {
+        MatrixStore {
+            domain,
+            ..MatrixStore::default()
+        }
+    }
+
+    /// The node count the store was created for.
+    pub fn domain(&self) -> usize {
+        self.domain
+    }
+
+    /// Current cache counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits,
+            misses: self.misses,
+            interned: self.shapes.len(),
+            compiled: self.matrices.iter().filter(|m| m.is_some()).count(),
+        }
+    }
+
+    /// Drop every cached matrix and counter (the hash-consing table is
+    /// cleared too).
+    pub fn clear(&mut self) {
+        self.ids.clear();
+        self.shapes.clear();
+        self.matrices.clear();
+        self.successors.clear();
+        self.hits = 0;
+        self.misses = 0;
+    }
+
+    fn check_tree(&self, tree: &Tree) {
+        assert_eq!(
+            tree.len(),
+            self.domain,
+            "MatrixStore was created for {}-node trees, got {} nodes",
+            self.domain,
+            tree.len()
+        );
+    }
+
+    /// Hash-cons an expression: structurally equal subterms map to the same
+    /// id. Linear in the expression size.
+    pub fn intern(&mut self, expr: &BinExpr) -> ExprId {
+        let shape = match expr {
+            BinExpr::Step(axis, test) => Shape::Step(*axis, test.clone()),
+            BinExpr::Seq(a, b) => {
+                let (a, b) = (self.intern(a), self.intern(b));
+                Shape::Seq(a, b)
+            }
+            BinExpr::Union(a, b) => {
+                let (a, b) = (self.intern(a), self.intern(b));
+                Shape::Union(a, b)
+            }
+            BinExpr::Except(p) => Shape::Except(self.intern(p)),
+            BinExpr::Test(p) => Shape::Test(self.intern(p)),
+        };
+        if let Some(&id) = self.ids.get(&shape) {
+            return id;
+        }
+        let id = ExprId(self.shapes.len() as u32);
+        self.ids.insert(shape.clone(), id);
+        self.shapes.push(shape);
+        self.matrices.push(None);
+        id
+    }
+
+    /// Make sure the matrix of `id` is compiled, reusing every already
+    /// compiled child.
+    fn ensure(&mut self, tree: &Tree, id: ExprId) {
+        if self.matrices[id.index()].is_some() {
+            self.hits += 1;
+            return;
+        }
+        self.misses += 1;
+        let shape = self.shapes[id.index()].clone();
+        let m = match shape {
+            Shape::Step(axis, test) => step_matrix(tree, axis, &test),
+            Shape::Seq(a, b) => {
+                self.ensure(tree, a);
+                self.ensure(tree, b);
+                let ma = self.matrices[a.index()].as_ref().expect("ensured");
+                let mb = self.matrices[b.index()].as_ref().expect("ensured");
+                ma.product(mb)
+            }
+            Shape::Union(a, b) => {
+                self.ensure(tree, a);
+                self.ensure(tree, b);
+                let mut m = self.matrices[a.index()].clone().expect("ensured");
+                m.union_with(self.matrices[b.index()].as_ref().expect("ensured"));
+                m
+            }
+            Shape::Except(p) => {
+                self.ensure(tree, p);
+                let mut m = self.matrices[p.index()].clone().expect("ensured");
+                m.complement();
+                m
+            }
+            Shape::Test(p) => {
+                self.ensure(tree, p);
+                self.matrices[p.index()]
+                    .as_ref()
+                    .expect("ensured")
+                    .diagonal_filter()
+            }
+        };
+        self.matrices[id.index()] = Some(m);
+    }
+
+    /// Evaluate a PPLbin expression through the cache: equal subterms (from
+    /// this or any earlier call) are compiled exactly once.
+    pub fn eval(&mut self, tree: &Tree, expr: &BinExpr) -> NodeMatrix {
+        self.check_tree(tree);
+        let id = self.intern(expr);
+        self.ensure(tree, id);
+        self.matrices[id.index()].clone().expect("ensured")
+    }
+
+    /// The Prop. 10 oracle lists for `expr`: `lists[u] = {u' | (u,u') ∈
+    /// q_expr(t)}` in document order, shared behind an `Rc` so repeated
+    /// callers pay one pointer clone.
+    pub fn successor_lists(&mut self, tree: &Tree, expr: &BinExpr) -> Rc<Vec<Vec<NodeId>>> {
+        self.check_tree(tree);
+        let id = self.intern(expr);
+        self.ensure(tree, id);
+        if let Some(lists) = self.successors.get(&id) {
+            return Rc::clone(lists);
+        }
+        let m = self.matrices[id.index()].as_ref().expect("ensured");
+        let lists: Vec<Vec<NodeId>> = (0..self.domain)
+            .map(|u| m.successors(NodeId(u as u32)).collect())
+            .collect();
+        let rc = Rc::new(lists);
+        self.successors.insert(id, Rc::clone(&rc));
+        rc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::answer_binary;
+    use xpath_ast::binexpr::from_variable_free_path;
+    use xpath_ast::parse_path;
+
+    fn tree() -> Tree {
+        Tree::from_terms("bib(book(author,title),book(author,author,title),paper(title))")
+            .unwrap()
+    }
+
+    fn bin(src: &str) -> BinExpr {
+        from_variable_free_path(&parse_path(src).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn cached_evaluation_matches_cold_evaluation() {
+        let t = tree();
+        let mut store = MatrixStore::new(t.len());
+        for src in [
+            "child::book/child::author",
+            "descendant::* except child::*",
+            "child::book[child::author]/child::title",
+            "(child::book union child::paper)/child::title",
+            "child::book/child::author", // repeated on purpose
+        ] {
+            let b = bin(src);
+            assert_eq!(store.eval(&t, &b), answer_binary(&t, &b), "{src}");
+        }
+    }
+
+    #[test]
+    fn repeated_evaluation_hits_the_cache() {
+        let t = tree();
+        let mut store = MatrixStore::new(t.len());
+        let b = bin("child::book/child::author");
+        store.eval(&t, &b);
+        let first = store.stats();
+        assert_eq!(first.hits, 0);
+        assert_eq!(first.misses, 3); // two steps + the composition
+        store.eval(&t, &b);
+        let second = store.stats();
+        assert_eq!(second.misses, first.misses, "no recompilation");
+        assert!(second.hits > first.hits);
+        assert_eq!(second.lookups(), 4);
+    }
+
+    #[test]
+    fn shared_subterms_are_hash_consed_across_queries() {
+        let t = tree();
+        let mut store = MatrixStore::new(t.len());
+        store.eval(&t, &bin("child::book/child::author"));
+        let before = store.stats();
+        // A different query sharing the `child::book` step: only the new
+        // step and the new composition are compiled.
+        store.eval(&t, &bin("child::book/child::title"));
+        let after = store.stats();
+        assert_eq!(after.misses, before.misses + 2);
+        assert!(after.hits > before.hits, "child::book must be reused");
+        assert_eq!(after.interned, before.interned + 2);
+    }
+
+    #[test]
+    fn interning_is_structural() {
+        let mut store = MatrixStore::new(1);
+        let a = store.intern(&bin("child::a/child::b"));
+        let b = store.intern(&bin("child::a/child::b"));
+        let c = store.intern(&bin("child::b/child::a"));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a.index(), store.intern(&bin("child::a/child::b")).index());
+    }
+
+    #[test]
+    fn successor_lists_match_matrix_rows_and_are_shared() {
+        let t = tree();
+        let mut store = MatrixStore::new(t.len());
+        let b = bin("descendant::title");
+        let lists = store.successor_lists(&t, &b);
+        let m = answer_binary(&t, &b);
+        for u in t.nodes() {
+            let expected: Vec<NodeId> = m.successors(u).collect();
+            assert_eq!(lists[u.index()], expected);
+        }
+        let again = store.successor_lists(&t, &b);
+        assert!(Rc::ptr_eq(&lists, &again), "lists must be shared, not rebuilt");
+    }
+
+    #[test]
+    fn clear_resets_counters_and_entries() {
+        let t = tree();
+        let mut store = MatrixStore::new(t.len());
+        store.eval(&t, &bin("child::*"));
+        assert!(store.stats().compiled > 0);
+        store.clear();
+        assert_eq!(store.stats(), CacheStats::default());
+        assert_eq!(store.domain(), t.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "MatrixStore was created for")]
+    fn domain_mismatch_is_rejected() {
+        let t = tree();
+        let mut store = MatrixStore::new(t.len() + 1);
+        store.eval(&t, &bin("child::*"));
+    }
+}

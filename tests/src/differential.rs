@@ -26,7 +26,7 @@
 //! runs; the panic message carries the term-syntax tree and the printed
 //! query for one-line reproduction.
 
-use ppl_xpath::{Document, Engine};
+use ppl_xpath::{Document, Engine, PplQuery};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::BTreeSet;
@@ -446,6 +446,20 @@ pub fn check_case(tree: &Tree, query: &PathExpr, outputs: &[Var]) -> (usize, boo
         ctx("differential")
     );
 
+    // 2b. The batched API over the now-warm document cache: the answer must
+    //     come out of cached matrices tuple-for-tuple identical.
+    let compiled = PplQuery::compile_path(query.clone(), outputs.to_vec())
+        .unwrap_or_else(|e| panic!("{e}\n{}", ctx("PplQuery::compile_path")));
+    let batch = doc
+        .answer_batch(std::slice::from_ref(&compiled))
+        .unwrap_or_else(|e| panic!("{e}\n{}", ctx("Document::answer_batch")));
+    assert_eq!(
+        answer_tuples(&batch[0]),
+        naive,
+        "answer_batch (cached matrices) disagrees with the naive engine\n{}",
+        ctx("differential")
+    );
+
     // 3. The Fig. 8 algorithm on the HCL⁻ image, bypassing the facade.
     let hcl = ppl_to_hcl(query).unwrap_or_else(|e| panic!("{e}\n{}", ctx("ppl_to_hcl")));
     let via_hcl = answer_hcl_pplbin(tree, &hcl, outputs)
@@ -552,6 +566,89 @@ pub fn run_ppl_fuzz(cfg: &FuzzConfig) -> FuzzReport {
             report.acq_checked += 1;
         }
         report.max_arity = report.max_arity.max(arity);
+    }
+    report
+}
+
+/// Statistics of one batched-API fuzz run.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct BatchFuzzReport {
+    /// Trees checked (one batch per tree).
+    pub trees: usize,
+    /// Queries answered across all batches.
+    pub queries: usize,
+    /// Total answer tuples across all batches.
+    pub total_tuples: usize,
+    /// Trees whose batch hit the document cache at least once (shared
+    /// subterms or repeated queries).
+    pub cache_hits_seen: usize,
+}
+
+/// Fuzz the batched query API: for each random tree, generate a set of
+/// random PPL queries, answer the whole set at once with
+/// [`Document::answer_batch`] (shared matrix cache) and check every answer
+/// against the per-query paths — a cold-cache [`PplQuery::answers_cold`] run
+/// and the naive specification engine.
+pub fn run_batch_fuzz(cfg: &FuzzConfig, queries_per_tree: usize) -> BatchFuzzReport {
+    assert!(queries_per_tree >= 1);
+    let mut gen = QueryGen::new(cfg.seed ^ 0xBA7C4, cfg.alphabet);
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0xBA7C5);
+    let mut report = BatchFuzzReport::default();
+
+    for _ in 0..cfg.cases {
+        let tree = gen.gen_tree(cfg.max_tree_size);
+        let doc = Document::from_tree(tree.clone());
+        let mut compiled: Vec<PplQuery> = Vec::with_capacity(queries_per_tree);
+        let mut expected: Vec<BTreeSet<Vec<NodeId>>> = Vec::with_capacity(queries_per_tree);
+        for _ in 0..queries_per_tree {
+            let arity = rng.gen_range(0..=cfg.max_vars.min(2));
+            let (query, outputs) = gen.gen_query(arity);
+            let naive = answer_nary(&tree, &query, &outputs).unwrap_or_else(|e| {
+                panic!("naive failed: {e}\n  query: {query}\n  tree: {}", tree.to_terms())
+            });
+            expected.push(naive);
+            compiled.push(
+                PplQuery::compile_path(query.clone(), outputs).unwrap_or_else(|e| {
+                    panic!("compile failed: {e}\n  query: {query}\n  tree: {}", tree.to_terms())
+                }),
+            );
+        }
+
+        let batch = doc
+            .answer_batch(&compiled)
+            .unwrap_or_else(|e| panic!("answer_batch failed: {e}\n  tree: {}", tree.to_terms()));
+        assert_eq!(batch.len(), compiled.len());
+        for (i, (answer, naive)) in batch.iter().zip(&expected).enumerate() {
+            let ctx = || {
+                format!(
+                    "  query : {}\n  tree  : {}",
+                    compiled[i].source(),
+                    tree.to_terms()
+                )
+            };
+            assert_eq!(
+                &answer_tuples(answer),
+                naive,
+                "answer_batch[{i}] disagrees with the naive engine\n{}",
+                ctx()
+            );
+            // Per-query cold answering on a fresh document must agree too.
+            let cold_doc = Document::from_tree(tree.clone());
+            let cold = compiled[i]
+                .answers_cold(&cold_doc)
+                .unwrap_or_else(|e| panic!("answers_cold failed: {e}\n{}", ctx()));
+            assert_eq!(
+                cold, batch[i],
+                "answer_batch[{i}] disagrees with cold per-query answering\n{}",
+                ctx()
+            );
+            report.total_tuples += answer.len();
+        }
+        report.trees += 1;
+        report.queries += compiled.len();
+        if doc.cache_stats().hits > 0 {
+            report.cache_hits_seen += 1;
+        }
     }
     report
 }

@@ -1,0 +1,69 @@
+//! Property tests (proptest shim) for the document-level matrix cache.
+//!
+//! For random trees and random PPL queries:
+//!
+//! * cached-store evaluation agrees tuple-for-tuple with cold evaluation,
+//! * a second run through the same `Document` is answered from the cache
+//!   (hit counter grows, miss counter does not),
+//! * cached PPLbin binary evaluation agrees with the cold matrix engine.
+
+use ppl_xpath::{Document, PplQuery};
+use proptest::prelude::*;
+use xpath_ast::binexpr::from_variable_free_path;
+use xpath_pplbin::answer_binary;
+use xpath_tests::differential::QueryGen;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn cached_nary_answers_agree_with_cold_and_second_run_hits(
+        seed in 0u64..1_000_000,
+        arity in 0usize..3,
+        max_size in 2usize..12,
+    ) {
+        let mut gen = QueryGen::new(seed, 3);
+        let tree = gen.gen_tree(max_size);
+        let (query, outputs) = gen.gen_query(arity);
+        let doc = Document::from_tree(tree);
+        let compiled = PplQuery::compile_path(query, outputs).unwrap();
+
+        let cold = compiled.answers_cold(&doc).unwrap();
+        prop_assert_eq!(doc.cache_stats().lookups(), 0, "cold path must not touch the cache");
+
+        let warm = compiled.answers(&doc).unwrap();
+        prop_assert_eq!(&warm, &cold, "cached evaluation differs from cold evaluation");
+
+        let after_first = doc.cache_stats();
+        let again = compiled.answers(&doc).unwrap();
+        prop_assert_eq!(&again, &cold, "second cached run differs");
+        let after_second = doc.cache_stats();
+        prop_assert_eq!(
+            after_second.misses, after_first.misses,
+            "second run recompiled a matrix"
+        );
+        if !compiled.hcl().atoms().is_empty() {
+            prop_assert!(
+                after_second.hits > after_first.hits,
+                "second run did not hit the cache: {:?} -> {:?}",
+                after_first, after_second
+            );
+        }
+    }
+
+    #[test]
+    fn cached_binary_matrices_agree_with_cold_engine(
+        seed in 0u64..1_000_000,
+        max_size in 1usize..14,
+    ) {
+        let mut gen = QueryGen::new(seed ^ 0xB1A5, 3);
+        let tree = gen.gen_tree(max_size);
+        let path = gen.gen_varfree_path(3);
+        let bin = from_variable_free_path(&path).unwrap();
+        let doc = Document::from_tree(tree);
+        let warm = doc.eval_binexpr(&bin);
+        prop_assert_eq!(&warm, &answer_binary(doc.tree(), &bin));
+        // Determinism: asking again returns the identical matrix.
+        prop_assert_eq!(&doc.eval_binexpr(&bin), &warm);
+    }
+}

@@ -6,7 +6,7 @@
 //! tuple-for-tuple. A second suite checks the Lemma 1 FO round trip. All
 //! seeds are fixed, so failures reproduce deterministically.
 
-use xpath_tests::differential::{run_fo_fuzz, run_ppl_fuzz, FuzzConfig};
+use xpath_tests::differential::{run_batch_fuzz, run_fo_fuzz, run_ppl_fuzz, FuzzConfig};
 
 #[test]
 fn fuzz_all_engines_agree_on_200_random_cases() {
@@ -60,6 +60,30 @@ fn fuzz_wide_alphabet_stresses_selective_queries() {
         max_vars: 2,
     });
     assert_eq!(report.cases, 60);
+}
+
+#[test]
+fn fuzz_batch_api_agrees_with_cold_and_naive_answers() {
+    // 40 random trees × 4 random queries each: the whole set is answered in
+    // one `Document::answer_batch` call over a shared matrix cache, and each
+    // answer is checked against a cold per-query run and the naive engine.
+    let report = run_batch_fuzz(
+        &FuzzConfig {
+            seed: 0xBA7C_F00D,
+            cases: 40,
+            max_tree_size: 10,
+            alphabet: 3,
+            max_vars: 2,
+        },
+        4,
+    );
+    assert_eq!(report.trees, 40);
+    assert_eq!(report.queries, 160);
+    assert!(report.total_tuples > 100, "batches vacuously empty: {report:?}");
+    assert!(
+        report.cache_hits_seen > 30,
+        "batches almost never shared matrices: {report:?}"
+    );
 }
 
 #[test]
