@@ -10,9 +10,11 @@
 //! ## Regression-harness modes
 //!
 //! * `--bench [--smoke] [--out <path>]` — run the E10 repeated-query sweep
-//!   (tree size × engine over a shared workload, see EXPERIMENTS.md) and
-//!   write the result as `BENCH_*.json`-schema JSON to `<path>` (default
-//!   `BENCH_2.json`).  `--smoke` shrinks every dimension for CI.
+//!   *and* the E11 kernel ablation (dense vs adaptive vs adaptive+threads
+//!   relation kernels over the axis-heavy suite, trees up to 960 nodes; see
+//!   EXPERIMENTS.md) and write the result as `BENCH_*.json`-schema JSON to
+//!   `<path>` (default `BENCH_3.json`).  `--smoke` shrinks every dimension
+//!   for CI.
 //! * `--check <path>` — parse an emitted JSON file and validate the schema
 //!   (exit non-zero on any missing key), so CI notices when the harness or
 //!   the trajectory file rots.
@@ -107,12 +109,18 @@ fn run_harness_mode(args: &[String]) -> i32 {
     }
 
     if bench {
-        let cfg = if smoke {
-            xpath_bench::RegressConfig::smoke()
+        let (cfg, kernels) = if smoke {
+            (
+                xpath_bench::RegressConfig::smoke(),
+                xpath_bench::regress::KernelConfig::smoke(),
+            )
         } else {
-            xpath_bench::RegressConfig::full()
+            (
+                xpath_bench::RegressConfig::full(),
+                xpath_bench::regress::KernelConfig::full(),
+            )
         };
-        let path = out.unwrap_or_else(|| "BENCH_2.json".to_string());
+        let path = out.unwrap_or_else(|| "BENCH_3.json".to_string());
         eprintln!(
             "running repeated-query regression sweep ({} mode): trees {:?}, {} queries x{} repeats, {} runs/cell",
             if smoke { "smoke" } else { "full" },
@@ -121,19 +129,35 @@ fn run_harness_mode(args: &[String]) -> i32 {
             cfg.repeats,
             cfg.runs,
         );
-        let doc = xpath_bench::run_regression(&cfg);
+        eprintln!(
+            "running kernel ablation (E11): trees {:?}, {} axis-heavy queries, {} runs/cell",
+            kernels.tree_sizes,
+            xpath_bench::regress::axis_suite().len(),
+            kernels.runs,
+        );
+        let doc = xpath_bench::regress::run_regression_with_kernels(&cfg, &kernels);
         let text = doc.render();
         if let Err(e) = std::fs::write(&path, &text) {
             eprintln!("cannot write {path}: {e}");
             return 1;
         }
         if let Some(summary) = doc.get("summary") {
+            let f = |key| summary.get(key).and_then(xpath_bench::Json::as_f64).unwrap_or(0.0);
             eprintln!(
                 "wrote {path}: cold {} us vs cached {} us at |t|={} (speedup x{})",
-                summary.get("cold_median_us").and_then(xpath_bench::Json::as_f64).unwrap_or(0.0),
-                summary.get("cached_median_us").and_then(xpath_bench::Json::as_f64).unwrap_or(0.0),
-                summary.get("largest_tree_size").and_then(xpath_bench::Json::as_f64).unwrap_or(0.0),
-                summary.get("cached_speedup").and_then(xpath_bench::Json::as_f64).unwrap_or(0.0),
+                f("cold_median_us"),
+                f("cached_median_us"),
+                f("largest_tree_size"),
+                f("cached_speedup"),
+            );
+            eprintln!(
+                "kernels at |t|={}: dense {} us, adaptive {} us (x{}), adaptive+threads {} us (x{})",
+                f("kernel_largest_tree_size"),
+                f("kernel_dense_median_us"),
+                f("kernel_adaptive_median_us"),
+                f("adaptive_speedup"),
+                f("kernel_adaptive_threaded_median_us"),
+                f("adaptive_threaded_speedup"),
             );
         }
     }
@@ -186,7 +210,7 @@ fn e1_pplbin_tree_scaling() {
         println!("{:>8} | {} | {:>8} | {:>10}", size, fmt_us(t), growth, pairs);
         prev = Some(t);
     }
-    println!("(expected: growth factor approaches ~8 per doubling of |t| as the cubic term dominates; small sizes are dominated by the |t|² matrix allocations)");
+    println!("(expected: well below the ~8x-per-doubling of the dense cubic bound — the adaptive relation kernels keep axis-shaped operands interval/CSR, so growth tracks the pair counts; the paper's |t|³ worst case survives only in dense operands, see E11)");
 }
 
 /// E2 — Theorem 2: linear scaling in |P| for a fixed tree.

@@ -24,6 +24,9 @@ use crate::time_median;
 use ppl_xpath::{Document, Engine, PplQuery};
 use std::time::Duration;
 use xpath_acq::{answer_acq, hcl_to_acq};
+use xpath_ast::binexpr::from_variable_free_path;
+use xpath_ast::{parse_path, BinExpr};
+use xpath_pplbin::{KernelMode, MatrixStore};
 use xpath_tree::generate::{random_tree, TreeGenConfig, TreeShape};
 use xpath_tree::Tree;
 
@@ -74,6 +77,42 @@ impl RegressConfig {
         }
     }
 }
+
+/// Sweep dimensions of the E11 kernel ablation.
+#[derive(Debug, Clone)]
+pub struct KernelConfig {
+    /// Node counts of the swept trees (larger than E10: no exponential
+    /// baseline runs here).
+    pub tree_sizes: Vec<usize>,
+    /// Timed runs per (mode, size) cell; the median is recorded.
+    pub runs: usize,
+}
+
+impl KernelConfig {
+    /// The full ablation used to produce `BENCH_3.json` (≥ 960 nodes at the
+    /// top as required by EXPERIMENTS.md E11).
+    pub fn full() -> KernelConfig {
+        KernelConfig {
+            tree_sizes: vec![120, 240, 480, 960],
+            runs: 7,
+        }
+    }
+
+    /// Tiny sizes for CI smoke validation.
+    pub fn smoke() -> KernelConfig {
+        KernelConfig {
+            tree_sizes: vec![16, 32],
+            runs: 2,
+        }
+    }
+}
+
+/// The kernel modes swept by E11, with their row names.
+pub const KERNEL_MODES: [(KernelMode, &str); 3] = [
+    (KernelMode::Dense, "kernel_dense"),
+    (KernelMode::Adaptive, "kernel_adaptive"),
+    (KernelMode::AdaptiveThreaded, "kernel_adaptive_threaded"),
+];
 
 /// The filter bodies of the E10 suite: variable-free compositions of
 /// `except`-complemented relations.  Each complement is *dense* (≈`|t|²`
@@ -131,6 +170,99 @@ pub fn suite() -> Vec<PplQuery> {
         .collect()
 }
 
+/// The axis-heavy E11 suite: variable-free PPLbin compositions dominated by
+/// raw axis steps, the shapes the adaptive representations are built for —
+/// `child`/`parent`/sibling chains (CSR gathers), `descendant` compositions
+/// (interval merges), and mixed sparse×interval products.  No `except`:
+/// complements are dense under every kernel and would only dilute the
+/// ablation signal (E10 keeps covering them).
+const AXIS_SUITE: [&str; 10] = [
+    "child::*/child::*/child::*",
+    "parent::*/parent::*",
+    "descendant::*/child::l0",
+    "child::l0/descendant::*",
+    "descendant::*/descendant::*",
+    "descendant::l1/ancestor::*",
+    "following_sibling::*/child::l1",
+    "descendant::*[child::l0]",
+    "(child::l0 union child::l1)/descendant::l2",
+    "ancestor::*/following_sibling::*",
+];
+
+/// Parse the E11 suite into PPLbin expressions.
+pub fn axis_suite() -> Vec<BinExpr> {
+    AXIS_SUITE
+        .iter()
+        .map(|src| {
+            from_variable_free_path(&parse_path(src).expect("suite query parses"))
+                .expect("suite query is variable-free")
+        })
+        .collect()
+}
+
+/// Run the E11 kernel ablation: the axis-heavy suite compiled cold through
+/// a [`MatrixStore`] per timed run, once per kernel mode and tree size.
+/// Returns the result rows plus `(largest_size, dense_us, adaptive_us,
+/// threaded_us)` for the summary.
+fn run_kernel_ablation(cfg: &KernelConfig) -> (Vec<Json>, (usize, f64, f64, f64)) {
+    let suite = axis_suite();
+    let mut rows: Vec<Json> = Vec::new();
+    let mut summary = None;
+    for &size in &cfg.tree_sizes {
+        let tree = sweep_tree(size);
+        let mut mode_us = [0.0f64; KERNEL_MODES.len()];
+        let mut reference_pairs: Option<usize> = None;
+        for (i, &(mode, name)) in KERNEL_MODES.iter().enumerate() {
+            let (t, pairs) = time_median(cfg.runs, || {
+                let mut store = MatrixStore::with_mode(tree.len(), mode);
+                suite
+                    .iter()
+                    .map(|b| store.eval_relation(&tree, b).count_pairs())
+                    .sum::<usize>()
+            });
+            match reference_pairs {
+                None => reference_pairs = Some(pairs),
+                Some(p) => assert_eq!(
+                    p, pairs,
+                    "kernel mode {name} disagrees with dense at |t|={size}"
+                ),
+            }
+            mode_us[i] = us(t);
+            // Kernel dispatch counters, measured outside the timer.
+            let mut store = MatrixStore::with_mode(tree.len(), mode);
+            for b in &suite {
+                store.eval_relation(&tree, b);
+            }
+            let k = store.kernel_stats();
+            rows.push(Json::Obj(vec![
+                ("experiment".to_string(), Json::Str("kernel_ablation".into())),
+                ("engine".to_string(), Json::Str(name.into())),
+                ("tree_size".to_string(), Json::Num(size as f64)),
+                ("workload_queries".to_string(), Json::Num(suite.len() as f64)),
+                ("workload_repeats".to_string(), Json::Num(1.0)),
+                ("median_us".to_string(), Json::Num(us(t))),
+                ("answers".to_string(), Json::Num(pairs as f64)),
+                (
+                    "kernel_steps_structured".to_string(),
+                    Json::Num((k.step_identity + k.step_interval + k.step_sparse) as f64),
+                ),
+                ("kernel_steps_dense".to_string(), Json::Num(k.step_dense as f64)),
+                (
+                    "kernel_products_structured".to_string(),
+                    Json::Num((k.product_trivial + k.product_interval + k.product_sparse) as f64),
+                ),
+                ("kernel_products_dense".to_string(), Json::Num(k.product_dense as f64)),
+                (
+                    "kernel_products_threaded".to_string(),
+                    Json::Num(k.product_dense_threaded as f64),
+                ),
+            ]));
+        }
+        summary = Some((size, mode_us[0], mode_us[1], mode_us[2]));
+    }
+    (rows, summary.expect("at least one tree size"))
+}
+
 fn sweep_tree(size: usize) -> Tree {
     random_tree(&TreeGenConfig {
         size,
@@ -166,9 +298,19 @@ fn row(
     Json::Obj(members)
 }
 
-/// Run the sweep and return the JSON document to be written to
+/// Run the E10 sweep and return the JSON document to be written to
 /// `BENCH_*.json`.
 pub fn run_regression(cfg: &RegressConfig) -> Json {
+    run_regression_impl(cfg, None)
+}
+
+/// Run the E10 sweep *and* the E11 kernel ablation in one document (the
+/// shape committed as `BENCH_3.json`).
+pub fn run_regression_with_kernels(cfg: &RegressConfig, kernels: &KernelConfig) -> Json {
+    run_regression_impl(cfg, Some(kernels))
+}
+
+fn run_regression_impl(cfg: &RegressConfig, kernels: Option<&KernelConfig>) -> Json {
     let suite = suite();
     let union_free: Vec<&PplQuery> = suite
         .iter()
@@ -278,6 +420,38 @@ pub fn run_regression(cfg: &RegressConfig) -> Json {
     }
 
     let (largest, cold_us, cached_us) = summary.expect("at least one tree size");
+    let mut summary_members = vec![
+        ("largest_tree_size".to_string(), Json::Num(largest as f64)),
+        ("cold_median_us".to_string(), Json::Num(cold_us)),
+        ("cached_median_us".to_string(), Json::Num(cached_us)),
+        (
+            "cached_speedup".to_string(),
+            Json::Num(((cold_us / cached_us.max(0.1)) * 100.0).round() / 100.0),
+        ),
+    ];
+    if let Some(kcfg) = kernels {
+        let (kernel_rows, (ksize, dense_us, adaptive_us, threaded_us)) =
+            run_kernel_ablation(kcfg);
+        results.extend(kernel_rows);
+        let round2 = |x: f64| (x * 100.0).round() / 100.0;
+        summary_members.extend([
+            ("kernel_largest_tree_size".to_string(), Json::Num(ksize as f64)),
+            ("kernel_dense_median_us".to_string(), Json::Num(dense_us)),
+            ("kernel_adaptive_median_us".to_string(), Json::Num(adaptive_us)),
+            (
+                "kernel_adaptive_threaded_median_us".to_string(),
+                Json::Num(threaded_us),
+            ),
+            (
+                "adaptive_speedup".to_string(),
+                Json::Num(round2(dense_us / adaptive_us.max(0.1))),
+            ),
+            (
+                "adaptive_threaded_speedup".to_string(),
+                Json::Num(round2(dense_us / threaded_us.max(0.1))),
+            ),
+        ]);
+    }
     Json::Obj(vec![
         ("schema".to_string(), Json::Str(SCHEMA.into())),
         ("experiment_doc".to_string(), Json::Str("EXPERIMENTS.md".into())),
@@ -289,18 +463,7 @@ pub fn run_regression(cfg: &RegressConfig) -> Json {
         ("workload_repeats".to_string(), Json::Num(cfg.repeats as f64)),
         ("runs_per_cell".to_string(), Json::Num(cfg.runs as f64)),
         ("results".to_string(), Json::Arr(results)),
-        (
-            "summary".to_string(),
-            Json::Obj(vec![
-                ("largest_tree_size".to_string(), Json::Num(largest as f64)),
-                ("cold_median_us".to_string(), Json::Num(cold_us)),
-                ("cached_median_us".to_string(), Json::Num(cached_us)),
-                (
-                    "cached_speedup".to_string(),
-                    Json::Num(((cold_us / cached_us.max(0.1)) * 100.0).round() / 100.0),
-                ),
-            ]),
-        ),
+        ("summary".to_string(), Json::Obj(summary_members)),
     ])
 }
 
@@ -348,6 +511,27 @@ pub fn validate_bench_json(text: &str) -> Result<(), String> {
             .get(key)
             .and_then(Json::as_f64)
             .ok_or(format!("summary.{key} missing or not a number"))?;
+    }
+    // Documents carrying E11 kernel-ablation rows must sweep every kernel
+    // mode and summarise the adaptive-vs-dense ratio.
+    let has_ablation = results.iter().any(|r| {
+        r.get("experiment").and_then(Json::as_str) == Some("kernel_ablation")
+    });
+    if has_ablation {
+        for (_, required) in KERNEL_MODES {
+            if !engines_seen.iter().any(|e| e == required) {
+                return Err(format!("kernel ablation rows present but no {required:?} rows"));
+            }
+        }
+        for key in ["kernel_largest_tree_size", "adaptive_speedup", "adaptive_threaded_speedup"] {
+            let value = summary
+                .get(key)
+                .and_then(Json::as_f64)
+                .ok_or(format!("summary.{key} missing or not a number"))?;
+            if !value.is_finite() || value < 0.0 {
+                return Err(format!("summary.{key} = {value} is not a valid ratio"));
+            }
+        }
     }
     Ok(())
 }
@@ -397,6 +581,73 @@ mod tests {
             .find(|r| r.get("engine").and_then(Json::as_str) == Some("ppl_cached"))
             .unwrap();
         assert!(cached_row.get("cache_hits").and_then(Json::as_f64).unwrap() > 0.0);
+    }
+
+    #[test]
+    fn axis_suite_compiles_and_exercises_structured_kernels() {
+        let suite = axis_suite();
+        assert_eq!(suite.len(), AXIS_SUITE.len());
+        // Compiling the suite on a smoke-sized tree must dispatch interval
+        // and sparse kernels (the whole point of the ablation) and agree
+        // with the dense baseline pair-for-pair.
+        let tree = sweep_tree(32);
+        let mut adaptive = MatrixStore::with_mode(tree.len(), KernelMode::Adaptive);
+        let mut dense = MatrixStore::with_mode(tree.len(), KernelMode::Dense);
+        for b in &suite {
+            assert_eq!(
+                adaptive.eval_relation(&tree, b).pairs(),
+                dense.eval_relation(&tree, b).pairs(),
+            );
+        }
+        let k = adaptive.kernel_stats();
+        assert!(k.step_interval > 0, "{k:?}");
+        assert!(k.step_sparse > 0, "{k:?}");
+        assert!(k.product_sparse + k.product_interval > 0, "{k:?}");
+        let kd = dense.kernel_stats();
+        assert_eq!(kd.step_identity + kd.step_interval + kd.step_sparse, 0, "{kd:?}");
+    }
+
+    #[test]
+    fn smoke_regression_with_kernels_emits_ablation_rows() {
+        let doc = run_regression_with_kernels(&RegressConfig::smoke(), &KernelConfig::smoke());
+        let text = doc.render();
+        validate_bench_json(&text).unwrap();
+        let parsed = Json::parse(&text).unwrap();
+        let engines: Vec<&str> = parsed
+            .get("results")
+            .unwrap()
+            .as_arr()
+            .unwrap()
+            .iter()
+            .filter(|r| r.get("experiment").and_then(Json::as_str) == Some("kernel_ablation"))
+            .filter_map(|r| r.get("engine").and_then(Json::as_str))
+            .collect();
+        for (_, name) in KERNEL_MODES {
+            assert!(engines.contains(&name), "missing {name} rows");
+        }
+        let summary = parsed.get("summary").unwrap();
+        assert!(summary.get("adaptive_speedup").and_then(Json::as_f64).unwrap() > 0.0);
+    }
+
+    #[test]
+    fn validator_rejects_kernel_documents_without_summary_ratios() {
+        // An ablation row without the kernel summary keys must fail.
+        let doc = format!(
+            "{{\"schema\": \"{SCHEMA}\", \"results\": [\
+             {{\"experiment\": \"repeated_query_workload\", \"engine\": \"ppl_cached\", \
+               \"tree_size\": 1, \"workload_queries\": 1, \"workload_repeats\": 1, \
+               \"median_us\": 1.0}},\
+             {{\"experiment\": \"repeated_query_workload\", \"engine\": \"ppl_cold\", \
+               \"tree_size\": 1, \"workload_queries\": 1, \"workload_repeats\": 1, \
+               \"median_us\": 1.0}},\
+             {{\"experiment\": \"kernel_ablation\", \"engine\": \"kernel_dense\", \
+               \"tree_size\": 1, \"workload_queries\": 1, \"workload_repeats\": 1, \
+               \"median_us\": 1.0}}],\
+             \"summary\": {{\"largest_tree_size\": 1, \"cold_median_us\": 1, \
+             \"cached_median_us\": 1, \"cached_speedup\": 1}}}}"
+        );
+        let err = validate_bench_json(&doc).unwrap_err();
+        assert!(err.contains("kernel"), "{err}");
     }
 
     #[test]

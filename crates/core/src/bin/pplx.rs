@@ -4,8 +4,10 @@
 //! USAGE:
 //!     pplx --query <XPATH> [--vars y,z] (--file doc.xml | --terms 'a(b,c)' | --stdin)
 //!          [--engine ppl|naive] [--format table|csv] [--explain]
+//!          [--kernels dense|adaptive|adaptive_threaded]
 //!     pplx --batch <queries.txt> (--file doc.xml | --terms 'a(b,c)' | --stdin)
 //!          [--vars y,z] [--format table|csv] [--stats]
+//!          [--kernels dense|adaptive|adaptive_threaded]
 //!
 //! EXAMPLES:
 //!     pplx --terms 'bib(book(author,title))' \
@@ -30,10 +32,14 @@
 //! in several queries are compiled once.  The file holds one query per
 //! line; blank lines and `#` comments are skipped.  A line may override the
 //! output variables with a ` -> v1,v2` suffix, otherwise `--vars` applies.
-//! `--stats` appends the matrix-cache hit/miss counters after the answers.
-//! Batch mode always uses the PPL engine.
+//! `--stats` appends the matrix-cache hit/miss counters and the per-kernel
+//! dispatch counts of the adaptive relation kernels after the answers, so a
+//! representation regression (e.g. an axis step densifying) is visible from
+//! the CLI.  `--kernels` selects the compilation kernels (the dense
+//! baseline exists for A/B timing against the adaptive default).  Batch
+//! mode always uses the PPL engine.
 
-use ppl_xpath::{Document, Engine, PplQuery};
+use ppl_xpath::{Document, Engine, KernelMode, PplQuery};
 use std::io::Read;
 use std::process::ExitCode;
 use xpath_ast::{parse_path, Var};
@@ -48,6 +54,7 @@ struct Options {
     format: Format,
     explain: bool,
     stats: bool,
+    kernels: KernelMode,
 }
 
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -79,7 +86,8 @@ enum Format {
 
 const USAGE: &str = "usage: pplx (--query <XPATH> | --batch <file>) [--vars a,b,...] \
 (--file <path> | --terms <term-tree> | --stdin) \
-[--engine ppl|naive] [--format table|csv] [--explain] [--stats]";
+[--engine ppl|naive] [--format table|csv] [--explain] [--stats] \
+[--kernels dense|adaptive|adaptive_threaded]";
 
 fn parse_args(args: &[String]) -> Result<Options, String> {
     let mut query = None;
@@ -90,6 +98,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     let mut format = Format::Table;
     let mut explain = false;
     let mut stats = false;
+    let mut kernels = KernelMode::default();
 
     let mut i = 0;
     let value = |i: &mut usize, flag: &str| -> Result<String, String> {
@@ -103,6 +112,12 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             "--query" | "-q" => query = Some(value(&mut i, "--query")?),
             "--batch" | "-b" => batch = Some(value(&mut i, "--batch")?),
             "--stats" => stats = true,
+            "--kernels" => {
+                let name = value(&mut i, "--kernels")?;
+                kernels = KernelMode::parse(&name).ok_or_else(|| {
+                    format!("unknown kernel mode '{name}' (expected dense|adaptive|adaptive_threaded)")
+                })?;
+            }
             "--vars" | "-v" => {
                 vars = value(&mut i, "--vars")?
                     .split(',')
@@ -155,6 +170,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         format,
         explain,
         stats,
+        kernels,
     })
 }
 
@@ -280,12 +296,14 @@ fn run_batch(options: &Options, doc: &Document, path: &str) -> Result<String, St
             stats.compiled,
             compiled.len()
         ));
+        out.push_str(&format!("# kernels: {}\n", stats.kernels));
     }
     Ok(out)
 }
 
 fn run(options: &Options) -> Result<String, String> {
     let doc = load_document(&options.source)?;
+    doc.set_kernel_mode(options.kernels);
     match &options.mode {
         Mode::Single(query) => run_single(options, &doc, query),
         Mode::Batch(path) => run_batch(options, &doc, path),
@@ -344,6 +362,22 @@ mod tests {
         assert_eq!(opts.format, Format::Csv);
         assert!(opts.explain);
         assert!(!opts.stats);
+    }
+
+    #[test]
+    fn parse_kernel_mode_flag() {
+        let opts = parse_args(&args(&[
+            "--query", "child::a", "--terms", "r(a)", "--kernels", "dense",
+        ]))
+        .unwrap();
+        assert_eq!(opts.kernels, KernelMode::Dense);
+        let default = parse_args(&args(&["--query", "child::a", "--terms", "r(a)"])).unwrap();
+        assert_eq!(default.kernels, KernelMode::AdaptiveThreaded);
+        assert!(parse_args(&args(&[
+            "--query", "child::a", "--terms", "r(a)", "--kernels", "zippy",
+        ]))
+        .unwrap_err()
+        .contains("unknown kernel mode"));
     }
 
     #[test]
@@ -482,6 +516,10 @@ mod tests {
         // the cache must report hits.
         assert!(out.contains("# cache: "));
         assert!(!out.contains("# cache: 0 hits"), "{out}");
+        // Named steps compile to CSR successor lists, so the kernel line
+        // must report sparse step dispatches.
+        assert!(out.contains("# kernels: steps id/iv/sp/dn "), "{out}");
+        assert!(!out.contains("steps id/iv/sp/dn 0/0/0/0"), "{out}");
     }
 
     #[test]

@@ -5,7 +5,7 @@ use crate::query::{AnswerSet, PplQuery, QueryError};
 use std::cell::RefCell;
 use std::fmt;
 use xpath_ast::BinExpr;
-use xpath_pplbin::{CacheStats, MatrixStore, NodeMatrix};
+use xpath_pplbin::{CacheStats, KernelMode, KernelStats, MatrixStore, NodeMatrix};
 use xpath_tree::{NodeId, Tree, TreeError};
 use xpath_xml::{parse_with, ParseOptions, XmlError};
 
@@ -141,6 +141,19 @@ impl Document {
     /// Hit/miss counters of the document's matrix cache.
     pub fn cache_stats(&self) -> CacheStats {
         self.store.borrow().stats()
+    }
+
+    /// Per-kernel dispatch counters of the relation kernels behind the
+    /// cache (see `xpath_pplbin::KernelStats`).
+    pub fn kernel_stats(&self) -> KernelStats {
+        self.store.borrow().kernel_stats()
+    }
+
+    /// Select which relation kernels compile this document's matrices
+    /// (adaptive + threaded by default; the dense mode exists for the E11
+    /// ablation benchmark).  Already-compiled entries are kept.
+    pub fn set_kernel_mode(&self, mode: KernelMode) {
+        self.store.borrow_mut().set_mode(mode);
     }
 
     /// Drop every cached matrix (e.g. to measure cold evaluation).

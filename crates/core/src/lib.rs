@@ -60,7 +60,7 @@ pub mod query;
 pub use document::Document;
 pub use engine::Engine;
 pub use query::{AnswerSet, BinaryQuery, CompileError, PplQuery, QueryError};
-pub use xpath_pplbin::{CacheStats, MatrixStore};
+pub use xpath_pplbin::{CacheStats, KernelMode, KernelStats, MatrixStore};
 
 /// Re-exports of the underlying component crates for advanced users.
 pub mod components {

@@ -19,7 +19,7 @@ use std::collections::HashMap;
 use std::hash::Hash;
 use std::rc::Rc;
 use xpath_ast::{BinExpr, NameTest};
-use xpath_pplbin::{answer_binary, MatrixStore};
+use xpath_pplbin::{eval_relation, KernelMode, KernelStats, MatrixStore};
 use xpath_tree::{Axis, NodeId, Tree};
 
 /// Identifier of an interned atom inside a [`CompiledAtoms`] table.
@@ -125,13 +125,26 @@ pub fn intern_atoms<B: Clone + Eq + Hash>(hcl: &Hcl<B>) -> (Hcl<AtomId>, Vec<B>)
 pub struct PplBinAtoms;
 
 impl PplBinAtoms {
-    /// Compile each PPLbin atom on the tree (Theorem 2 per atom).
+    /// Compile each PPLbin atom on the tree (Theorem 2 per atom), through
+    /// the adaptive relation kernels: the successor lists of Prop. 10 are
+    /// read straight off the compiled [`Relation`], so interval- and
+    /// sparse-shaped atoms never materialise their dense bits.
+    ///
+    /// [`Relation`]: xpath_pplbin::Relation
     pub fn compile(tree: &Tree, atoms: &[BinExpr]) -> CompiledAtoms {
-        let pair_lists: Vec<Vec<(NodeId, NodeId)>> = atoms
+        let succ: Vec<Rc<Vec<Vec<NodeId>>>> = atoms
             .iter()
-            .map(|b| answer_binary(tree, b).pairs())
+            .map(|b| {
+                let relation =
+                    eval_relation(tree, b, KernelMode::default(), &mut KernelStats::default());
+                Rc::new(
+                    tree.nodes()
+                        .map(|u| relation.successor_list(u))
+                        .collect::<Vec<_>>(),
+                )
+            })
             .collect();
-        CompiledAtoms::from_pairs(tree.len(), pair_lists)
+        CompiledAtoms::from_successor_lists(tree.len(), succ)
     }
 
     /// Compile each PPLbin atom through a [`MatrixStore`]: subterms already
@@ -179,6 +192,7 @@ mod tests {
     use super::*;
     use xpath_ast::binexpr::from_variable_free_path;
     use xpath_ast::{parse_path, Var};
+    use xpath_pplbin::answer_binary;
 
     fn tree() -> Tree {
         Tree::from_terms("a(b(c,d),b(d))").unwrap()

@@ -27,16 +27,24 @@
 //!   Gottlob–Koch–Pichler for the `except`-free fragment (Core XPath 1.0),
 //!   used as a baseline and for the linear-time unary queries recalled in
 //!   Section 4;
+//! * [`relation`] — [`relation::Relation`], the adaptive relation
+//!   representation (identity / full / per-row intervals / CSR successor
+//!   lists / dense bits) with structure-aware product, union, intersection,
+//!   complement, diagonal-filter and transpose kernels, plus a row-blocked
+//!   multithreaded dense product; axis-shaped operands compose without the
+//!   `n³/64` dense scan;
 //! * [`store`] — [`store::MatrixStore`], a per-document cache that
-//!   hash-conses PPLbin subterms and memoises their compiled matrices, so a
+//!   hash-conses PPLbin subterms and memoises their compiled relations, so a
 //!   workload of queries over one tree pays each `|t|³` product once.
 
 pub mod corexpath1;
 pub mod eval;
 pub mod matrix;
+pub mod relation;
 pub mod store;
 
 pub use corexpath1::{has_successor_set, succ_set, unary_from_root, NotCoreXPath1};
-pub use eval::{answer_binary, eval_binexpr, step_matrix};
+pub use eval::{answer_binary, eval_binexpr, eval_relation, step_matrix, step_relation};
 pub use matrix::NodeMatrix;
+pub use relation::{KernelMode, KernelStats, Relation, SparseRows};
 pub use store::{CacheStats, ExprId, MatrixStore};

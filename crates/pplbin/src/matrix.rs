@@ -96,19 +96,60 @@ impl NodeMatrix {
         &self.words[self.row_range(u)]
     }
 
-    /// Iterate over the columns set in row `u` (the successors of `u`).
-    pub fn successors(&self, u: NodeId) -> impl Iterator<Item = NodeId> + '_ {
-        let row = self.row_words(u);
-        row.iter().enumerate().flat_map(|(wi, &w)| {
-            let mut w = w;
-            let mut out = Vec::new();
-            while w != 0 {
-                let bit = w.trailing_zeros() as usize;
-                out.push(NodeId((wi * 64 + bit) as u32));
-                w &= w - 1;
+    /// OR the row `v` of `other` into row `u` of `self` (word-parallel).
+    pub(crate) fn or_row_from(&mut self, u: NodeId, other: &NodeMatrix, v: NodeId) {
+        debug_assert_eq!(self.n, other.n);
+        let dst = u.index() * self.stride;
+        let src = v.index() * other.stride;
+        for k in 0..self.stride {
+            self.words[dst + k] |= other.words[src + k];
+        }
+    }
+
+    /// OR a raw word slice into row `u` (for same-crate kernels).
+    pub(crate) fn or_words_into_row(&mut self, u: NodeId, words: &[u64]) {
+        debug_assert_eq!(words.len(), self.stride);
+        let dst = u.index() * self.stride;
+        for (k, &w) in words.iter().enumerate() {
+            self.words[dst + k] |= w;
+        }
+    }
+
+    /// Set every column of `lo..hi` in row `u` using two boundary masks and
+    /// whole-word fills for the interior.
+    pub fn fill_row_range(&mut self, u: NodeId, lo: usize, hi: usize) {
+        debug_assert!(hi <= self.n);
+        if lo >= hi {
+            return;
+        }
+        let row = u.index() * self.stride;
+        let (w_lo, b_lo) = (lo / 64, lo % 64);
+        let (w_hi, b_hi) = ((hi - 1) / 64, (hi - 1) % 64);
+        let lo_mask = u64::MAX << b_lo;
+        let hi_mask = u64::MAX >> (63 - b_hi);
+        if w_lo == w_hi {
+            self.words[row + w_lo] |= lo_mask & hi_mask;
+        } else {
+            self.words[row + w_lo] |= lo_mask;
+            for w in &mut self.words[row + w_lo + 1..row + w_hi] {
+                *w = u64::MAX;
             }
-            out
-        })
+            self.words[row + w_hi] |= hi_mask;
+        }
+    }
+
+    /// Iterate over the columns set in row `u` (the successors of `u`).
+    ///
+    /// The iterator walks the packed words directly — no allocation per word
+    /// (or at all), so it is safe to use inside the product/transpose hot
+    /// paths.
+    pub fn successors(&self, u: NodeId) -> SuccessorIter<'_> {
+        SuccessorIter {
+            words: self.row_words(u),
+            next_word: 0,
+            base: 0,
+            current: 0,
+        }
     }
 
     /// Number of pairs in the relation.
@@ -185,6 +226,52 @@ impl NodeMatrix {
         out
     }
 
+    /// Boolean matrix product with the output rows computed in parallel
+    /// blocks by scoped threads.
+    ///
+    /// Row `u` of the result depends only on row `u` of `self` (plus all of
+    /// `other`), so the output splits into disjoint row blocks with no
+    /// synchronisation.  Falls back to the serial [`NodeMatrix::product`]
+    /// when the matrix is small or only one hardware thread is available —
+    /// thread spawn overhead dominates below a few hundred rows.
+    pub fn product_threaded(&self, other: &NodeMatrix) -> NodeMatrix {
+        debug_assert_eq!(self.n, other.n);
+        let threads = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1);
+        if self.n < PARALLEL_MIN_DIM || threads < 2 {
+            return self.product(other);
+        }
+        let mut out = NodeMatrix::empty(self.n);
+        let stride = self.stride;
+        let rows_per_block = self.n.div_ceil(threads.min(self.n));
+        let a = &self.words;
+        let b = &other.words;
+        std::thread::scope(|scope| {
+            for (block, out_block) in out.words.chunks_mut(rows_per_block * stride).enumerate() {
+                scope.spawn(move || {
+                    let first_row = block * rows_per_block;
+                    for (r, out_row) in out_block.chunks_mut(stride).enumerate() {
+                        let u = first_row + r;
+                        let a_row = &a[u * stride..(u + 1) * stride];
+                        for (wi, &word) in a_row.iter().enumerate() {
+                            let mut w = word;
+                            while w != 0 {
+                                let v = wi * 64 + w.trailing_zeros() as usize;
+                                w &= w - 1;
+                                let b_row = &b[v * stride..(v + 1) * stride];
+                                for (o, bw) in out_row.iter_mut().zip(b_row) {
+                                    *o |= bw;
+                                }
+                            }
+                        }
+                    }
+                });
+            }
+        });
+        out
+    }
+
     /// Reference implementation of the product using a triple loop over
     /// individual entries.  Used by tests and by the ablation benchmark that
     /// compares the word-parallel product against the naïve cubic one.
@@ -219,8 +306,49 @@ impl NodeMatrix {
         out
     }
 
-    /// Transpose (the inverse relation).
+    /// Transpose (the inverse relation), computed tile-by-tile: each 64×64
+    /// bit block is gathered into registers, transposed with the word-level
+    /// butterfly network, and written to the mirrored block of the output.
+    /// All-zero tiles are skipped, so sparse matrices transpose in time
+    /// proportional to the words scanned rather than the bits set.
     pub fn transpose(&self) -> NodeMatrix {
+        let mut out = NodeMatrix::empty(self.n);
+        let stride = self.stride;
+        let mut tile = [0u64; 64];
+        for bi in 0..stride {
+            let row0 = bi * 64;
+            let rows = 64.min(self.n - row0);
+            for bj in 0..stride {
+                let mut any = 0u64;
+                for (k, t) in tile.iter_mut().enumerate() {
+                    *t = if k < rows {
+                        self.words[(row0 + k) * stride + bj]
+                    } else {
+                        0
+                    };
+                    any |= *t;
+                }
+                if any == 0 {
+                    continue;
+                }
+                transpose64(&mut tile);
+                let col0 = bj * 64;
+                let cols = 64.min(self.n - col0);
+                for (k, &t) in tile.iter().take(cols).enumerate() {
+                    if t != 0 {
+                        out.words[(col0 + k) * stride + bi] = t;
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// The pre-optimisation transpose: one `set` call per stored bit,
+    /// driven by the [`NodeMatrix::successors`] iterator.  Kept as the
+    /// reference implementation for the property tests pinning the
+    /// word-blocked [`NodeMatrix::transpose`].
+    pub fn transpose_naive(&self) -> NodeMatrix {
         let mut out = NodeMatrix::empty(self.n);
         for u in 0..self.n {
             let id = NodeId(u as u32);
@@ -255,6 +383,59 @@ impl NodeMatrix {
             }
         }
         out
+    }
+}
+
+/// Minimum dimension for which [`NodeMatrix::product_threaded`] actually
+/// spawns threads; below this the serial product wins.
+pub const PARALLEL_MIN_DIM: usize = 256;
+
+/// Transpose a 64×64 bit block in place (bit `j` of `a[k]` swaps with bit
+/// `k` of `a[j]`) via the log-depth butterfly of Hacker's Delight §7-3:
+/// swap 32×32 half-blocks, then 16×16, … down to single bits, each level in
+/// 64 word operations.
+fn transpose64(a: &mut [u64; 64]) {
+    let mut j = 32usize;
+    let mut m: u64 = 0x0000_0000_FFFF_FFFF;
+    while j != 0 {
+        let mut k = 0usize;
+        while k < 64 {
+            let t = ((a[k] >> j) ^ a[k | j]) & m;
+            a[k | j] ^= t;
+            a[k] ^= t << j;
+            k = ((k | j) + 1) & !j;
+        }
+        j >>= 1;
+        m ^= m << j;
+    }
+}
+
+/// Allocation-free iterator over the set columns of one matrix row, in
+/// ascending column order.  Returned by [`NodeMatrix::successors`].
+pub struct SuccessorIter<'a> {
+    words: &'a [u64],
+    /// Index of the next word to load.
+    next_word: usize,
+    /// Column of bit 0 of the word currently being drained.
+    base: usize,
+    /// Remaining bits of the current word.
+    current: u64,
+}
+
+impl Iterator for SuccessorIter<'_> {
+    type Item = NodeId;
+
+    #[inline]
+    fn next(&mut self) -> Option<NodeId> {
+        while self.current == 0 {
+            let &w = self.words.get(self.next_word)?;
+            self.base = self.next_word * 64;
+            self.next_word += 1;
+            self.current = w;
+        }
+        let bit = self.current.trailing_zeros() as usize;
+        self.current &= self.current - 1;
+        Some(NodeId((self.base + bit) as u32))
     }
 }
 
@@ -393,6 +574,57 @@ mod tests {
         let succ: Vec<_> = a.successors(NodeId(5)).collect();
         assert_eq!(succ, vec![NodeId(0), NodeId(64), NodeId(69)]);
         assert!(a.successors(NodeId(6)).next().is_none());
+    }
+
+    #[test]
+    fn blocked_transpose_matches_per_bit_transpose() {
+        for n in [1usize, 5, 63, 64, 65, 130, 200] {
+            let mut a = NodeMatrix::empty(n);
+            let mut state = 0x5EEDu64.wrapping_add(n as u64);
+            let mut next = || {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                (state >> 33) as usize
+            };
+            for _ in 0..3 * n {
+                a.set(NodeId((next() % n) as u32), NodeId((next() % n) as u32));
+            }
+            assert_eq!(a.transpose(), a.transpose_naive(), "n={n}");
+        }
+    }
+
+    #[test]
+    fn threaded_product_matches_serial_product() {
+        // Exercise both the serial fallback (n < PARALLEL_MIN_DIM) and the
+        // scoped-thread path.
+        for n in [65usize, PARALLEL_MIN_DIM + 13] {
+            let mut a = NodeMatrix::empty(n);
+            let mut b = NodeMatrix::empty(n);
+            let mut state = 0xF00Du64.wrapping_add(n as u64);
+            let mut next = || {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                (state >> 33) as usize
+            };
+            for _ in 0..4 * n {
+                a.set(NodeId((next() % n) as u32), NodeId((next() % n) as u32));
+                b.set(NodeId((next() % n) as u32), NodeId((next() % n) as u32));
+            }
+            assert_eq!(a.product_threaded(&b), a.product(&b), "n={n}");
+        }
+    }
+
+    #[test]
+    fn fill_row_range_matches_per_bit_sets() {
+        for n in [1usize, 63, 64, 65, 130] {
+            for (lo, hi) in [(0, 0), (0, 1), (0, n), (n / 3, 2 * n / 3 + 1), (n - 1, n)] {
+                let mut filled = NodeMatrix::empty(n);
+                filled.fill_row_range(NodeId(0), lo, hi);
+                let mut reference = NodeMatrix::empty(n);
+                for v in lo..hi {
+                    reference.set(NodeId(0), NodeId(v as u32));
+                }
+                assert_eq!(filled, reference, "n={n} range {lo}..{hi}");
+            }
+        }
     }
 
     #[test]

@@ -24,8 +24,9 @@
 //! `ppl_xpath::Document` owns one store behind interior mutability and
 //! threads it through every cached entry point.
 
-use crate::eval::step_matrix;
+use crate::eval::step_relation_in_mode;
 use crate::matrix::NodeMatrix;
+use crate::relation::{KernelMode, KernelStats, Relation};
 use std::collections::HashMap;
 use std::rc::Rc;
 use xpath_ast::{BinExpr, NameTest};
@@ -67,6 +68,8 @@ pub struct CacheStats {
     pub interned: usize,
     /// Subterms whose matrix has been compiled and retained.
     pub compiled: usize,
+    /// Per-kernel dispatch counters of the compilations behind the misses.
+    pub kernels: KernelStats,
 }
 
 impl CacheStats {
@@ -84,19 +87,37 @@ pub struct MatrixStore {
     ids: HashMap<Shape, ExprId>,
     /// Shape of each interned id (indexed by `ExprId::index`).
     shapes: Vec<Shape>,
-    /// Compiled matrix of each interned id, if computed already.
-    matrices: Vec<Option<NodeMatrix>>,
+    /// Compiled relation of each interned id, if computed already — kept in
+    /// its adaptive representation so downstream compositions stay
+    /// structure-aware; materialised to [`NodeMatrix`] only at the public
+    /// boundary.
+    relations: Vec<Option<Relation>>,
     /// Cached Prop. 10 successor lists, shared with callers via `Rc`.
     successors: HashMap<ExprId, Rc<Vec<Vec<NodeId>>>>,
+    /// Which kernels the store compiles with.
+    mode: KernelMode,
+    /// Per-kernel dispatch counters across all compilations.
+    kernels: KernelStats,
     hits: u64,
     misses: u64,
 }
 
 impl MatrixStore {
-    /// An empty store for trees with `domain` nodes.
+    /// An empty store for trees with `domain` nodes, using the default
+    /// (adaptive, threaded) kernels.
     pub fn new(domain: usize) -> MatrixStore {
         MatrixStore {
             domain,
+            ..MatrixStore::default()
+        }
+    }
+
+    /// An empty store compiling with an explicit [`KernelMode`] (the E11
+    /// ablation benchmark sweeps all three).
+    pub fn with_mode(domain: usize, mode: KernelMode) -> MatrixStore {
+        MatrixStore {
+            domain,
+            mode,
             ..MatrixStore::default()
         }
     }
@@ -106,23 +127,41 @@ impl MatrixStore {
         self.domain
     }
 
+    /// The kernel mode the store compiles with.
+    pub fn mode(&self) -> KernelMode {
+        self.mode
+    }
+
+    /// Switch kernel modes.  Already-compiled relations are kept (they are
+    /// equivalent under every mode); only future compilations change.
+    pub fn set_mode(&mut self, mode: KernelMode) {
+        self.mode = mode;
+    }
+
     /// Current cache counters.
     pub fn stats(&self) -> CacheStats {
         CacheStats {
             hits: self.hits,
             misses: self.misses,
             interned: self.shapes.len(),
-            compiled: self.matrices.iter().filter(|m| m.is_some()).count(),
+            compiled: self.relations.iter().filter(|m| m.is_some()).count(),
+            kernels: self.kernels,
         }
     }
 
-    /// Drop every cached matrix and counter (the hash-consing table is
-    /// cleared too).
+    /// Per-kernel dispatch counters only.
+    pub fn kernel_stats(&self) -> KernelStats {
+        self.kernels
+    }
+
+    /// Drop every cached relation and counter (the hash-consing table is
+    /// cleared too); the kernel mode is kept.
     pub fn clear(&mut self) {
         self.ids.clear();
         self.shapes.clear();
-        self.matrices.clear();
+        self.relations.clear();
         self.successors.clear();
+        self.kernels = KernelStats::default();
         self.hits = 0;
         self.misses = 0;
     }
@@ -159,64 +198,74 @@ impl MatrixStore {
         let id = ExprId(self.shapes.len() as u32);
         self.ids.insert(shape.clone(), id);
         self.shapes.push(shape);
-        self.matrices.push(None);
+        self.relations.push(None);
         id
     }
 
-    /// Make sure the matrix of `id` is compiled, reusing every already
+    /// Make sure the relation of `id` is compiled, reusing every already
     /// compiled child.
     fn ensure(&mut self, tree: &Tree, id: ExprId) {
-        if self.matrices[id.index()].is_some() {
+        if self.relations[id.index()].is_some() {
             self.hits += 1;
             return;
         }
         self.misses += 1;
+        let mode = self.mode;
         let shape = self.shapes[id.index()].clone();
-        let m = match shape {
-            Shape::Step(axis, test) => step_matrix(tree, axis, &test),
+        let r = match shape {
+            Shape::Step(axis, test) => {
+                step_relation_in_mode(tree, axis, &test, mode, &mut self.kernels)
+            }
             Shape::Seq(a, b) => {
                 self.ensure(tree, a);
                 self.ensure(tree, b);
-                let ma = self.matrices[a.index()].as_ref().expect("ensured");
-                let mb = self.matrices[b.index()].as_ref().expect("ensured");
-                ma.product(mb)
+                let ra = self.relations[a.index()].as_ref().expect("ensured");
+                let rb = self.relations[b.index()].as_ref().expect("ensured");
+                ra.product(rb, mode, &mut self.kernels)
             }
             Shape::Union(a, b) => {
                 self.ensure(tree, a);
                 self.ensure(tree, b);
-                let mut m = self.matrices[a.index()].clone().expect("ensured");
-                m.union_with(self.matrices[b.index()].as_ref().expect("ensured"));
-                m
+                let ra = self.relations[a.index()].as_ref().expect("ensured");
+                let rb = self.relations[b.index()].as_ref().expect("ensured");
+                ra.union(rb, mode, &mut self.kernels)
             }
             Shape::Except(p) => {
                 self.ensure(tree, p);
-                let mut m = self.matrices[p.index()].clone().expect("ensured");
-                m.complement();
-                m
+                let rp = self.relations[p.index()].as_ref().expect("ensured");
+                rp.complement(mode, &mut self.kernels)
             }
             Shape::Test(p) => {
                 self.ensure(tree, p);
-                self.matrices[p.index()]
-                    .as_ref()
-                    .expect("ensured")
-                    .diagonal_filter()
+                let rp = self.relations[p.index()].as_ref().expect("ensured");
+                rp.diagonal_filter(mode, &mut self.kernels)
             }
         };
-        self.matrices[id.index()] = Some(m);
+        self.relations[id.index()] = Some(r);
     }
 
     /// Evaluate a PPLbin expression through the cache: equal subterms (from
-    /// this or any earlier call) are compiled exactly once.
+    /// this or any earlier call) are compiled exactly once.  The result is
+    /// materialised as a dense [`NodeMatrix`] — the public boundary keeps
+    /// its pre-adaptive type so existing callers work unchanged.
     pub fn eval(&mut self, tree: &Tree, expr: &BinExpr) -> NodeMatrix {
+        self.eval_relation(tree, expr).to_matrix()
+    }
+
+    /// Evaluate a PPLbin expression through the cache to its adaptive
+    /// [`Relation`] representation.
+    pub fn eval_relation(&mut self, tree: &Tree, expr: &BinExpr) -> Relation {
         self.check_tree(tree);
         let id = self.intern(expr);
         self.ensure(tree, id);
-        self.matrices[id.index()].clone().expect("ensured")
+        self.relations[id.index()].clone().expect("ensured")
     }
 
     /// The Prop. 10 oracle lists for `expr`: `lists[u] = {u' | (u,u') ∈
     /// q_expr(t)}` in document order, shared behind an `Rc` so repeated
-    /// callers pay one pointer clone.
+    /// callers pay one pointer clone.  Built straight from the adaptive
+    /// representation — interval and sparse relations never materialise
+    /// their bits.
     pub fn successor_lists(&mut self, tree: &Tree, expr: &BinExpr) -> Rc<Vec<Vec<NodeId>>> {
         self.check_tree(tree);
         let id = self.intern(expr);
@@ -224,9 +273,9 @@ impl MatrixStore {
         if let Some(lists) = self.successors.get(&id) {
             return Rc::clone(lists);
         }
-        let m = self.matrices[id.index()].as_ref().expect("ensured");
+        let r = self.relations[id.index()].as_ref().expect("ensured");
         let lists: Vec<Vec<NodeId>> = (0..self.domain)
-            .map(|u| m.successors(NodeId(u as u32)).collect())
+            .map(|u| r.successor_list(NodeId(u as u32)))
             .collect();
         let rc = Rc::new(lists);
         self.successors.insert(id, Rc::clone(&rc));

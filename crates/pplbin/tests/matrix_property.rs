@@ -77,6 +77,30 @@ proptest! {
     }
 
     #[test]
+    fn blocked_transpose_matches_per_bit_transpose_across_word_boundaries(
+        pairs in prop::collection::vec((0usize..130, 0usize..130), 0..400),
+    ) {
+        // The word-blocked 64×64 tile transpose must agree bit-for-bit with
+        // the per-bit reference (`transpose_naive`) on every domain size
+        // around the word boundary, including multi-word rows.
+        for &n in &[1usize, 63, 64, 65, 128, 130] {
+            let a = matrix_from_pairs(n, &pairs);
+            let blocked = a.transpose();
+            let per_bit = a.transpose_naive();
+            prop_assert_eq!(&blocked, &per_bit, "transpose disagrees at n={}", n);
+            assert_tails_clear(&blocked, &format!("transpose n={n}"));
+            // Involution and product contravariance as sanity checks.
+            prop_assert_eq!(blocked.transpose(), a.clone(), "Aᵀᵀ != A at n={}", n);
+            let b = matrix_from_pairs(n, &pairs[..pairs.len() / 2]);
+            prop_assert_eq!(
+                a.product(&b).transpose(),
+                b.transpose().product(&a.transpose()),
+                "(A·B)ᵀ != Bᵀ·Aᵀ at n={}", n
+            );
+        }
+    }
+
+    #[test]
     fn complement_and_difference_clear_tails_after_chained_ops(
         pairs_a in prop::collection::vec((0usize..65, 0usize..65), 0..200),
         pairs_b in prop::collection::vec((0usize..65, 0usize..65), 0..200),

@@ -688,6 +688,43 @@ pub fn run_fo_fuzz(seed: u64, cases: usize, max_tree_size: usize, alphabet: usiz
     total
 }
 
+// ---------------------------------------------------------------------------
+// Kernel-mode differential fuzzing (PPLbin relation kernels)
+// ---------------------------------------------------------------------------
+
+/// Fuzz the adaptive relation kernels directly: random variable-free PPLbin
+/// expressions over random trees, evaluated under every [`KernelMode`]
+/// (dense baseline, adaptive, adaptive + threads), must produce identical
+/// matrices.  Returns the total number of pairs checked.
+///
+/// [`KernelMode`]: xpath_pplbin::KernelMode
+pub fn run_kernel_mode_fuzz(seed: u64, cases: usize, max_tree_size: usize, alphabet: usize) -> usize {
+    use xpath_ast::binexpr::from_variable_free_path;
+    use xpath_pplbin::{eval_relation, KernelMode, KernelStats};
+
+    let mut gen = QueryGen::new(seed, alphabet);
+    let mut total = 0usize;
+    for case in 0..cases {
+        let tree = gen.gen_tree(max_tree_size);
+        let path = gen.gen_varfree_path(3);
+        let bin = from_variable_free_path(&path)
+            .unwrap_or_else(|e| panic!("variable-free path {path} did not lower: {e:?}"));
+        let mut stats = KernelStats::default();
+        let dense = eval_relation(&tree, &bin, KernelMode::Dense, &mut stats).to_matrix();
+        for mode in [KernelMode::Adaptive, KernelMode::AdaptiveThreaded] {
+            let got = eval_relation(&tree, &bin, mode, &mut stats).to_matrix();
+            assert_eq!(
+                got,
+                dense,
+                "kernel mode {mode:?} disagrees with dense (case {case})\n  query: {path}\n  tree : {}",
+                tree.to_terms()
+            );
+        }
+        total += dense.count_pairs();
+    }
+    total
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -6,7 +6,9 @@
 //! tuple-for-tuple. A second suite checks the Lemma 1 FO round trip. All
 //! seeds are fixed, so failures reproduce deterministically.
 
-use xpath_tests::differential::{run_batch_fuzz, run_fo_fuzz, run_ppl_fuzz, FuzzConfig};
+use xpath_tests::differential::{
+    run_batch_fuzz, run_fo_fuzz, run_kernel_mode_fuzz, run_ppl_fuzz, FuzzConfig,
+};
 
 #[test]
 fn fuzz_all_engines_agree_on_200_random_cases() {
@@ -90,4 +92,14 @@ fn fuzz_batch_api_agrees_with_cold_and_naive_answers() {
 fn fuzz_fo_round_trip_agrees_with_naive_engine() {
     let tuples = run_fo_fuzz(0xF0F0, 100, 8, 3);
     assert!(tuples > 50, "FO fuzz produced almost no tuples ({tuples})");
+}
+
+#[test]
+fn fuzz_relation_kernel_modes_agree_with_dense_baseline() {
+    // Random variable-free PPLbin expressions under the dense, adaptive and
+    // adaptive+threaded kernels must compile to identical matrices; trees
+    // are larger here than in the engine fuzz since no exponential baseline
+    // is involved.
+    let pairs = run_kernel_mode_fuzz(0xADA_F7ED, 120, 40, 3);
+    assert!(pairs > 1_000, "kernel fuzz vacuously empty ({pairs} pairs)");
 }
