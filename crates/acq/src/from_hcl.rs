@@ -48,6 +48,21 @@ pub fn hcl_to_acq(
     hcl: &Hcl<BinExpr>,
     output: &[Var],
 ) -> Result<(ConjunctiveQuery, BinaryDatabase), FromHclError> {
+    let (query, relations) = hcl_to_cq(hcl, output)?;
+    let db = BinaryDatabase::from_binexprs(tree, &relations);
+    Ok((query, db))
+}
+
+/// Translate a union-free `HCL⁻(PPLbin)` expression into a conjunctive
+/// query *without* materialising the binary database — no tree is needed
+/// and no PPLbin expression is evaluated.  Returns the query together with
+/// its distinct atom relations (indexed by [`crate::query::RelId`]), so
+/// callers that only need the query's *shape* — e.g. a planner probing GYO
+/// acyclicity — pay translation cost only.
+pub fn hcl_to_cq(
+    hcl: &Hcl<BinExpr>,
+    output: &[Var],
+) -> Result<(ConjunctiveQuery, Vec<BinExpr>), FromHclError> {
     if !hcl.is_union_free() {
         return Err(FromHclError::ContainsUnion);
     }
@@ -73,8 +88,7 @@ pub fn hcl_to_acq(
         .collect();
     let output_resolved: Vec<Var> = output.iter().map(|v| builder.unions.resolve(v)).collect();
     let query = ConjunctiveQuery::new(atoms, output_resolved);
-    let db = BinaryDatabase::from_binexprs(tree, &builder.relations);
-    Ok((query, db))
+    Ok((query, builder.relations))
 }
 
 #[derive(Default)]

@@ -31,7 +31,7 @@ pub mod yannakakis;
 
 pub use acyclic::{gyo_join_forest, JoinForest};
 pub use db::BinaryDatabase;
-pub use from_hcl::hcl_to_acq;
+pub use from_hcl::{hcl_to_acq, hcl_to_cq};
 pub use query::{Atom, ConjunctiveQuery, RelId};
 pub use union::{distribute_unions, hcl_to_union_acq, UnionAcq};
 pub use yannakakis::{answer_acq, brute_force_answer, AcqError};

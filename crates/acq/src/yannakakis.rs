@@ -12,7 +12,7 @@
 //!    projections of the final answer.
 //!
 //! The combined running time is `O(|db| · |Q| · |Q(db)|)`, the bound the
-//! paper imports from Yannakakis [24].
+//! paper imports from Yannakakis (its reference \[24\]).
 
 use crate::acyclic::{gyo_join_forest, JoinForest};
 use crate::db::BinaryDatabase;

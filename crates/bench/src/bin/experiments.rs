@@ -9,12 +9,14 @@
 //!
 //! ## Regression-harness modes
 //!
-//! * `--bench [--smoke] [--out <path>]` — run the E10 repeated-query sweep
-//!   *and* the E11 kernel ablation (dense vs adaptive vs adaptive+threads
-//!   relation kernels over the axis-heavy suite, trees up to 960 nodes; see
-//!   EXPERIMENTS.md) and write the result as `BENCH_*.json`-schema JSON to
-//!   `<path>` (default `BENCH_3.json`).  `--smoke` shrinks every dimension
-//!   for CI.
+//! * `--bench [--smoke] [--out <path>]` — run the E10 repeated-query sweep,
+//!   the E11 kernel ablation (dense vs adaptive vs adaptive+threads
+//!   relation kernels over the axis-heavy suite, trees up to 960 nodes)
+//!   *and* the E12 planner/concurrency sweep (auto vs forced engines over
+//!   the planner-mix suite; one shared `Session` vs isolated per-thread
+//!   documents at 1/2/4/8 serving threads; see EXPERIMENTS.md) and write
+//!   the result as `BENCH_*.json`-schema JSON to `<path>` (default
+//!   `BENCH_4.json`).  `--smoke` shrinks every dimension for CI.
 //! * `--check <path>` — parse an emitted JSON file and validate the schema
 //!   (exit non-zero on any missing key), so CI notices when the harness or
 //!   the trajectory file rots.
@@ -109,18 +111,20 @@ fn run_harness_mode(args: &[String]) -> i32 {
     }
 
     if bench {
-        let (cfg, kernels) = if smoke {
+        let (cfg, kernels, serve) = if smoke {
             (
                 xpath_bench::RegressConfig::smoke(),
                 xpath_bench::regress::KernelConfig::smoke(),
+                xpath_bench::regress::ServeConfig::smoke(),
             )
         } else {
             (
                 xpath_bench::RegressConfig::full(),
                 xpath_bench::regress::KernelConfig::full(),
+                xpath_bench::regress::ServeConfig::full(),
             )
         };
-        let path = out.unwrap_or_else(|| "BENCH_3.json".to_string());
+        let path = out.unwrap_or_else(|| "BENCH_4.json".to_string());
         eprintln!(
             "running repeated-query regression sweep ({} mode): trees {:?}, {} queries x{} repeats, {} runs/cell",
             if smoke { "smoke" } else { "full" },
@@ -135,7 +139,19 @@ fn run_harness_mode(args: &[String]) -> i32 {
             xpath_bench::regress::axis_suite().len(),
             kernels.runs,
         );
-        let doc = xpath_bench::regress::run_regression_with_kernels(&cfg, &kernels);
+        eprintln!(
+            "running planner/concurrency sweep (E12): planner |t|={}, serving |t|={} x{} threads, {} runs/cell",
+            serve.planner_tree_size,
+            serve.serve_tree_size,
+            serve
+                .threads
+                .iter()
+                .map(|t| t.to_string())
+                .collect::<Vec<_>>()
+                .join("/"),
+            serve.runs,
+        );
+        let doc = xpath_bench::regress::run_regression_full(&cfg, &kernels, &serve);
         let text = doc.render();
         if let Err(e) = std::fs::write(&path, &text) {
             eprintln!("cannot write {path}: {e}");
@@ -158,6 +174,16 @@ fn run_harness_mode(args: &[String]) -> i32 {
                 f("adaptive_speedup"),
                 f("kernel_adaptive_threaded_median_us"),
                 f("adaptive_threaded_speedup"),
+            );
+            eprintln!(
+                "serving at |t|={} x{} threads: shared session {} us vs isolated workers {} us \
+                 (x{} from cache sharing; thread scaling x{})",
+                f("serve_tree_size"),
+                f("serve_max_threads"),
+                f("serve_shared_tmax_us"),
+                f("serve_isolated_tmax_us"),
+                f("shared_vs_isolated_speedup"),
+                f("thread_scaling"),
             );
         }
     }

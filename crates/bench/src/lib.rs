@@ -10,7 +10,10 @@ pub mod json;
 pub mod regress;
 
 pub use json::Json;
-pub use regress::{run_regression, validate_bench_json, RegressConfig};
+pub use regress::{
+    run_regression, run_regression_full, validate_bench_json, KernelConfig, RegressConfig,
+    ServeConfig,
+};
 
 use std::time::{Duration, Instant};
 

@@ -21,11 +21,11 @@
 
 use crate::json::Json;
 use crate::time_median;
-use ppl_xpath::{Document, Engine, PplQuery};
+use ppl_xpath::{Document, Engine, Planner, PplQuery, QueryPlan, Session};
 use std::time::Duration;
 use xpath_acq::{answer_acq, hcl_to_acq};
 use xpath_ast::binexpr::from_variable_free_path;
-use xpath_ast::{parse_path, BinExpr};
+use xpath_ast::{parse_path, BinExpr, Var};
 use xpath_pplbin::{KernelMode, MatrixStore};
 use xpath_tree::generate::{random_tree, TreeGenConfig, TreeShape};
 use xpath_tree::Tree;
@@ -114,6 +114,55 @@ pub const KERNEL_MODES: [(KernelMode, &str); 3] = [
     (KernelMode::AdaptiveThreaded, "kernel_adaptive_threaded"),
 ];
 
+/// Sweep dimensions of the E12 planner/concurrency experiment.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Tree size of the planner comparison (auto vs forced engines over the
+    /// `planner_mix_suite`; the exponential naive engine is excluded, E4
+    /// covers it).
+    pub planner_tree_size: usize,
+    /// Tree size of the concurrent-serving sweep.
+    pub serve_tree_size: usize,
+    /// Serving thread counts (ascending; the last is the headline).
+    pub threads: Vec<usize>,
+    /// Suite repeats per serving workload.
+    pub repeats: usize,
+    /// Timed runs per cell (median recorded).
+    pub runs: usize,
+}
+
+impl ServeConfig {
+    /// The full E12 sweep used to produce `BENCH_4.json`.
+    pub fn full() -> ServeConfig {
+        ServeConfig {
+            planner_tree_size: 180,
+            serve_tree_size: 480,
+            threads: vec![1, 2, 4, 8],
+            repeats: 8,
+            runs: 5,
+        }
+    }
+
+    /// Tiny sizes for CI smoke validation.
+    pub fn smoke() -> ServeConfig {
+        ServeConfig {
+            planner_tree_size: 16,
+            serve_tree_size: 24,
+            threads: vec![1, 2],
+            repeats: 2,
+            runs: 2,
+        }
+    }
+}
+
+/// The planner modes swept by E12, with their row names (`None` = auto).
+pub const PLANNER_MODES: [(Option<Engine>, &str); 4] = [
+    (None, "planner_auto"),
+    (Some(Engine::Ppl), "planner_ppl"),
+    (Some(Engine::Acq), "planner_acq"),
+    (Some(Engine::Hcl), "planner_hcl"),
+];
+
 /// The filter bodies of the E10 suite: variable-free compositions of
 /// `except`-complemented relations.  Each complement is *dense* (≈`|t|²`
 /// pairs), so the `/` between them is a genuinely cubic `|t|³/64` Boolean
@@ -132,7 +181,7 @@ const DENSE_FILTERS: [&str; 3] = [
 /// The fixed query suite: PPL queries over the `l0…l2` generator alphabet.
 ///
 /// The workload models the traffic the cache is built for: each query
-/// carries one or two [`DENSE_FILTERS`] (compile-heavy, answer-light —
+/// carries one or two `DENSE_FILTERS` (compile-heavy, answer-light —
 /// Fig. 4 collapses maximal variable-free subexpressions into single PPLbin
 /// atoms), the filters repeat across queries on purpose so the hash-consing
 /// layer has shared subterms to merge, arities are mixed, and the last
@@ -263,6 +312,195 @@ fn run_kernel_ablation(cfg: &KernelConfig) -> (Vec<Json>, (usize, f64, f64, f64)
     (rows, summary.expect("at least one tree size"))
 }
 
+/// Prepare the E12 planner suite against a session, with an optional forced
+/// engine.
+fn planner_suite_plans(session: &Session, engine: Option<Engine>) -> Vec<QueryPlan> {
+    let planner = Planner::default();
+    xpath_workload::planner_mix_suite()
+        .iter()
+        .map(|(src, vars)| {
+            let path = parse_path(src).expect("suite query parses");
+            let output: Vec<Var> = vars.iter().map(|n| Var::new(n)).collect();
+            planner
+                .plan_with(session, path, output, engine)
+                .expect("suite query plans")
+        })
+        .collect()
+}
+
+/// The old serving architecture, modelled faithfully: `workers` threads,
+/// each owning a *private* session (thread-local cache, as the `!Sync`
+/// `RefCell` store forced), the workload split into contiguous chunks —
+/// each worker serves the whole query mix, so each private cache compiles
+/// every distinct matrix itself.  Returns the total answer count.
+fn serve_isolated(tree: &Tree, plans: &[QueryPlan], workers: usize) -> usize {
+    let chunk = plans.len().div_ceil(workers);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = plans
+            .chunks(chunk.max(1))
+            .map(|chunk| {
+                scope.spawn(move || {
+                    let session = Session::from_tree(tree.clone());
+                    chunk
+                        .iter()
+                        .map(|p| session.execute(p).expect("suite plan answers").len())
+                        .sum::<usize>()
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("worker panicked")).sum()
+    })
+}
+
+/// Run the E12 planner/concurrency sweep.  Returns the result rows plus the
+/// summary members to merge into the document summary.
+fn run_planner_concurrency(cfg: &ServeConfig) -> (Vec<Json>, Vec<(String, Json)>) {
+    let mut rows: Vec<Json> = Vec::new();
+
+    // -- planner comparison: auto vs forced engines, cold per run ----------
+    let planner_tree = sweep_tree(cfg.planner_tree_size);
+    let plan_session = Session::from_tree(planner_tree.clone());
+    let suite_len = xpath_workload::planner_mix_suite().len();
+    let mut reference_answers: Option<usize> = None;
+    let mut auto_us = 0.0f64;
+    let mut auto_choices = String::new();
+    for (engine, name) in PLANNER_MODES {
+        let plans = planner_suite_plans(&plan_session, engine);
+        let (t, answers) = time_median(cfg.runs, || {
+            let fresh = Session::from_tree(planner_tree.clone());
+            plans
+                .iter()
+                .map(|p| fresh.execute(p).expect("suite plan answers").len())
+                .sum::<usize>()
+        });
+        match reference_answers {
+            None => reference_answers = Some(answers),
+            Some(r) => assert_eq!(r, answers, "{name} disagrees on the E12 planner suite"),
+        }
+        let mut extra = Vec::new();
+        if engine.is_none() {
+            auto_us = us(t);
+            let mut counts: Vec<(String, usize)> = Vec::new();
+            for p in &plans {
+                let key = p.engine().name().to_string();
+                match counts.iter_mut().find(|(k, _)| *k == key) {
+                    Some((_, n)) => *n += 1,
+                    None => counts.push((key, 1)),
+                }
+            }
+            auto_choices = counts
+                .iter()
+                .map(|(k, n)| format!("{k}:{n}"))
+                .collect::<Vec<_>>()
+                .join(",");
+            extra.push(("chosen_engines".to_string(), Json::Str(auto_choices.clone())));
+        }
+        rows.push({
+            let mut members = vec![
+                ("experiment".to_string(), Json::Str("planner".into())),
+                ("engine".to_string(), Json::Str(name.into())),
+                ("tree_size".to_string(), Json::Num(cfg.planner_tree_size as f64)),
+                ("workload_queries".to_string(), Json::Num(suite_len as f64)),
+                ("workload_repeats".to_string(), Json::Num(1.0)),
+                ("median_us".to_string(), Json::Num(us(t))),
+                ("answers".to_string(), Json::Num(answers as f64)),
+            ];
+            members.extend(extra);
+            Json::Obj(members)
+        });
+    }
+
+    // -- concurrent serving: one shared session vs isolated workers --------
+    // The workload is the compile-heavy E10 suite repeated `repeats` times,
+    // prepared once as forced-ppl plans: the serving comparison isolates the
+    // store architecture, not the engine choice.
+    let serve_tree = sweep_tree(cfg.serve_tree_size);
+    let serve_session = Session::from_tree(serve_tree.clone());
+    let planner = Planner::default();
+    let workload: Vec<QueryPlan> = (0..cfg.repeats)
+        .flat_map(|_| suite())
+        .map(|q| {
+            planner
+                .plan_with(
+                    &serve_session,
+                    q.source().clone(),
+                    q.output().to_vec(),
+                    Some(Engine::Ppl),
+                )
+                .expect("suite query plans")
+        })
+        .collect();
+
+    let mut serve_reference: Option<usize> = None;
+    let mut shared_by_threads: Vec<(usize, f64)> = Vec::new();
+    let mut isolated_by_threads: Vec<(usize, f64)> = Vec::new();
+    for &threads in &cfg.threads {
+        let (shared_t, shared_answers) = time_median(cfg.runs, || {
+            let fresh = Session::from_tree(serve_tree.clone());
+            fresh
+                .answer_batch_parallel(&workload, threads)
+                .expect("workload answers")
+                .iter()
+                .map(|a| a.len())
+                .sum::<usize>()
+        });
+        let (iso_t, iso_answers) =
+            time_median(cfg.runs, || serve_isolated(&serve_tree, &workload, threads));
+        assert_eq!(shared_answers, iso_answers, "serving architectures disagree");
+        match serve_reference {
+            None => serve_reference = Some(shared_answers),
+            Some(r) => assert_eq!(r, shared_answers, "thread counts disagree"),
+        }
+        for (name, t, answers) in [
+            ("serve_shared", shared_t, shared_answers),
+            ("serve_isolated", iso_t, iso_answers),
+        ] {
+            rows.push(Json::Obj(vec![
+                ("experiment".to_string(), Json::Str("concurrent_serving".into())),
+                ("engine".to_string(), Json::Str(name.into())),
+                ("tree_size".to_string(), Json::Num(cfg.serve_tree_size as f64)),
+                ("workload_queries".to_string(), Json::Num(suite().len() as f64)),
+                ("workload_repeats".to_string(), Json::Num(cfg.repeats as f64)),
+                ("threads".to_string(), Json::Num(threads as f64)),
+                ("median_us".to_string(), Json::Num(us(t))),
+                ("answers".to_string(), Json::Num(answers as f64)),
+            ]));
+        }
+        shared_by_threads.push((threads, us(shared_t)));
+        isolated_by_threads.push((threads, us(iso_t)));
+    }
+
+    let round2 = |x: f64| (x * 100.0).round() / 100.0;
+    let (t1, shared_t1) = shared_by_threads[0];
+    assert_eq!(t1, 1, "the first swept thread count must be 1");
+    let &(tmax, shared_tmax) = shared_by_threads.last().expect("threads non-empty");
+    let &(_, isolated_tmax) = isolated_by_threads.last().expect("threads non-empty");
+    let summary = vec![
+        ("planner_tree_size".to_string(), Json::Num(cfg.planner_tree_size as f64)),
+        ("planner_auto_us".to_string(), Json::Num(auto_us)),
+        ("planner_auto_choices".to_string(), Json::Str(auto_choices)),
+        ("serve_tree_size".to_string(), Json::Num(cfg.serve_tree_size as f64)),
+        ("serve_max_threads".to_string(), Json::Num(tmax as f64)),
+        ("serve_shared_t1_us".to_string(), Json::Num(shared_t1)),
+        ("serve_shared_tmax_us".to_string(), Json::Num(shared_tmax)),
+        ("serve_isolated_tmax_us".to_string(), Json::Num(isolated_tmax)),
+        // The headline: under tmax-thread load, one shared Session vs the
+        // pre-Session architecture (tmax isolated single-threaded workers,
+        // each recompiling its own matrices).
+        (
+            "shared_vs_isolated_speedup".to_string(),
+            Json::Num(round2(isolated_tmax / shared_tmax.max(0.1))),
+        ),
+        // Wall-clock thread scaling of the shared path itself (≈1.0 on a
+        // single hardware thread; >1 with real cores).
+        (
+            "thread_scaling".to_string(),
+            Json::Num(round2(shared_t1 / shared_tmax.max(0.1))),
+        ),
+    ];
+    (rows, summary)
+}
+
 fn sweep_tree(size: usize) -> Tree {
     random_tree(&TreeGenConfig {
         size,
@@ -301,16 +539,31 @@ fn row(
 /// Run the E10 sweep and return the JSON document to be written to
 /// `BENCH_*.json`.
 pub fn run_regression(cfg: &RegressConfig) -> Json {
-    run_regression_impl(cfg, None)
+    run_regression_impl(cfg, None, None)
 }
 
 /// Run the E10 sweep *and* the E11 kernel ablation in one document (the
 /// shape committed as `BENCH_3.json`).
 pub fn run_regression_with_kernels(cfg: &RegressConfig, kernels: &KernelConfig) -> Json {
-    run_regression_impl(cfg, Some(kernels))
+    run_regression_impl(cfg, Some(kernels), None)
 }
 
-fn run_regression_impl(cfg: &RegressConfig, kernels: Option<&KernelConfig>) -> Json {
+/// Run the E10 sweep, the E11 kernel ablation *and* the E12
+/// planner/concurrency sweep in one document (the shape committed as
+/// `BENCH_4.json`).
+pub fn run_regression_full(
+    cfg: &RegressConfig,
+    kernels: &KernelConfig,
+    serve: &ServeConfig,
+) -> Json {
+    run_regression_impl(cfg, Some(kernels), Some(serve))
+}
+
+fn run_regression_impl(
+    cfg: &RegressConfig,
+    kernels: Option<&KernelConfig>,
+    serve: Option<&ServeConfig>,
+) -> Json {
     let suite = suite();
     let union_free: Vec<&PplQuery> = suite
         .iter()
@@ -452,6 +705,11 @@ fn run_regression_impl(cfg: &RegressConfig, kernels: Option<&KernelConfig>) -> J
             ),
         ]);
     }
+    if let Some(scfg) = serve {
+        let (serve_rows, serve_summary) = run_planner_concurrency(scfg);
+        results.extend(serve_rows);
+        summary_members.extend(serve_summary);
+    }
     Json::Obj(vec![
         ("schema".to_string(), Json::Str(SCHEMA.into())),
         ("experiment_doc".to_string(), Json::Str("EXPERIMENTS.md".into())),
@@ -511,6 +769,56 @@ pub fn validate_bench_json(text: &str) -> Result<(), String> {
             .get(key)
             .and_then(Json::as_f64)
             .ok_or(format!("summary.{key} missing or not a number"))?;
+    }
+    // Documents carrying E12 planner rows must sweep auto plus every forced
+    // engine; serving rows must come in shared/isolated pairs with a
+    // threads column, and the summary must carry the serving ratios.
+    let has_planner = results.iter().any(|r| {
+        r.get("experiment").and_then(Json::as_str) == Some("planner")
+    });
+    if has_planner {
+        for (_, required) in PLANNER_MODES {
+            if !engines_seen.iter().any(|e| e == required) {
+                return Err(format!("planner rows present but no {required:?} rows"));
+            }
+        }
+    }
+    let serving: Vec<&Json> = results
+        .iter()
+        .filter(|r| r.get("experiment").and_then(Json::as_str) == Some("concurrent_serving"))
+        .collect();
+    if !serving.is_empty() {
+        for required in ["serve_shared", "serve_isolated"] {
+            if !engines_seen.iter().any(|e| e == required) {
+                return Err(format!("serving rows present but no {required:?} rows"));
+            }
+        }
+        for (i, row) in serving.iter().enumerate() {
+            let threads = row
+                .get("threads")
+                .and_then(Json::as_f64)
+                .ok_or(format!("serving row {i} is missing \"threads\""))?;
+            if threads < 1.0 {
+                return Err(format!("serving row {i} has invalid threads = {threads}"));
+            }
+        }
+        let summary = doc.get("summary").ok_or("missing \"summary\"")?;
+        for key in [
+            "serve_max_threads",
+            "serve_shared_t1_us",
+            "serve_shared_tmax_us",
+            "serve_isolated_tmax_us",
+            "shared_vs_isolated_speedup",
+            "thread_scaling",
+        ] {
+            let value = summary
+                .get(key)
+                .and_then(Json::as_f64)
+                .ok_or(format!("summary.{key} missing or not a number"))?;
+            if !value.is_finite() || value < 0.0 {
+                return Err(format!("summary.{key} = {value} is not valid"));
+            }
+        }
     }
     // Documents carrying E11 kernel-ablation rows must sweep every kernel
     // mode and summarise the adaptive-vs-dense ratio.
@@ -627,6 +935,71 @@ mod tests {
         }
         let summary = parsed.get("summary").unwrap();
         assert!(summary.get("adaptive_speedup").and_then(Json::as_f64).unwrap() > 0.0);
+    }
+
+    #[test]
+    fn smoke_full_regression_emits_planner_and_serving_rows() {
+        let doc = run_regression_full(
+            &RegressConfig::smoke(),
+            &KernelConfig::smoke(),
+            &ServeConfig::smoke(),
+        );
+        let text = doc.render();
+        validate_bench_json(&text).unwrap();
+        let parsed = Json::parse(&text).unwrap();
+        let rows = parsed.get("results").unwrap().as_arr().unwrap();
+        for (_, name) in PLANNER_MODES {
+            assert!(
+                rows.iter().any(|r| r.get("engine").and_then(Json::as_str) == Some(name)),
+                "missing {name} rows"
+            );
+        }
+        let serving: Vec<_> = rows
+            .iter()
+            .filter(|r| {
+                r.get("experiment").and_then(Json::as_str) == Some("concurrent_serving")
+            })
+            .collect();
+        // shared + isolated at every swept thread count.
+        assert_eq!(serving.len(), 2 * ServeConfig::smoke().threads.len());
+        // All serving cells agree on the answer total.
+        let answers: Vec<f64> = serving
+            .iter()
+            .filter_map(|r| r.get("answers").and_then(Json::as_f64))
+            .collect();
+        assert!(answers.windows(2).all(|w| w[0] == w[1]), "{answers:?}");
+        let summary = parsed.get("summary").unwrap();
+        assert!(summary.get("shared_vs_isolated_speedup").and_then(Json::as_f64).unwrap() > 0.0);
+        assert!(summary.get("thread_scaling").and_then(Json::as_f64).unwrap() > 0.0);
+        let choices = summary.get("planner_auto_choices").and_then(Json::as_str).unwrap();
+        assert!(!choices.is_empty());
+    }
+
+    #[test]
+    fn validator_rejects_serving_rows_without_summary_keys() {
+        let doc = format!(
+            "{{\"schema\": \"{SCHEMA}\", \"results\": [\
+             {{\"experiment\": \"repeated_query_workload\", \"engine\": \"ppl_cached\", \
+               \"tree_size\": 1, \"workload_queries\": 1, \"workload_repeats\": 1, \
+               \"median_us\": 1.0}},\
+             {{\"experiment\": \"repeated_query_workload\", \"engine\": \"ppl_cold\", \
+               \"tree_size\": 1, \"workload_queries\": 1, \"workload_repeats\": 1, \
+               \"median_us\": 1.0}},\
+             {{\"experiment\": \"concurrent_serving\", \"engine\": \"serve_shared\", \
+               \"tree_size\": 1, \"workload_queries\": 1, \"workload_repeats\": 1, \
+               \"threads\": 1, \"median_us\": 1.0}},\
+             {{\"experiment\": \"concurrent_serving\", \"engine\": \"serve_isolated\", \
+               \"tree_size\": 1, \"workload_queries\": 1, \"workload_repeats\": 1, \
+               \"threads\": 1, \"median_us\": 1.0}}],\
+             \"summary\": {{\"largest_tree_size\": 1, \"cold_median_us\": 1, \
+             \"cached_median_us\": 1, \"cached_speedup\": 1}}}}"
+        );
+        let err = validate_bench_json(&doc).unwrap_err();
+        assert!(err.contains("serve") || err.contains("shared"), "{err}");
+        // A serving row without a threads column is rejected too.
+        let no_threads = doc.replace("\"threads\": 1, ", "");
+        let err = validate_bench_json(&no_threads).unwrap_err();
+        assert!(err.contains("threads"), "{err}");
     }
 
     #[test]

@@ -3,43 +3,47 @@
 //! ```text
 //! USAGE:
 //!     pplx --query <XPATH> [--vars y,z] (--file doc.xml | --terms 'a(b,c)' | --stdin)
-//!          [--engine ppl|naive] [--format table|csv] [--explain]
+//!          [--engine ppl|acq|hcl|naive|auto] [--format table|csv] [--explain]
 //!          [--kernels dense|adaptive|adaptive_threaded]
 //!     pplx --batch <queries.txt> (--file doc.xml | --terms 'a(b,c)' | --stdin)
-//!          [--vars y,z] [--format table|csv] [--stats]
-//!          [--kernels dense|adaptive|adaptive_threaded]
+//!          [--vars y,z] [--engine ...] [--threads N] [--format table|csv]
+//!          [--explain] [--stats] [--kernels dense|adaptive|adaptive_threaded]
 //!
 //! EXAMPLES:
 //!     pplx --terms 'bib(book(author,title))' \
 //!          --query 'descendant::book[child::author[. is $y] and child::title[. is $z]]' \
 //!          --vars y,z
 //!
-//!     cat bib.xml | pplx --stdin --query 'descendant::title[. is $t]' --vars t --format csv
+//!     pplx --terms 'bib(book(author,title))' \
+//!          --query 'descendant::author[. is $a]' --vars a --engine auto --explain
 //!
-//!     pplx --terms 'bib(book(author,title))' --batch workload.txt --stats
+//!     pplx --terms 'bib(book(author,title))' --batch workload.txt --threads 8 --stats
 //! ```
 //!
-//! The tool compiles the query through the full PPL pipeline (rejecting
-//! queries outside the fragment with Definition 1 diagnostics) unless
-//! `--engine naive` is given, in which case any Core XPath 2.0 expression —
-//! including `for` loops and variable sharing — is answered by the
-//! specification engine.
+//! Queries are prepared through the planner API (`Session::plan`): parse,
+//! Definition 1 check, Fig. 7 translation, and — with `--engine auto` — a
+//! cost decision over the four engines (`ppl` cached matrices, `acq`
+//! Yannakakis, `hcl` cold Fig. 8, `naive` spec enumeration).  An explicit
+//! `--engine` forces one; the default is `ppl`, which rejects queries
+//! outside the PPL fragment with Definition 1 diagnostics (only `naive`
+//! accepts full Core XPath 2.0, including `for` and variable sharing).
+//! `--explain` prints the plan — shape features, the four-engine candidate
+//! table, the decision, and the compiled pipeline.
 //!
 //! ## Batch mode
 //!
 //! `--batch <file>` answers many queries over one document with shared
-//! compilation state (`Document::answer_batch`): PPLbin subterms occurring
-//! in several queries are compiled once.  The file holds one query per
-//! line; blank lines and `#` comments are skipped.  A line may override the
-//! output variables with a ` -> v1,v2` suffix, otherwise `--vars` applies.
-//! `--stats` appends the matrix-cache hit/miss counters and the per-kernel
-//! dispatch counts of the adaptive relation kernels after the answers, so a
-//! representation regression (e.g. an axis step densifying) is visible from
-//! the CLI.  `--kernels` selects the compilation kernels (the dense
-//! baseline exists for A/B timing against the adaptive default).  Batch
-//! mode always uses the PPL engine.
+//! compilation state: every line is prepared as a plan and the batch is
+//! served through `Session::answer_batch_parallel` with `--threads N`
+//! worker threads (default 1) hammering the same thread-safe matrix cache.
+//! The file holds one query per line; blank lines and `#` comments are
+//! skipped.  A line may override the output variables with a ` -> vars`
+//! suffix, otherwise `--vars` applies.  `--stats` appends the matrix-cache
+//! hit/miss counters and the per-kernel dispatch counts; `--kernels`
+//! selects the compilation kernels (the dense baseline exists for A/B
+//! timing against the adaptive default).
 
-use ppl_xpath::{Document, Engine, KernelMode, PplQuery};
+use ppl_xpath::{Document, Engine, KernelMode, Planner, QueryPlan};
 use std::io::Read;
 use std::process::ExitCode;
 use xpath_ast::{parse_path, Var};
@@ -50,11 +54,13 @@ struct Options {
     mode: Mode,
     vars: Vec<String>,
     source: Source,
-    engine: EngineChoice,
+    /// `None` means `--engine auto`: let the planner decide per query.
+    engine: Option<Engine>,
     format: Format,
     explain: bool,
     stats: bool,
     kernels: KernelMode,
+    threads: usize,
 }
 
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -73,12 +79,6 @@ enum Source {
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum EngineChoice {
-    Ppl,
-    Naive,
-}
-
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Format {
     Table,
     Csv,
@@ -86,19 +86,20 @@ enum Format {
 
 const USAGE: &str = "usage: pplx (--query <XPATH> | --batch <file>) [--vars a,b,...] \
 (--file <path> | --terms <term-tree> | --stdin) \
-[--engine ppl|naive] [--format table|csv] [--explain] [--stats] \
-[--kernels dense|adaptive|adaptive_threaded]";
+[--engine ppl|acq|hcl|naive|auto] [--threads N] [--format table|csv] \
+[--explain] [--stats] [--kernels dense|adaptive|adaptive_threaded]";
 
 fn parse_args(args: &[String]) -> Result<Options, String> {
     let mut query = None;
     let mut batch = None;
     let mut vars = Vec::new();
     let mut source = None;
-    let mut engine = EngineChoice::Ppl;
+    let mut engine = Some(Engine::Ppl);
     let mut format = Format::Table;
     let mut explain = false;
     let mut stats = false;
     let mut kernels = KernelMode::default();
+    let mut threads = 1usize;
 
     let mut i = 0;
     let value = |i: &mut usize, flag: &str| -> Result<String, String> {
@@ -118,6 +119,14 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                     format!("unknown kernel mode '{name}' (expected dense|adaptive|adaptive_threaded)")
                 })?;
             }
+            "--threads" => {
+                let n = value(&mut i, "--threads")?;
+                threads = n
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .ok_or_else(|| format!("--threads expects a positive integer, got '{n}'"))?;
+            }
             "--vars" | "-v" => {
                 vars = value(&mut i, "--vars")?
                     .split(',')
@@ -129,10 +138,12 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             "--terms" | "-t" => source = Some(Source::Terms(value(&mut i, "--terms")?)),
             "--stdin" => source = Some(Source::Stdin),
             "--engine" => {
-                engine = match value(&mut i, "--engine")?.as_str() {
-                    "ppl" => EngineChoice::Ppl,
-                    "naive" => EngineChoice::Naive,
-                    other => return Err(format!("unknown engine '{other}' (expected ppl|naive)")),
+                let name = value(&mut i, "--engine")?;
+                engine = match name.as_str() {
+                    "auto" => None,
+                    other => Some(Engine::parse(other).ok_or_else(|| {
+                        format!("unknown engine '{other}' (expected ppl|acq|hcl|naive|auto)")
+                    })?),
                 }
             }
             "--format" => {
@@ -153,13 +164,13 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         (Some(_), Some(_)) => {
             return Err(format!("--query and --batch are mutually exclusive\n{USAGE}"))
         }
-        (Some(q), None) => Mode::Single(q),
-        (None, Some(b)) => {
-            if engine == EngineChoice::Naive {
-                return Err("--batch always uses the PPL engine (drop --engine naive)".into());
+        (Some(q), None) => {
+            if threads != 1 {
+                return Err("--threads only applies to --batch serving".into());
             }
-            Mode::Batch(b)
+            Mode::Single(q)
         }
+        (None, Some(b)) => Mode::Batch(b),
         (None, None) => return Err(format!("--query or --batch is required\n{USAGE}")),
     };
     Ok(Options {
@@ -171,6 +182,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         explain,
         stats,
         kernels,
+        threads,
     })
 }
 
@@ -207,6 +219,21 @@ fn parse_batch_line(line: &str, default_vars: &[String]) -> (String, Vec<String>
     }
 }
 
+/// Prepare one query as a plan: parse, compile, and either force the chosen
+/// engine or let the planner decide (`--engine auto`).
+fn plan_query(
+    doc: &Document,
+    query: &str,
+    vars: &[String],
+    engine: Option<Engine>,
+) -> Result<QueryPlan, String> {
+    let path = parse_path(query).map_err(|e| e.to_string())?;
+    let output: Vec<Var> = vars.iter().map(|n| Var::new(n)).collect();
+    Planner::default()
+        .plan_with(doc.session(), path, output, engine)
+        .map_err(|e| e.to_string())
+}
+
 fn render_answers(
     out: &mut String,
     doc: &Document,
@@ -214,6 +241,19 @@ fn render_answers(
     vars: &[String],
     format: Format,
 ) {
+    // 0-ary (satisfiability) answers get an explicit boolean rendering —
+    // "N answer tuple(s) over ()" plus a bare "()" line reads like noise,
+    // especially interleaved with --explain output.
+    if vars.is_empty() {
+        match format {
+            Format::Table => out.push_str(&format!("satisfiable: {}\n", !answers.is_empty())),
+            Format::Csv => {
+                out.push_str("satisfiable\n");
+                out.push_str(if answers.is_empty() { "false\n" } else { "true\n" });
+            }
+        }
+        return;
+    }
     match format {
         Format::Table => {
             out.push_str(&format!(
@@ -236,26 +276,13 @@ fn render_answers(
 }
 
 fn run_single(options: &Options, doc: &Document, query: &str) -> Result<String, String> {
-    let var_names: Vec<&str> = options.vars.iter().map(String::as_str).collect();
-    let vars: Vec<Var> = var_names.iter().map(|n| Var::new(n)).collect();
-
+    let plan = plan_query(doc, query, &options.vars, options.engine)?;
     let mut out = String::new();
-    let answers = match options.engine {
-        EngineChoice::Ppl => {
-            let compiled = PplQuery::compile(query, &var_names).map_err(|e| e.to_string())?;
-            if options.explain {
-                out.push_str(&compiled.explain());
-                out.push('\n');
-            }
-            doc.answer(&compiled).map_err(|e| e.to_string())?
-        }
-        EngineChoice::Naive => {
-            let path = parse_path(query).map_err(|e| e.to_string())?;
-            Engine::NaiveEnumeration
-                .answer(doc, &path, &vars)
-                .map_err(|e| e.to_string())?
-        }
-    };
+    if options.explain {
+        out.push_str(&plan.explain());
+        out.push('\n');
+    }
+    let answers = doc.session().execute(&plan).map_err(|e| e.to_string())?;
     render_answers(&mut out, doc, &answers, &options.vars, options.format);
     Ok(out)
 }
@@ -263,7 +290,7 @@ fn run_single(options: &Options, doc: &Document, query: &str) -> Result<String, 
 fn run_batch(options: &Options, doc: &Document, path: &str) -> Result<String, String> {
     let content =
         std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-    let mut compiled = Vec::new();
+    let mut plans: Vec<QueryPlan> = Vec::new();
     let mut specs: Vec<(String, Vec<String>)> = Vec::new();
     for (lineno, line) in content.lines().enumerate() {
         let line = line.trim();
@@ -271,30 +298,40 @@ fn run_batch(options: &Options, doc: &Document, path: &str) -> Result<String, St
             continue;
         }
         let (query, vars) = parse_batch_line(line, &options.vars);
-        let var_names: Vec<&str> = vars.iter().map(String::as_str).collect();
-        let q = PplQuery::compile(&query, &var_names)
+        let plan = plan_query(doc, &query, &vars, options.engine)
             .map_err(|e| format!("{path}:{}: {e}", lineno + 1))?;
-        compiled.push(q);
+        plans.push(plan);
         specs.push((query, vars));
     }
-    if compiled.is_empty() {
+    if plans.is_empty() {
         return Err(format!("{path}: no queries (blank lines and # comments are skipped)"));
     }
 
-    let answers = doc.answer_batch(&compiled).map_err(|e| e.to_string())?;
+    let answers = doc
+        .session()
+        .answer_batch_parallel(&plans, options.threads)
+        .map_err(|e| e.to_string())?;
     let mut out = String::new();
     for (i, ((query, vars), answer)) in specs.iter().zip(&answers).enumerate() {
         out.push_str(&format!("# [{}] {query}\n", i + 1));
+        if options.explain {
+            out.push_str(&format!(
+                "# plan: {} engine ({})\n",
+                plans[i].engine().name(),
+                if plans[i].is_forced() { "forced" } else { "auto" },
+            ));
+        }
         render_answers(&mut out, doc, answer, vars, options.format);
     }
     if options.stats {
         let stats = doc.cache_stats();
         out.push_str(&format!(
-            "# cache: {} hits, {} misses, {} matrices for {} queries\n",
+            "# cache: {} hits, {} misses, {} matrices for {} queries on {} thread(s)\n",
             stats.hits,
             stats.misses,
             stats.compiled,
-            compiled.len()
+            plans.len(),
+            options.threads,
         ));
         out.push_str(&format!("# kernels: {}\n", stats.kernels));
     }
@@ -358,10 +395,32 @@ mod tests {
         assert_eq!(opts.mode, Mode::Single("descendant::a[. is $x]".into()));
         assert_eq!(opts.vars, vec!["x", "y"]);
         assert_eq!(opts.source, Source::Terms("r(a,b)".into()));
-        assert_eq!(opts.engine, EngineChoice::Naive);
+        assert_eq!(opts.engine, Some(Engine::NaiveEnumeration));
         assert_eq!(opts.format, Format::Csv);
         assert!(opts.explain);
         assert!(!opts.stats);
+        assert_eq!(opts.threads, 1);
+    }
+
+    #[test]
+    fn parse_engine_flag_accepts_all_five_choices() {
+        let engine_of = |name: &str| {
+            parse_args(&args(&["--query", "child::a", "--terms", "r(a)", "--engine", name]))
+                .unwrap()
+                .engine
+        };
+        assert_eq!(engine_of("ppl"), Some(Engine::Ppl));
+        assert_eq!(engine_of("acq"), Some(Engine::Acq));
+        assert_eq!(engine_of("hcl"), Some(Engine::Hcl));
+        assert_eq!(engine_of("naive"), Some(Engine::NaiveEnumeration));
+        assert_eq!(engine_of("auto"), None);
+        let default = parse_args(&args(&["--query", "child::a", "--terms", "r(a)"])).unwrap();
+        assert_eq!(default.engine, Some(Engine::Ppl));
+        assert!(parse_args(&args(&[
+            "--query", "child::a", "--terms", "r(a)", "--engine", "zzz",
+        ]))
+        .unwrap_err()
+        .contains("unknown engine"));
     }
 
     #[test]
@@ -381,23 +440,31 @@ mod tests {
     }
 
     #[test]
-    fn parse_batch_arguments() {
+    fn parse_batch_and_threads_arguments() {
         let opts = parse_args(&args(&[
-            "--batch", "queries.txt", "--terms", "r(a)", "--stats",
+            "--batch", "queries.txt", "--terms", "r(a)", "--stats", "--threads", "8",
         ]))
         .unwrap();
         assert_eq!(opts.mode, Mode::Batch("queries.txt".into()));
         assert!(opts.stats);
+        assert_eq!(opts.threads, 8);
         assert!(parse_args(&args(&[
             "--batch", "q.txt", "--query", "child::a", "--terms", "r",
         ]))
         .unwrap_err()
         .contains("mutually exclusive"));
         assert!(parse_args(&args(&[
-            "--batch", "q.txt", "--terms", "r", "--engine", "naive",
+            "--batch", "q.txt", "--terms", "r", "--threads", "0",
         ]))
         .unwrap_err()
-        .contains("PPL engine"));
+        .contains("positive integer"));
+        // --threads is a batch-serving knob; silently ignoring it on a
+        // single query would fake multi-threaded measurements.
+        assert!(parse_args(&args(&[
+            "--query", "child::a", "--terms", "r(a)", "--threads", "8",
+        ]))
+        .unwrap_err()
+        .contains("--batch"));
     }
 
     #[test]
@@ -425,9 +492,6 @@ mod tests {
             .contains("--file/--terms/--stdin"));
         assert!(parse_args(&args(&["--bogus"])).unwrap_err().contains("unknown argument"));
         assert!(parse_args(&args(&["--engine"])).unwrap_err().contains("missing value"));
-        assert!(parse_args(&args(&["--query", "x", "--terms", "a", "--engine", "zzz"]))
-            .unwrap_err()
-            .contains("unknown engine"));
     }
 
     #[test]
@@ -444,6 +508,27 @@ mod tests {
         let out = run(&opts).unwrap();
         assert!(out.starts_with("3 answer tuple(s)"));
         assert!(out.contains("$y=author#"));
+    }
+
+    #[test]
+    fn run_every_engine_and_auto_on_the_same_query() {
+        let base = [
+            "--query",
+            "descendant::book[child::author[. is $a]]",
+            "--vars",
+            "a",
+            "--terms",
+            "bib(book(author,title),book(author,author,title))",
+        ];
+        let mut outputs = Vec::new();
+        for engine in ["ppl", "acq", "hcl", "naive", "auto"] {
+            let mut argv: Vec<&str> = base.to_vec();
+            argv.extend(["--engine", engine]);
+            outputs.push(run(&parse_args(&args(&argv)).unwrap()).unwrap());
+        }
+        for other in &outputs[1..] {
+            assert_eq!(other, &outputs[0], "engines disagree on the CLI");
+        }
     }
 
     #[test]
@@ -501,6 +586,8 @@ mod tests {
             "--terms",
             "bib(book(author,title),book(author,author,title))",
             "--stats",
+            "--threads",
+            "4",
         ]))
         .unwrap();
         let out = run(&opts).unwrap();
@@ -509,13 +596,15 @@ mod tests {
         assert!(out.contains("3 answer tuple(s) over (y, z)"));
         assert!(out.contains("# [2] descendant::author"));
         assert!(out.contains("3 answer tuple(s) over (a)"));
-        // The third line is a boolean (arity-0) query: one empty tuple.
+        // The third line is a boolean (arity-0) query: normalised rendering.
         assert!(out.contains("# [3] "));
-        assert!(out.contains("1 answer tuple(s) over ()"));
+        assert!(out.contains("satisfiable: true"));
+        assert!(!out.contains("answer tuple(s) over ()"), "{out}");
         // `descendant::book` and `child::author` repeat across the batch, so
-        // the cache must report hits.
+        // the cache must report hits even when served on 4 threads.
         assert!(out.contains("# cache: "));
         assert!(!out.contains("# cache: 0 hits"), "{out}");
+        assert!(out.contains("on 4 thread(s)"), "{out}");
         // Named steps compile to CSR successor lists, so the kernel line
         // must report sparse step dispatches.
         assert!(out.contains("# kernels: steps id/iv/sp/dn "), "{out}");
@@ -540,7 +629,28 @@ mod tests {
     }
 
     #[test]
-    fn run_explain_includes_pipeline() {
+    fn run_batch_with_naive_engine_accepts_full_core_xpath() {
+        // Historically --batch rejected --engine naive; plans serve it now.
+        let path = std::env::temp_dir().join("pplx_batch_test_naive.txt");
+        std::fs::write(&path, "for $x in child::a return child::a[. is $x] -> x\n").unwrap();
+        let opts = parse_args(&args(&[
+            "--batch",
+            path.to_str().unwrap(),
+            "--terms",
+            "r(a,a)",
+            "--engine",
+            "naive",
+        ]))
+        .unwrap();
+        let out = run(&opts).unwrap();
+        std::fs::remove_file(&path).ok();
+        // The for-bound $x shadows the output variable, which therefore
+        // ranges over all nodes of the (satisfiable) loop — 3 tuples.
+        assert!(out.contains("3 answer tuple(s) over (x)"), "{out}");
+    }
+
+    #[test]
+    fn run_explain_includes_pipeline_and_plan() {
         let opts = parse_args(&args(&[
             "--query",
             "descendant::a[. is $x]",
@@ -553,6 +663,26 @@ mod tests {
         .unwrap();
         let out = run(&opts).unwrap();
         assert!(out.contains("PPLbin atoms"));
+        assert!(out.contains("candidates"));
+        assert!(out.contains("chosen       : ppl (forced by caller)"));
         assert!(out.contains("2 answer tuple(s)"));
+        // Auto planning reports its decision for every engine.
+        let auto = parse_args(&args(&[
+            "--query",
+            "descendant::a[. is $x]",
+            "--vars",
+            "x",
+            "--terms",
+            "r(a,a)",
+            "--engine",
+            "auto",
+            "--explain",
+        ]))
+        .unwrap();
+        let out = run(&auto).unwrap();
+        for name in ["ppl", "acq", "hcl", "naive"] {
+            assert!(out.contains(name), "missing {name} in:\n{out}");
+        }
+        assert!(out.contains("decision"));
     }
 }

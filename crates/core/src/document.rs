@@ -1,13 +1,22 @@
 //! Documents — trees with convenient constructors, node accessors and a
 //! per-document matrix cache for amortized multi-query evaluation.
+//!
+//! `Document` predates [`Session`] and is kept as a thin shim over it: every
+//! document *is* a session plus the legacy convenience surface
+//! ([`Document::answer`], [`Document::answer_batch`], serialisation
+//! helpers).  New code that serves concurrent traffic should use
+//! [`Session`] and prepared [`QueryPlan`]s directly; `Document` remains the
+//! simplest way to run one-off queries.
+//!
+//! [`QueryPlan`]: crate::QueryPlan
 
 use crate::query::{AnswerSet, PplQuery, QueryError};
-use std::cell::RefCell;
+use crate::session::Session;
 use std::fmt;
 use xpath_ast::BinExpr;
-use xpath_pplbin::{CacheStats, KernelMode, KernelStats, MatrixStore, NodeMatrix};
+use xpath_pplbin::{CacheStats, KernelMode, KernelStats, NodeMatrix};
 use xpath_tree::{NodeId, Tree, TreeError};
-use xpath_xml::{parse_with, ParseOptions, XmlError};
+use xpath_xml::{ParseOptions, XmlError};
 
 /// Errors raised while loading a document.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -32,133 +41,128 @@ impl std::error::Error for DocumentError {}
 /// An XML document abstracted to the paper's data model: an unranked,
 /// sibling-ordered, labelled tree.
 ///
-/// Every document owns a [`MatrixStore`] behind interior mutability: the
-/// `|t|³` PPLbin matrix compilation of Theorem 1 depends only on the
-/// *(tree, subterm)* pair, so the store hash-conses subterms and memoises
-/// their compiled matrices.  Repeated [`PplQuery::answers`] calls and the
-/// batched [`Document::answer_batch`] API reuse each compiled matrix instead
-/// of paying the compilation again; [`Document::cache_stats`] exposes the
-/// hit/miss counters.
+/// Every document owns a [`Session`] — and through it a thread-safe
+/// [`SharedMatrixStore`]: the `|t|³` PPLbin matrix compilation of Theorem 1
+/// depends only on the *(tree, subterm)* pair, so the store hash-conses
+/// subterms and memoises their compiled matrices.  Repeated
+/// [`PplQuery::answers`] calls and the batched [`Document::answer_batch`]
+/// API reuse each compiled matrix instead of paying the compilation again;
+/// [`Document::cache_stats`] exposes the hit/miss counters.
 ///
-/// The cache makes `Document` single-threaded (`!Send`/`!Sync` — the store
-/// uses `RefCell` and `Rc`-shared successor lists, and even `&self`
-/// answering mutates it).  To distribute query traffic across threads,
-/// give each worker its own `Document` (cloning is cheap relative to
-/// matrix compilation and clones the cache state).
+/// Since the store moved behind sharded locks, `Document` is `Send + Sync`:
+/// one instance can answer queries from many threads (historically the
+/// cache used `RefCell` and each worker thread needed its own clone).
+/// Cloning is cheap and *shares* the tree and the cache state.
+///
+/// [`SharedMatrixStore`]: xpath_pplbin::SharedMatrixStore
 #[derive(Debug, Clone)]
 pub struct Document {
-    tree: Tree,
-    store: RefCell<MatrixStore>,
+    session: Session,
 }
+
+const fn _assert_send_sync<T: Send + Sync>() {}
+const _: () = _assert_send_sync::<Document>();
 
 impl Document {
     /// Parse an XML document (elements only, matching the paper's data
     /// model).
     pub fn from_xml(xml: &str) -> Result<Document, DocumentError> {
-        Self::from_xml_with(xml, &ParseOptions::default())
+        Ok(Document { session: Session::from_xml(xml)? })
     }
 
     /// Parse an XML document with explicit [`ParseOptions`] (e.g. to keep
     /// text nodes as `#text` leaves).
     pub fn from_xml_with(xml: &str, options: &ParseOptions) -> Result<Document, DocumentError> {
-        Ok(Document::from_tree(
-            parse_with(xml, options).map_err(DocumentError::Xml)?,
-        ))
+        Ok(Document { session: Session::from_xml_with(xml, options)? })
     }
 
     /// Parse the compact term syntax `a(b,c(d))`.
     pub fn from_terms(terms: &str) -> Result<Document, DocumentError> {
-        Ok(Document::from_tree(
-            Tree::from_terms(terms).map_err(DocumentError::Terms)?,
-        ))
+        Ok(Document { session: Session::from_terms(terms)? })
     }
 
     /// Wrap an already constructed tree.
     pub fn from_tree(tree: Tree) -> Document {
-        let store = RefCell::new(MatrixStore::new(tree.len()));
-        Document { tree, store }
+        Document { session: Session::from_tree(tree) }
+    }
+
+    /// The serving session backing this document (plans, parallel batches
+    /// and streaming answers live there).
+    pub fn session(&self) -> &Session {
+        &self.session
     }
 
     /// The underlying tree.
     pub fn tree(&self) -> &Tree {
-        &self.tree
+        self.session.tree()
     }
 
     /// Number of nodes `|t|`.
     pub fn len(&self) -> usize {
-        self.tree.len()
+        self.session.len()
     }
 
     /// Documents always have a root, so this is always `false`.
     pub fn is_empty(&self) -> bool {
-        self.tree.is_empty()
+        self.session.is_empty()
     }
 
     /// The root node.
     pub fn root(&self) -> NodeId {
-        self.tree.root()
+        self.session.root()
     }
 
     /// Label of a node.
     pub fn label(&self, node: NodeId) -> &str {
-        self.tree.label_str(node)
+        self.session.label(node)
     }
 
     /// Render a node as a short human-readable description
     /// (`label#preorder`), useful when printing answer tuples.
     pub fn describe(&self, node: NodeId) -> String {
-        format!("{}#{}", self.tree.label_str(node), self.tree.preorder(node))
+        self.session.describe(node)
     }
 
     /// Serialise back to compact XML.
     pub fn to_xml(&self) -> String {
-        xpath_xml::to_xml(&self.tree)
+        xpath_xml::to_xml(self.tree())
     }
 
     /// Serialise to the compact term syntax.
     pub fn to_terms(&self) -> String {
-        self.tree.to_terms()
+        self.tree().to_terms()
     }
 
     // -- cached evaluation --------------------------------------------------
 
-    /// Run a closure against the document's [`MatrixStore`].
-    ///
-    /// This is the single chokepoint through which every cached evaluation
-    /// path borrows the store; the `RefCell` borrow lasts exactly for the
-    /// closure, so `f` must not re-enter cached evaluation on `self`.
-    pub(crate) fn with_store<R>(&self, f: impl FnOnce(&mut MatrixStore) -> R) -> R {
-        f(&mut self.store.borrow_mut())
-    }
-
     /// Evaluate a PPLbin expression to its Boolean matrix through the
-    /// document cache: structurally equal subterms — from this call or any
+    /// session cache: structurally equal subterms — from this call or any
     /// earlier query over this document — are compiled exactly once.
     pub fn eval_binexpr(&self, expr: &BinExpr) -> NodeMatrix {
-        self.with_store(|store| store.eval(&self.tree, expr))
+        self.session.store().eval(self.tree(), expr)
     }
 
     /// Hit/miss counters of the document's matrix cache.
     pub fn cache_stats(&self) -> CacheStats {
-        self.store.borrow().stats()
+        self.session.cache_stats()
     }
 
     /// Per-kernel dispatch counters of the relation kernels behind the
     /// cache (see `xpath_pplbin::KernelStats`).
     pub fn kernel_stats(&self) -> KernelStats {
-        self.store.borrow().kernel_stats()
+        self.session.kernel_stats()
     }
 
     /// Select which relation kernels compile this document's matrices
     /// (adaptive + threaded by default; the dense mode exists for the E11
     /// ablation benchmark).  Already-compiled entries are kept.
     pub fn set_kernel_mode(&self, mode: KernelMode) {
-        self.store.borrow_mut().set_mode(mode);
+        self.session.set_kernel_mode(mode);
     }
 
     /// Drop every cached matrix (e.g. to measure cold evaluation).
     pub fn clear_cache(&self) {
-        self.store.borrow_mut().clear();
+        self.session.clear_cache();
     }
 
     /// Answer one compiled query through the document cache.  Equivalent to
@@ -171,6 +175,11 @@ impl Document {
     /// subterm occurring in the batch is compiled once and reused across
     /// queries (and across any earlier queries on this document).  Answer
     /// sets are returned in input order.
+    ///
+    /// This is the sequential legacy shim; for multi-threaded serving,
+    /// prepare [`QueryPlan`]s and use [`Session::answer_batch_parallel`].
+    ///
+    /// [`QueryPlan`]: crate::QueryPlan
     pub fn answer_batch(&self, queries: &[PplQuery]) -> Result<Vec<AnswerSet>, QueryError> {
         queries.iter().map(|q| q.answers(self)).collect()
     }
@@ -280,8 +289,23 @@ mod tests {
         let warm = d.eval_binexpr(&bin);
         assert_eq!(warm, xpath_pplbin::answer_binary(d.tree(), &bin));
         assert_eq!(d.eval_binexpr(&bin), warm);
-        // Cloning a document clones its cache state.
+        // Cloning a document shares its session (tree and cache state).
         let clone = d.clone();
         assert_eq!(clone.cache_stats(), d.cache_stats());
+    }
+
+    #[test]
+    fn documents_answer_from_multiple_threads() {
+        let d = Document::from_terms("bib(book(author,title),book(author,author,title))")
+            .unwrap();
+        let q = PplQuery::compile("descendant::author[. is $a]", &["a"]).unwrap();
+        let expected = d.answer(&q).unwrap();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    assert_eq!(d.answer(&q).unwrap(), expected);
+                });
+            }
+        });
     }
 }

@@ -1,56 +1,116 @@
-//! Engine selection — run the same query with the polynomial PPL pipeline or
-//! with the exponential specification baseline.
+//! Engine selection — the four evaluation strategies behind one enum.
 //!
-//! The baseline exists for two reasons:
+//! [`Engine`] is a plain `Copy` enum naming the strategies; per-variant
+//! behaviour lives in the [`Executor`] trait objects that
+//! [`Engine::executor`] dispatches to, so adding an engine means adding an
+//! executor, not growing match arms across the crate.
 //!
-//! * **differential testing** — on small inputs the two engines must agree
-//!   tuple-for-tuple (this is checked extensively in the integration tests);
-//! * **benchmarking** — experiment E4 of EXPERIMENTS.md measures the
-//!   crossover between the naive `Θ(|t|ⁿ)` enumeration and the
-//!   output-sensitive polynomial algorithm as the tuple width `n` grows.
+//! The non-`ppl` engines exist for three reasons:
+//!
+//! * **differential testing** — on small inputs all four engines must agree
+//!   tuple-for-tuple (checked extensively by the fuzz suite);
+//! * **benchmarking** — the E4/E10/E12 experiments measure the crossovers
+//!   between them;
+//! * **planning** — the [`Planner`] picks the cheapest eligible engine per
+//!   query; `--engine` flags force one.
+//!
+//! [`Planner`]: crate::Planner
 
 use crate::document::Document;
+use crate::exec::{AcqExecutor, Executor, HclExecutor, NaiveExecutor, PplExecutor};
+use crate::plan::Planner;
 use crate::query::{AnswerSet, QueryError};
-use std::collections::BTreeSet;
+use std::fmt;
 use xpath_ast::{PathExpr, Var};
-use xpath_naive::answer_nary;
-use xpath_tree::NodeId;
 
 /// Which algorithm answers the query.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Engine {
-    /// The paper's polynomial-time pipeline
-    /// (Fig. 7 translation + Fig. 8 answering over PPLbin matrices).
+    /// The paper's polynomial-time pipeline (Fig. 7 translation + Fig. 8
+    /// answering over PPLbin matrices), compiled through the session's
+    /// shared matrix cache.
     Ppl,
+    /// The same Fig. 8 pipeline with cold-compiled atoms (no cache) — the
+    /// reference path of the differential tests.
+    Hcl,
+    /// Yannakakis' algorithm on the ACQ image (Props. 7/8/9).
+    Acq,
     /// The specification semantics of Fig. 2 with assignment enumeration —
-    /// exponential in the number of variables.
+    /// exponential in the number of variables, but accepts every Core
+    /// XPath 2.0 expression (including `for` and variable sharing).
     NaiveEnumeration,
 }
 
 impl Engine {
+    /// All four engines, in planner preference order.
+    pub const ALL: [Engine; 4] = [
+        Engine::Ppl,
+        Engine::Acq,
+        Engine::Hcl,
+        Engine::NaiveEnumeration,
+    ];
+
+    /// The short name used by `pplx --engine` and the bench rows.
+    pub fn name(self) -> &'static str {
+        match self {
+            Engine::Ppl => "ppl",
+            Engine::Hcl => "hcl",
+            Engine::Acq => "acq",
+            Engine::NaiveEnumeration => "naive",
+        }
+    }
+
+    /// Parse a `pplx --engine` name.
+    pub fn parse(name: &str) -> Option<Engine> {
+        match name {
+            "ppl" => Some(Engine::Ppl),
+            "hcl" => Some(Engine::Hcl),
+            "acq" => Some(Engine::Acq),
+            "naive" | "naive_enumeration" => Some(Engine::NaiveEnumeration),
+            _ => None,
+        }
+    }
+
+    /// The singleton [`Executor`] implementing this engine.
+    pub fn executor(self) -> &'static dyn Executor {
+        static PPL: PplExecutor = PplExecutor;
+        static HCL: HclExecutor = HclExecutor;
+        static ACQ: AcqExecutor = AcqExecutor;
+        static NAIVE: NaiveExecutor = NaiveExecutor;
+        match self {
+            Engine::Ppl => &PPL,
+            Engine::Hcl => &HCL,
+            Engine::Acq => &ACQ,
+            Engine::NaiveEnumeration => &NAIVE,
+        }
+    }
+
     /// Answer an n-ary query given as a raw Core XPath 2.0 path expression.
     ///
-    /// With [`Engine::Ppl`] the expression must be in the PPL fragment; with
-    /// [`Engine::NaiveEnumeration`] any Core XPath 2.0 expression (including
-    /// `for` loops and variable sharing) is accepted.
+    /// A thin shim over the planner API: the query is prepared with this
+    /// engine forced ([`Planner::plan_with`]) and executed on the document's
+    /// [`Session`].  With [`Engine::NaiveEnumeration`] any Core XPath 2.0
+    /// expression (including `for` loops and variable sharing) is accepted;
+    /// the other engines require the PPL fragment and report Definition 1
+    /// diagnostics otherwise.
+    ///
+    /// [`Session`]: crate::Session
     pub fn answer(
         self,
         doc: &Document,
         query: &PathExpr,
         output: &[Var],
     ) -> Result<AnswerSet, QueryError> {
-        match self {
-            Engine::Ppl => {
-                let compiled = crate::PplQuery::compile_path(query.clone(), output.to_vec())
-                    .map_err(QueryError::Ppl)?;
-                compiled.answers(doc)
-            }
-            Engine::NaiveEnumeration => {
-                let tuples: BTreeSet<Vec<NodeId>> = answer_nary(doc.tree(), query, output)
-                    .map_err(|e| QueryError::Naive(e.to_string()))?;
-                Ok(AnswerSet::new(output.to_vec(), tuples))
-            }
-        }
+        let plan = Planner::default()
+            .plan_with(doc.session(), query.clone(), output.to_vec(), Some(self))
+            .map_err(QueryError::Ppl)?;
+        doc.session().execute(&plan)
+    }
+}
+
+impl fmt::Display for Engine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
     }
 }
 
@@ -75,6 +135,9 @@ mod tests {
         let slow = Engine::NaiveEnumeration.answer(&d, &q, &output).unwrap();
         assert_eq!(fast, slow);
         assert_eq!(fast.len(), 3);
+        // The two engines added by the planner redesign agree too.
+        assert_eq!(Engine::Hcl.answer(&d, &q, &output).unwrap(), fast);
+        assert_eq!(Engine::Acq.answer(&d, &q, &output).unwrap(), fast);
     }
 
     #[test]
@@ -86,6 +149,8 @@ mod tests {
         .unwrap();
         let output = [Var::new("t")];
         assert!(Engine::Ppl.answer(&d, &q, &output).is_err());
+        assert!(Engine::Hcl.answer(&d, &q, &output).is_err());
+        assert!(Engine::Acq.answer(&d, &q, &output).is_err());
         let slow = Engine::NaiveEnumeration.answer(&d, &q, &output).unwrap();
         assert_eq!(slow.len(), 2);
     }
@@ -118,5 +183,17 @@ mod tests {
         if let Err(e) = naive_err {
             assert!(matches!(e, QueryError::Naive(_)));
         }
+    }
+
+    #[test]
+    fn names_round_trip_and_dispatch_matches() {
+        for engine in Engine::ALL {
+            assert_eq!(Engine::parse(engine.name()), Some(engine));
+            assert_eq!(engine.executor().engine(), engine);
+            assert_eq!(format!("{engine}"), engine.name());
+        }
+        assert_eq!(Engine::parse("naive_enumeration"), Some(Engine::NaiveEnumeration));
+        assert_eq!(Engine::parse("auto"), None);
+        assert_eq!(Engine::parse("zippy"), None);
     }
 }

@@ -1,0 +1,257 @@
+//! The [`Executor`] trait: one uniform execution interface over the four
+//! evaluation strategies of the paper.
+//!
+//! | engine  | implementation | paper |
+//! |---------|----------------|-------|
+//! | `ppl`   | [`PplExecutor`] — Fig. 8 over PPLbin matrices compiled through the session's shared cache | Thm. 1 + Thm. 2 |
+//! | `hcl`   | [`HclExecutor`] — the same Fig. 8 pipeline, cold (every atom recompiled) | Thm. 1 |
+//! | `acq`   | [`AcqExecutor`] — Yannakakis on the ACQ image (unions distributed under a budget) | Props. 7/8/9 |
+//! | `naive` | [`NaiveExecutor`] — Fig. 2 specification semantics with assignment enumeration | Prop. 1 |
+//!
+//! Executors are stateless (all state lives in the [`Session`] and the
+//! [`QueryPlan`]), so each engine is a `'static` singleton and
+//! [`crate::Engine::executor`] hands out `&'static dyn Executor` trait
+//! objects — `Engine` itself stays a plain `Copy` enum for pattern matching
+//! while dispatch goes through the trait.
+
+use crate::engine::Engine;
+use crate::plan::QueryPlan;
+use crate::query::{AnswerSet, CompileError, QueryError};
+use crate::session::Session;
+use std::collections::BTreeSet;
+use xpath_acq::{answer_acq, hcl_to_acq, hcl_to_union_acq};
+use xpath_ast::{BinExpr, Var};
+use xpath_hcl::{answer_hcl_pplbin, answer_hcl_pplbin_shared, Hcl};
+use xpath_naive::answer_nary;
+use xpath_tree::NodeId;
+
+/// Default union distribution budget of the ACQ executor (Prop. 9
+/// distribution is exponential in union nesting depth; plans exceeding
+/// their budget fail with [`QueryError::Acq`] instead of blowing up).
+/// Per-plan budgets come from `Planner::acq_disjunct_budget`.
+pub const ACQ_DISJUNCT_BUDGET: usize = 256;
+
+/// A query evaluation strategy, executable against any [`Session`].
+///
+/// Implementations are `Send + Sync` singletons; get one via
+/// [`Engine::executor`].
+pub trait Executor: Send + Sync {
+    /// The [`Engine`] variant this executor implements.
+    fn engine(&self) -> Engine;
+
+    /// One-line description shown in [`QueryPlan::explain`] candidate
+    /// tables.
+    fn describe(&self) -> &'static str;
+
+    /// Answer a prepared plan over a session.
+    ///
+    /// Plans prepared for the naive engine on non-PPL queries carry no HCL
+    /// image; executing them on any other engine reports the missing
+    /// compilation as [`QueryError::Ppl`].
+    fn execute(&self, session: &Session, plan: &QueryPlan) -> Result<AnswerSet, QueryError>;
+}
+
+/// The HCL image of a plan, or the Definition 1 diagnostics for plans that
+/// have none (prepared for the naive engine on a non-PPL query).
+fn require_hcl(plan: &QueryPlan) -> Result<&Hcl<BinExpr>, QueryError> {
+    plan.hcl().ok_or_else(|| {
+        QueryError::Ppl(CompileError::NotPpl(
+            xpath_ast::ppl::check_ppl(plan.source())
+                .err()
+                .unwrap_or_default(),
+        ))
+    })
+}
+
+fn set_of(output: &[Var], tuples: BTreeSet<Vec<NodeId>>) -> AnswerSet {
+    AnswerSet::new(output.to_vec(), tuples)
+}
+
+/// Theorem 1 through the session cache: Fig. 8 answering over PPLbin atom
+/// matrices compiled (once, ever, per session) in the shared store.
+pub struct PplExecutor;
+
+impl Executor for PplExecutor {
+    fn engine(&self) -> Engine {
+        Engine::Ppl
+    }
+
+    fn describe(&self) -> &'static str {
+        "Fig. 8 over cached PPLbin matrices (Thm. 1, shared store)"
+    }
+
+    fn execute(&self, session: &Session, plan: &QueryPlan) -> Result<AnswerSet, QueryError> {
+        let hcl = require_hcl(plan)?;
+        let tuples = answer_hcl_pplbin_shared(session.tree(), hcl, plan.output(), session.store())
+            .map_err(QueryError::Hcl)?;
+        Ok(set_of(plan.output(), tuples))
+    }
+}
+
+/// Theorem 1 cold: the same Fig. 8 pipeline with every atom matrix
+/// recompiled from scratch — the reference path for differential testing
+/// and the cold side of the benchmarks.
+pub struct HclExecutor;
+
+impl Executor for HclExecutor {
+    fn engine(&self) -> Engine {
+        Engine::Hcl
+    }
+
+    fn describe(&self) -> &'static str {
+        "Fig. 8 with cold-compiled atoms (Thm. 1, no cache)"
+    }
+
+    fn execute(&self, session: &Session, plan: &QueryPlan) -> Result<AnswerSet, QueryError> {
+        let hcl = require_hcl(plan)?;
+        let tuples = answer_hcl_pplbin(session.tree(), hcl, plan.output())
+            .map_err(QueryError::Hcl)?;
+        Ok(set_of(plan.output(), tuples))
+    }
+}
+
+/// Props. 7/8/9: translate the HCL⁻ image to (a union of) acyclic
+/// conjunctive queries and run Yannakakis' semijoin algorithm.
+pub struct AcqExecutor;
+
+impl Executor for AcqExecutor {
+    fn engine(&self) -> Engine {
+        Engine::Acq
+    }
+
+    fn describe(&self) -> &'static str {
+        "Yannakakis on the ACQ image (Props. 7/8/9)"
+    }
+
+    fn execute(&self, session: &Session, plan: &QueryPlan) -> Result<AnswerSet, QueryError> {
+        let hcl = require_hcl(plan)?;
+        let tuples = if hcl.is_union_free() {
+            let (cq, db) = hcl_to_acq(session.tree(), hcl, plan.output())
+                .map_err(|e| QueryError::Acq(e.to_string()))?;
+            answer_acq(&cq, &db).map_err(|e| QueryError::Acq(e.to_string()))?
+        } else {
+            let union = hcl_to_union_acq(
+                session.tree(),
+                hcl,
+                plan.output(),
+                plan.acq_disjunct_budget(),
+            )
+            .map_err(|e| QueryError::Acq(e.to_string()))?;
+            union.answer().map_err(|e| QueryError::Acq(e.to_string()))?
+        };
+        Ok(set_of(plan.output(), tuples))
+    }
+}
+
+/// Proposition 1: the Fig. 2 specification semantics with brute-force
+/// assignment enumeration — `Θ(|t|ⁿ)`, but accepts all of Core XPath 2.0.
+pub struct NaiveExecutor;
+
+impl Executor for NaiveExecutor {
+    fn engine(&self) -> Engine {
+        Engine::NaiveEnumeration
+    }
+
+    fn describe(&self) -> &'static str {
+        "Fig. 2 assignment enumeration (spec semantics, Θ(|t|ⁿ))"
+    }
+
+    fn execute(&self, session: &Session, plan: &QueryPlan) -> Result<AnswerSet, QueryError> {
+        let tuples = answer_nary(session.tree(), plan.source(), plan.output())
+            .map_err(|e| QueryError::Naive(e.to_string()))?;
+        Ok(set_of(plan.output(), tuples))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn session() -> Session {
+        Session::from_terms("bib(book(author,title),book(author,author,title))").unwrap()
+    }
+
+    #[test]
+    fn all_four_executors_agree_on_a_ppl_query() {
+        let s = session();
+        let src = "descendant::book[child::author[. is $y] and child::title[. is $z]]";
+        let mut answers = Vec::new();
+        for engine in Engine::ALL {
+            let plan = crate::Planner::default()
+                .plan_with(
+                    &s,
+                    xpath_ast::parse_path(src).unwrap(),
+                    vec![Var::new("y"), Var::new("z")],
+                    Some(engine),
+                )
+                .unwrap();
+            let executor = engine.executor();
+            assert_eq!(executor.engine(), engine);
+            assert!(!executor.describe().is_empty());
+            answers.push(executor.execute(&s, &plan).unwrap());
+        }
+        assert_eq!(answers[0].len(), 3);
+        for other in &answers[1..] {
+            assert_eq!(other, &answers[0]);
+        }
+    }
+
+    #[test]
+    fn acq_executor_handles_union_queries_via_distribution() {
+        let s = session();
+        let src = "descendant::author[. is $x] union descendant::title[. is $x]";
+        let plan = crate::Planner::default()
+            .plan_with(
+                &s,
+                xpath_ast::parse_path(src).unwrap(),
+                vec![Var::new("x")],
+                Some(Engine::Acq),
+            )
+            .unwrap();
+        let acq = Engine::Acq.executor().execute(&s, &plan).unwrap();
+        let naive = Engine::NaiveEnumeration.executor().execute(&s, &plan).unwrap();
+        assert_eq!(acq, naive);
+        assert_eq!(acq.len(), 5); // 3 authors + 2 titles
+    }
+
+    #[test]
+    fn acq_executor_honours_the_planner_disjunct_budget() {
+        // Regression: the budget used to be a dead field on Planner while
+        // the executor always used the 256 default.
+        let s = session();
+        let src = "descendant::author[. is $x] union descendant::title[. is $x]";
+        let tight = crate::Planner {
+            acq_disjunct_budget: 1,
+            ..crate::Planner::default()
+        };
+        let plan = tight
+            .plan_with(
+                &s,
+                xpath_ast::parse_path(src).unwrap(),
+                vec![Var::new("x")],
+                Some(Engine::Acq),
+            )
+            .unwrap();
+        assert_eq!(plan.acq_disjunct_budget(), 1);
+        let err = Engine::Acq.executor().execute(&s, &plan).unwrap_err();
+        assert!(matches!(err, QueryError::Acq(_)), "{err}");
+        assert!(err.to_string().contains("budget") || err.to_string().contains("disjunct"));
+    }
+
+    #[test]
+    fn executing_a_naive_only_plan_on_matrix_engines_reports_ppl_errors() {
+        let s = session();
+        let non_ppl = xpath_ast::parse_path(
+            "for $x in child::book return child::book[. is $x]/child::title[. is $t]",
+        )
+        .unwrap();
+        let plan = crate::Planner::default()
+            .plan_with(&s, non_ppl, vec![Var::new("t")], Some(Engine::NaiveEnumeration))
+            .unwrap();
+        assert_eq!(Engine::NaiveEnumeration.executor().execute(&s, &plan).unwrap().len(), 2);
+        for engine in [Engine::Ppl, Engine::Hcl, Engine::Acq] {
+            let err = engine.executor().execute(&s, &plan).unwrap_err();
+            assert!(matches!(err, QueryError::Ppl(_)), "{engine:?}: {err}");
+        }
+    }
+}

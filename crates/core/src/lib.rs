@@ -14,53 +14,103 @@
 //!     → answer, Fig. 8 (xpath_hcl)        —  O(|P||t|³ + n|P||t|²|A|)
 //! ```
 //!
-//! ## Quick start
+//! ## Quick start — sessions and plans
+//!
+//! The serving API separates *compilation*, *planning* and *execution*: a
+//! [`Session`] owns a document plus a thread-safe matrix cache, a
+//! [`QueryPlan`] is a prepared query with an engine chosen by the
+//! [`Planner`], and executing a plan (from any thread, any number of times)
+//! only pays evaluation:
+//!
+//! ```
+//! use ppl_xpath::Session;
+//!
+//! let session = Session::from_xml(
+//!     "<bib><book><author/><title/></book><book><author/><author/><title/></book></bib>",
+//! ).unwrap();
+//!
+//! // Prepare once: parse, Definition 1 check, Fig. 7 translation, and the
+//! // planner's cost decision over the four engines.
+//! let plan = session.plan(
+//!     "descendant::book[child::author[. is $y] and child::title[. is $z]]",
+//!     &["y", "z"],
+//! ).unwrap();
+//! println!("{}", plan.explain());        // which engine, and why
+//!
+//! // Execute anywhere: `Session` is `Send + Sync`, so clones of it (and
+//! // the plan) can serve from as many threads as the traffic needs.
+//! let answers = session.execute(&plan).unwrap();
+//! assert_eq!(answers.len(), 3);          // one pair per (author, book)
+//!
+//! // Or stream lazily instead of materialising the answer set.
+//! let first = session.answers_stream(&plan).unwrap().next().unwrap();
+//! assert_eq!(session.label(first[0]), "author");
+//! ```
+//!
+//! Batches fan out over worker threads sharing one cache:
+//!
+//! ```
+//! # use ppl_xpath::Session;
+//! # let session = Session::from_terms("bib(book(author,title),book(author,title))").unwrap();
+//! let plans = vec![
+//!     session.plan("descendant::book[child::author[. is $a]]", &["a"]).unwrap(),
+//!     session.plan("descendant::book[child::title[. is $t]]", &["t"]).unwrap(),
+//! ];
+//! let answers = session.answer_batch_parallel(&plans, 8).unwrap();
+//! assert_eq!(answers.len(), 2);
+//! ```
+//!
+//! ## Legacy API
+//!
+//! The original single-threaded-looking surface is kept as thin shims over
+//! the session machinery (same caching, same answers):
 //!
 //! ```
 //! use ppl_xpath::{Document, PplQuery};
 //!
-//! let doc = Document::from_xml(
-//!     "<bib><book><author/><title/></book><book><author/><author/><title/></book></bib>",
+//! let doc = Document::from_terms(
+//!     "bib(book(author,title),book(author,author,title))",
 //! ).unwrap();
-//!
-//! // The author–title pair query from the paper's introduction.
 //! let query = PplQuery::compile(
 //!     "descendant::book[child::author[. is $y] and child::title[. is $z]]",
 //!     &["y", "z"],
 //! ).unwrap();
-//!
-//! let answers = query.answers(&doc).unwrap();
-//! assert_eq!(answers.len(), 3);           // one pair per (author, book)
-//! for tuple in answers.tuples() {
-//!     assert_eq!(doc.label(tuple[0]), "author");
-//!     assert_eq!(doc.label(tuple[1]), "title");
-//! }
+//! assert_eq!(query.answers(&doc).unwrap().len(), 3);
 //! ```
 //!
 //! ## What else is in the box
 //!
-//! * [`Document::answer_batch`] — answer many compiled queries over one
-//!   document with shared compilation state: every document owns a
-//!   [`MatrixStore`] cache (hash-consed PPLbin subterms, memoised
-//!   matrices), so repeated and batched queries skip the `|t|³` matrix
-//!   compilation.  [`Document::cache_stats`] exposes the hit/miss counters;
+//! * [`Planner`] — the cost-based engine choice (PPL membership, arity,
+//!   axis mix, acyclicity, tree size, cache warmth), with explicit
+//!   overrides for every engine.
+//! * [`Executor`] — the uniform execution trait implemented by all four
+//!   engines; [`Engine::executor`] hands out the singletons.
+//! * [`Session::answer_batch_parallel`] / [`Session::answers_stream`] —
+//!   multi-threaded batch serving and lazy tuple streaming.
+//! * [`Document::answer_batch`] — the sequential batched shim over the
+//!   shared cache; [`Document::cache_stats`] exposes the hit/miss counters;
 //!   `*_cold` methods bypass the cache.
 //! * [`BinaryQuery`] — the variable-free PPLbin engine of Theorem 2
 //!   (binary queries as Boolean matrices).
-//! * [`Engine`] — evaluate the same query with the polynomial PPL engine or
-//!   with the exponential specification baseline (`xpath_naive`), for
-//!   differential testing and for the benchmark experiments.
+//! * [`Engine`] — evaluate the same query with any of the four strategies,
+//!   for differential testing and the benchmark experiments.
 //! * Re-exports of the component crates under [`components`], and a
 //!   [`prelude`] for glob imports.
 
 pub mod document;
 pub mod engine;
+pub mod exec;
+pub mod plan;
 pub mod query;
+pub mod session;
 
 pub use document::Document;
 pub use engine::Engine;
+pub use exec::{AcqExecutor, Executor, HclExecutor, NaiveExecutor, PplExecutor};
+pub use plan::{PlanChoice, Planner, QueryFeatures, QueryPlan};
 pub use query::{AnswerSet, BinaryQuery, CompileError, PplQuery, QueryError};
-pub use xpath_pplbin::{CacheStats, KernelMode, KernelStats, MatrixStore};
+pub use session::{AnswerIter, Session};
+pub use xpath_pplbin::{CacheStats, KernelMode, KernelStats, MatrixStore, SharedMatrixStore};
 
 /// Re-exports of the underlying component crates for advanced users.
 pub mod components {
@@ -76,7 +126,9 @@ pub mod components {
 
 /// Commonly used items, for glob import in examples and tests.
 pub mod prelude {
-    pub use crate::{AnswerSet, BinaryQuery, Document, Engine, PplQuery};
+    pub use crate::{
+        AnswerSet, BinaryQuery, Document, Engine, Planner, PplQuery, QueryPlan, Session,
+    };
     pub use xpath_ast::{parse_path, PathExpr, Var};
     pub use xpath_tree::{Axis, NodeId, Tree};
 }

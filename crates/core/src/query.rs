@@ -7,9 +7,7 @@ use std::fmt;
 use xpath_ast::binexpr::{from_variable_free_path, NotVariableFree};
 use xpath_ast::ppl::PplViolation;
 use xpath_ast::{parse_path, BinExpr, ParseError, PathExpr, Var};
-use xpath_hcl::{
-    answer_hcl_pplbin, answer_hcl_pplbin_with_store, ppl_to_hcl, Hcl, HclError, TranslateError,
-};
+use xpath_hcl::{answer_hcl_pplbin, answer_hcl_pplbin_shared, ppl_to_hcl, Hcl, HclError, TranslateError};
 use xpath_pplbin::NodeMatrix;
 use xpath_tree::NodeId;
 
@@ -66,6 +64,9 @@ pub enum QueryError {
     /// The HCL engine rejected the expression (cannot happen for queries
     /// compiled through [`PplQuery::compile`], which enforce NVS(/)).
     Hcl(HclError),
+    /// The ACQ/Yannakakis engine failed (e.g. the Prop. 9 union
+    /// distribution exceeded its disjunct budget).
+    Acq(String),
     /// The naive baseline failed (e.g. an unbound variable when evaluating a
     /// raw Core XPath 2.0 expression).
     Naive(String),
@@ -76,6 +77,7 @@ impl fmt::Display for QueryError {
         match self {
             QueryError::Ppl(e) => write!(f, "PPL compilation failed: {e}"),
             QueryError::Hcl(e) => write!(f, "{e}"),
+            QueryError::Acq(e) => write!(f, "acq evaluation failed: {e}"),
             QueryError::Naive(e) => write!(f, "naive evaluation failed: {e}"),
         }
     }
@@ -136,7 +138,20 @@ impl AnswerSet {
 
     /// Render the answers with node labels resolved against a document —
     /// convenient for examples and debugging.
+    ///
+    /// Arity-0 (satisfiability) answer sets hold at most one *empty* tuple;
+    /// rendering that as a bare `()` line interleaves awkwardly with
+    /// `explain()` output, so the empty tuple is normalised to an explicit
+    /// `(satisfiable)` marker (and an unsatisfiable 0-ary set renders as
+    /// nothing, like every other empty answer set).
     pub fn render(&self, doc: &Document) -> String {
+        if self.arity() == 0 {
+            return if self.is_empty() {
+                String::new()
+            } else {
+                "(satisfiable)\n".to_string()
+            };
+        }
         let mut out = String::new();
         for tuple in &self.tuples {
             let cells: Vec<String> = self
@@ -201,19 +216,18 @@ impl PplQuery {
     /// Answer the query on a document with the polynomial-time engine
     /// (Fig. 8 over PPLbin atoms).
     ///
-    /// Atom matrices are compiled through the document's [`MatrixStore`]
-    /// cache (`Document::cache_stats` exposes the counters): answering the
+    /// Atom matrices are compiled through the document session's
+    /// [`SharedMatrixStore`] cache (`Document::cache_stats` exposes the
+    /// counters): answering the
     /// same query — or any query sharing PPLbin subterms — again on the same
     /// document skips the `|t|³` compilation.  Use
     /// [`PplQuery::answers_cold`] to bypass the cache.
     ///
-    /// [`MatrixStore`]: xpath_pplbin::MatrixStore
+    /// [`SharedMatrixStore`]: xpath_pplbin::SharedMatrixStore
     pub fn answers(&self, doc: &Document) -> Result<AnswerSet, QueryError> {
-        let tuples = doc
-            .with_store(|store| {
-                answer_hcl_pplbin_with_store(doc.tree(), &self.hcl, &self.output, store)
-            })
-            .map_err(QueryError::Hcl)?;
+        let tuples =
+            answer_hcl_pplbin_shared(doc.tree(), &self.hcl, &self.output, doc.session().store())
+                .map_err(QueryError::Hcl)?;
         Ok(AnswerSet::new(self.output.clone(), tuples))
     }
 
@@ -231,8 +245,7 @@ impl PplQuery {
     /// some assignment?  (Arity-0 special case of [`PplQuery::answers`];
     /// cached like it.)
     pub fn is_satisfiable(&self, doc: &Document) -> Result<bool, QueryError> {
-        let tuples = doc
-            .with_store(|store| answer_hcl_pplbin_with_store(doc.tree(), &self.hcl, &[], store))
+        let tuples = answer_hcl_pplbin_shared(doc.tree(), &self.hcl, &[], doc.session().store())
             .map_err(QueryError::Hcl)?;
         Ok(!tuples.is_empty())
     }
@@ -379,6 +392,21 @@ mod tests {
         let err = BinaryQuery::compile("child::a[. is $x]").unwrap_err();
         assert!(matches!(err, CompileError::NotVariableFree(_)));
         assert!(err.to_string().contains("N($x)"));
+    }
+
+    #[test]
+    fn zero_ary_render_is_normalised() {
+        // Regression: satisfiable 0-ary answer sets used to render as a bare
+        // "()" line that interleaved awkwardly with explain() output.
+        let d = doc();
+        let q = PplQuery::compile("descendant::book[child::author]", &[]).unwrap();
+        let ans = q.answers(&d).unwrap();
+        assert_eq!(ans.arity(), 0);
+        assert_eq!(ans.len(), 1);
+        assert_eq!(ans.render(&d), "(satisfiable)\n");
+        assert!(!ans.render(&d).contains("()"), "no bare empty-tuple line");
+        let unsat = PplQuery::compile("descendant::publisher", &[]).unwrap();
+        assert_eq!(unsat.answers(&d).unwrap().render(&d), "");
     }
 
     #[test]

@@ -15,16 +15,23 @@
 //! * the `MC` table to prune unsatisfiable branches in O(1),
 //! * memoisation of the intermediate valuation sets `vals(D₀, u)`, and
 //! * duplicate elimination after every union and projection.
+//!
+//! The algorithm is exposed in two shapes: the materialising entry points
+//! (`answer_*`, returning a sorted `BTreeSet` of tuples) and the *streaming*
+//! [`AnswerStream`] iterator, which explores start nodes lazily and yields
+//! each answer tuple as soon as it is derived — a consumer that stops after
+//! `k` tuples pays only for the prefix of start nodes explored so far, not
+//! for the full `|A|`.
 
 use crate::lang::Hcl;
 use crate::mc::McTable;
 use crate::oracle::{intern_atoms, CompiledAtoms, PplBinAtoms};
 use crate::share::{EquationSystem, ShareId, ShareNode};
-use std::collections::{BTreeSet, HashSet};
+use std::collections::{BTreeSet, HashSet, VecDeque};
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 use xpath_ast::{BinExpr, Var};
-use xpath_pplbin::MatrixStore;
+use xpath_pplbin::{MatrixStore, SharedMatrixStore};
 use xpath_tree::{NodeId, Tree};
 
 /// An answer tuple: one node per output variable, in the order of the output
@@ -89,6 +96,21 @@ pub fn answer_hcl_pplbin_with_store(
     })
 }
 
+/// Answer an `HCL⁻(PPLbin)` query with atoms compiled through a thread-safe
+/// [`SharedMatrixStore`] (`&self` — many threads can answer over the same
+/// store concurrently).  This is the entry point behind
+/// `ppl_xpath::Session`.
+pub fn answer_hcl_pplbin_shared(
+    tree: &Tree,
+    hcl: &Hcl<BinExpr>,
+    output: &[Var],
+    store: &SharedMatrixStore,
+) -> Result<BTreeSet<Tuple>, HclError> {
+    answer_hcl(tree, hcl, output, |t: &Tree, atoms: &[BinExpr]| {
+        PplBinAtoms::compile_with_shared(t, atoms, store)
+    })
+}
+
 /// Answer an `HCL⁻(L)` query with a caller-provided atom compiler.
 pub fn answer_hcl<B, F>(
     tree: &Tree,
@@ -100,11 +122,51 @@ where
     B: Clone + Eq + std::hash::Hash,
     F: FnOnce(&Tree, &[B]) -> CompiledAtoms,
 {
+    Ok(stream_hcl(tree, hcl, output, compile)?.collect())
+}
+
+/// Build a lazy [`AnswerStream`] for an `HCL⁻(L)` query with a
+/// caller-provided atom compiler.  Atom compilation (the `|t|³` part) still
+/// happens up front; the Fig. 8 `vals`/`extend` exploration is deferred to
+/// iteration.
+pub fn stream_hcl<B, F>(
+    tree: &Tree,
+    hcl: &Hcl<B>,
+    output: &[Var],
+    compile: F,
+) -> Result<AnswerStream, HclError>
+where
+    B: Clone + Eq + std::hash::Hash,
+    F: FnOnce(&Tree, &[B]) -> CompiledAtoms,
+{
     hcl.check_no_sharing().map_err(HclError::VariableSharing)?;
     let (interned, atoms) = intern_atoms(hcl);
     let compiled = compile(tree, &atoms);
     let eq = EquationSystem::from_hcl(&interned);
-    Ok(answer_compiled(&eq, &compiled, output))
+    Ok(AnswerStream::new(eq, compiled, output.to_vec()))
+}
+
+/// Build a lazy [`AnswerStream`] with cold-compiled PPLbin atoms.
+pub fn stream_hcl_pplbin(
+    tree: &Tree,
+    hcl: &Hcl<BinExpr>,
+    output: &[Var],
+) -> Result<AnswerStream, HclError> {
+    stream_hcl(tree, hcl, output, PplBinAtoms::compile)
+}
+
+/// Build a lazy [`AnswerStream`] with atoms compiled through a
+/// [`SharedMatrixStore`]; the shard locks are released before this function
+/// returns, so iteration is lock-free.
+pub fn stream_hcl_pplbin_shared(
+    tree: &Tree,
+    hcl: &Hcl<BinExpr>,
+    output: &[Var],
+    store: &SharedMatrixStore,
+) -> Result<AnswerStream, HclError> {
+    stream_hcl(tree, hcl, output, |t: &Tree, atoms: &[BinExpr]| {
+        PplBinAtoms::compile_with_shared(t, atoms, store)
+    })
 }
 
 /// Answer a query from pre-normalised and pre-compiled pieces.
@@ -116,57 +178,83 @@ pub fn answer_compiled(
     atoms: &CompiledAtoms,
     output: &[Var],
 ) -> BTreeSet<Tuple> {
-    let mc = McTable::compute(eq, atoms);
-    let mut engine = ValsEngine {
-        eq,
-        atoms,
-        mc: &mc,
-        output,
-        domain: atoms.domain(),
-        memo: vec![vec![None; atoms.domain()]; eq.len()],
-    };
-
-    // partial_vals = ⋃_{u ∈ nodes(t)} vals(D, u)
-    let mut partials: Vec<PartialVal> = Vec::new();
-    for u in 0..engine.domain {
-        let vals = engine.vals(eq.root(), NodeId(u as u32));
-        partials.extend(vals.iter().cloned());
-    }
-    let partials = dedup(partials);
-
-    // valuations = extend_{t,x}(partial_vals); answers = projections.
-    let all_positions: Vec<usize> = (0..output.len()).collect();
-    let complete = extend(&partials, &all_positions, engine.domain);
-    complete
-        .into_iter()
-        .map(|val| {
-            val.into_iter()
-                .map(|slot| slot.expect("extension makes every position total"))
-                .collect()
-        })
-        .collect()
+    AnswerStream::new(eq.clone(), atoms.clone(), output.to_vec()).collect()
 }
 
-struct ValsEngine<'a> {
-    eq: &'a EquationSystem,
-    atoms: &'a CompiledAtoms,
-    mc: &'a McTable,
-    output: &'a [Var],
+/// A lazy answer iterator over the Fig. 8 algorithm.
+///
+/// The stream owns the normalised equation system, the compiled atom oracle
+/// and the `MC` table, and explores the start nodes `u ∈ nodes(t)` one at a
+/// time: the partial valuations of `vals(D, u)` are extended to total
+/// valuations and their projections yielded immediately, deduplicated
+/// against everything yielded before.  Consuming only a prefix therefore
+/// skips the `vals` computation of every unexplored start node — the
+/// memoisation table, shared across start nodes, still guarantees that a
+/// full drain does no more work than the materialising algorithm.
+///
+/// Tuples are yielded in *discovery* order (by start node, then derivation
+/// order), not in the lexicographic order of `AnswerSet`; collect and sort
+/// when a canonical order is needed.
+///
+/// The stream is self-contained (`Send`): atom lists are shared via `Arc`,
+/// so streams for several queries can be drained on worker threads while
+/// the session that created them keeps serving.
+#[derive(Debug)]
+pub struct AnswerStream {
+    eq: EquationSystem,
+    atoms: CompiledAtoms,
+    mc: McTable,
+    output: Vec<Var>,
     domain: usize,
-    memo: Vec<Vec<Option<Rc<Vec<PartialVal>>>>>,
+    memo: Vec<Vec<Option<Arc<Vec<PartialVal>>>>>,
+    /// Next start node to explore.
+    next_node: usize,
+    /// Partial valuations already extended (across start nodes), so a
+    /// partial rediscovered from a later start node is not re-extended.
+    seen_partials: HashSet<PartialVal>,
+    /// Tuples already yielded.
+    seen: HashSet<Tuple>,
+    /// Tuples derived from the current start node, pending yield.
+    pending: VecDeque<Tuple>,
 }
 
-impl<'a> ValsEngine<'a> {
+impl AnswerStream {
+    /// Build a stream from pre-normalised and pre-compiled pieces (the
+    /// NVS(/) check is the caller's responsibility, as for
+    /// [`answer_compiled`]).
+    pub fn new(eq: EquationSystem, atoms: CompiledAtoms, output: Vec<Var>) -> AnswerStream {
+        let mc = McTable::compute(&eq, &atoms);
+        let domain = atoms.domain();
+        let memo = vec![vec![None; domain]; eq.len()];
+        AnswerStream {
+            eq,
+            atoms,
+            mc,
+            output,
+            domain,
+            memo,
+            next_node: 0,
+            seen_partials: HashSet::new(),
+            seen: HashSet::new(),
+            pending: VecDeque::new(),
+        }
+    }
+
+    /// The output variables, in tuple order.
+    pub fn variables(&self) -> &[Var] {
+        &self.output
+    }
+
     fn output_position(&self, var: &Var) -> Option<usize> {
         self.output.iter().position(|v| v == var)
     }
 
-    fn vals(&mut self, d: ShareId, u: NodeId) -> Rc<Vec<PartialVal>> {
+    fn vals(&mut self, d: ShareId, u: NodeId) -> Arc<Vec<PartialVal>> {
         if let Some(cached) = &self.memo[d.index()][u.index()] {
-            return Rc::clone(cached);
+            return Arc::clone(cached);
         }
-        let result = Rc::new(self.compute_vals(d, u));
-        self.memo[d.index()][u.index()] = Some(Rc::clone(&result));
+        let result = Arc::new(self.compute_vals(d, u));
+        self.memo[d.index()][u.index()] = Some(Arc::clone(&result));
         result
     }
 
@@ -180,7 +268,10 @@ impl<'a> ValsEngine<'a> {
             ShareNode::Param(body) => self.vals(body, u).as_ref().clone(),
             ShareNode::StepAtom(atom, rest) => {
                 let mut out: Vec<PartialVal> = Vec::new();
-                for &v in self.atoms.successors(atom, u) {
+                // Clone the Arc (one refcount bump, no node copies): `vals`
+                // below re-borrows `self` mutably.
+                let lists = Arc::clone(self.atoms.shared_lists(atom));
+                for &v in &lists[u.index()] {
                     let vals = self.vals(rest, v);
                     out.extend(vals.iter().cloned());
                 }
@@ -232,6 +323,39 @@ impl<'a> ValsEngine<'a> {
                 let mut out = extend(lv.as_ref(), &positions, self.domain);
                 out.extend(extend(rv.as_ref(), &positions, self.domain));
                 dedup(out)
+            }
+        }
+    }
+}
+
+impl Iterator for AnswerStream {
+    type Item = Tuple;
+
+    fn next(&mut self) -> Option<Tuple> {
+        loop {
+            if let Some(tuple) = self.pending.pop_front() {
+                return Some(tuple);
+            }
+            if self.next_node >= self.domain {
+                return None;
+            }
+            let u = NodeId(self.next_node as u32);
+            self.next_node += 1;
+            let vals = self.vals(self.eq.root(), u);
+            let all_positions: Vec<usize> = (0..self.output.len()).collect();
+            for val in vals.iter() {
+                if !self.seen_partials.insert(val.clone()) {
+                    continue;
+                }
+                for complete in extend(std::slice::from_ref(val), &all_positions, self.domain) {
+                    let tuple: Tuple = complete
+                        .into_iter()
+                        .map(|slot| slot.expect("extension makes every position total"))
+                        .collect();
+                    if self.seen.insert(tuple.clone()) {
+                        self.pending.push_back(tuple);
+                    }
+                }
             }
         }
     }
@@ -427,6 +551,70 @@ mod tests {
         let ans = answer_hcl_pplbin(&tree, &hcl, &[v("y")]).unwrap();
         assert_eq!(ans.len(), 2);
         assert!(ans.iter().all(|t| tree.label_str(t[0]) == "title"));
+    }
+
+    #[test]
+    fn streaming_yields_exactly_the_materialised_answers() {
+        let tree = bib();
+        let hcl = Hcl::Atom(bin("descendant::book"))
+            .then(Hcl::Filter(Box::new(
+                Hcl::Atom(bin("child::author")).then(Hcl::Var(v("x"))),
+            )))
+            .then(Hcl::Atom(bin("child::title")))
+            .then(Hcl::Var(v("y")));
+        let output = [v("x"), v("y")];
+        let expected = answer_hcl_pplbin(&tree, &hcl, &output).unwrap();
+        let stream = stream_hcl_pplbin(&tree, &hcl, &output).unwrap();
+        assert_eq!(stream.variables(), &output);
+        let streamed: Vec<Tuple> = stream.collect();
+        assert_eq!(streamed.len(), expected.len(), "no duplicates in the stream");
+        let as_set: BTreeSet<Tuple> = streamed.into_iter().collect();
+        assert_eq!(as_set, expected);
+        // A truncated stream yields a subset.
+        let prefix: BTreeSet<Tuple> =
+            stream_hcl_pplbin(&tree, &hcl, &output).unwrap().take(2).collect();
+        assert_eq!(prefix.len(), 2);
+        assert!(prefix.is_subset(&expected));
+    }
+
+    #[test]
+    fn streaming_handles_boolean_and_free_variable_queries() {
+        let tree = Tree::from_terms("a(b,c)").unwrap();
+        let sat: Hcl<BinExpr> = Hcl::Atom(bin("child::b"));
+        // 0-ary satisfiable: exactly one empty tuple, once.
+        let tuples: Vec<Tuple> = stream_hcl_pplbin(&tree, &sat, &[]).unwrap().collect();
+        assert_eq!(tuples, vec![Vec::new()]);
+        let unsat: Hcl<BinExpr> = Hcl::Atom(bin("child::zzz"));
+        assert_eq!(stream_hcl_pplbin(&tree, &unsat, &[]).unwrap().count(), 0);
+        // A free output variable ranges over all nodes, lazily.
+        let mut stream = stream_hcl_pplbin(&tree, &sat, &[v("free")]).unwrap();
+        assert!(stream.next().is_some());
+        assert_eq!(stream.count() + 1, tree.len());
+    }
+
+    #[test]
+    fn shared_store_answering_matches_cold_and_hits_the_cache() {
+        let tree = bib();
+        let hcl = Hcl::Atom(bin("descendant::book"))
+            .then(Hcl::Filter(Box::new(
+                Hcl::Atom(bin("child::author")).then(Hcl::Var(v("x"))),
+            )))
+            .then(Hcl::Var(v("y")));
+        let output = [v("x"), v("y")];
+        let cold = answer_hcl_pplbin(&tree, &hcl, &output).unwrap();
+        let store = SharedMatrixStore::new(tree.len());
+        let warm = answer_hcl_pplbin_shared(&tree, &hcl, &output, &store).unwrap();
+        assert_eq!(warm, cold);
+        let misses = store.stats().misses;
+        let again = answer_hcl_pplbin_shared(&tree, &hcl, &output, &store).unwrap();
+        assert_eq!(again, cold);
+        assert_eq!(store.stats().misses, misses, "second run must be pure hits");
+        // The streaming path reuses the same shared atoms.
+        let streamed: BTreeSet<Tuple> = stream_hcl_pplbin_shared(&tree, &hcl, &output, &store)
+            .unwrap()
+            .collect();
+        assert_eq!(streamed, cold);
+        assert_eq!(store.stats().misses, misses);
     }
 
     #[test]

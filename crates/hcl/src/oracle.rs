@@ -17,9 +17,9 @@
 use crate::lang::Hcl;
 use std::collections::HashMap;
 use std::hash::Hash;
-use std::rc::Rc;
+use std::sync::Arc;
 use xpath_ast::{BinExpr, NameTest};
-use xpath_pplbin::{eval_relation, KernelMode, KernelStats, MatrixStore};
+use xpath_pplbin::{eval_relation, KernelMode, KernelStats, MatrixStore, SharedMatrixStore};
 use xpath_tree::{Axis, NodeId, Tree};
 
 /// Identifier of an interned atom inside a [`CompiledAtoms`] table.
@@ -35,13 +35,14 @@ impl AtomId {
 
 /// Precompiled successor lists for a set of binary queries over one tree.
 ///
-/// Per-atom lists are held behind `Rc` so a cache (the `MatrixStore` of a
-/// `Document`) can hand out the same compiled lists to many queries without
-/// copying them.
+/// Per-atom lists are held behind `Arc` so a cache (the `MatrixStore` of a
+/// `Document`, or the `SharedMatrixStore` of a `Session`) can hand out the
+/// same compiled lists to many queries — on any thread — without copying
+/// them.
 #[derive(Debug, Clone)]
 pub struct CompiledAtoms {
     /// `succ[atom][node]` — sorted successors of `node` under `atom`.
-    succ: Vec<Rc<Vec<Vec<NodeId>>>>,
+    succ: Vec<Arc<Vec<Vec<NodeId>>>>,
     domain: usize,
 }
 
@@ -58,17 +59,17 @@ impl CompiledAtoms {
                 l.sort_unstable();
                 l.dedup();
             }
-            succ.push(Rc::new(lists));
+            succ.push(Arc::new(lists));
         }
         CompiledAtoms { succ, domain }
     }
 
     /// Build a table from already-shared per-atom successor lists (each
     /// `lists[atom][node]` sorted in document order), e.g. straight out of a
-    /// [`MatrixStore`].
+    /// [`MatrixStore`] or [`SharedMatrixStore`].
     pub fn from_successor_lists(
         domain: usize,
-        atoms: Vec<Rc<Vec<Vec<NodeId>>>>,
+        atoms: Vec<Arc<Vec<Vec<NodeId>>>>,
     ) -> CompiledAtoms {
         debug_assert!(atoms.iter().all(|per_node| per_node.len() == domain));
         CompiledAtoms { succ: atoms, domain }
@@ -87,6 +88,13 @@ impl CompiledAtoms {
     /// The successors `S_{u,b}` of `u` under atom `b`, in document order.
     pub fn successors(&self, atom: AtomId, u: NodeId) -> &[NodeId] {
         &self.succ[atom.index()][u.index()]
+    }
+
+    /// The shared per-node successor lists of one atom.  Cloning the `Arc`
+    /// lets a caller iterate a list while holding `&mut` state of its own
+    /// (the Fig. 8 stream does this) without copying any nodes.
+    pub fn shared_lists(&self, atom: AtomId) -> &Arc<Vec<Vec<NodeId>>> {
+        &self.succ[atom.index()]
     }
 
     /// Does `u` have any successor under `atom`?
@@ -132,12 +140,12 @@ impl PplBinAtoms {
     ///
     /// [`Relation`]: xpath_pplbin::Relation
     pub fn compile(tree: &Tree, atoms: &[BinExpr]) -> CompiledAtoms {
-        let succ: Vec<Rc<Vec<Vec<NodeId>>>> = atoms
+        let succ: Vec<Arc<Vec<Vec<NodeId>>>> = atoms
             .iter()
             .map(|b| {
                 let relation =
                     eval_relation(tree, b, KernelMode::default(), &mut KernelStats::default());
-                Rc::new(
+                Arc::new(
                     tree.nodes()
                         .map(|u| relation.successor_list(u))
                         .collect::<Vec<_>>(),
@@ -149,13 +157,29 @@ impl PplBinAtoms {
 
     /// Compile each PPLbin atom through a [`MatrixStore`]: subterms already
     /// compiled by earlier queries over the same tree are reused, and the
-    /// successor lists themselves are shared with the store via `Rc`.
+    /// successor lists themselves are shared with the store via `Arc`.
     pub fn compile_with_store(
         tree: &Tree,
         atoms: &[BinExpr],
         store: &mut MatrixStore,
     ) -> CompiledAtoms {
-        let lists: Vec<Rc<Vec<Vec<NodeId>>>> = atoms
+        let lists: Vec<Arc<Vec<Vec<NodeId>>>> = atoms
+            .iter()
+            .map(|b| store.successor_lists(tree, b))
+            .collect();
+        CompiledAtoms::from_successor_lists(tree.len(), lists)
+    }
+
+    /// Compile each PPLbin atom through a thread-safe [`SharedMatrixStore`]:
+    /// the per-atom shard lock is held only while that atom compiles, and
+    /// the returned lists are shared with the store (and with any other
+    /// thread answering the same atoms) via `Arc`.
+    pub fn compile_with_shared(
+        tree: &Tree,
+        atoms: &[BinExpr],
+        store: &SharedMatrixStore,
+    ) -> CompiledAtoms {
+        let lists: Vec<Arc<Vec<Vec<NodeId>>>> = atoms
             .iter()
             .map(|b| store.successor_lists(tree, b))
             .collect();

@@ -35,7 +35,10 @@
 //!   `n³/64` dense scan;
 //! * [`store`] — [`store::MatrixStore`], a per-document cache that
 //!   hash-conses PPLbin subterms and memoises their compiled relations, so a
-//!   workload of queries over one tree pays each `|t|³` product once.
+//!   workload of queries over one tree pays each `|t|³` product once; and
+//!   [`store::SharedMatrixStore`], its sharded thread-safe wrapper
+//!   (`&self` evaluation behind per-shard `Mutex`es) that lets one document
+//!   serve queries from many threads at once.
 
 pub mod corexpath1;
 pub mod eval;
@@ -47,4 +50,4 @@ pub use corexpath1::{has_successor_set, succ_set, unary_from_root, NotCoreXPath1
 pub use eval::{answer_binary, eval_binexpr, eval_relation, step_matrix, step_relation};
 pub use matrix::NodeMatrix;
 pub use relation::{KernelMode, KernelStats, Relation, SparseRows};
-pub use store::{CacheStats, ExprId, MatrixStore};
+pub use store::{CacheStats, ExprId, MatrixStore, SharedMatrixStore, DEFAULT_STORE_SHARDS};

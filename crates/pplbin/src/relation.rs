@@ -135,6 +135,48 @@ impl KernelStats {
             + self.transpose_ops
     }
 
+    /// Accumulate another counter set (used to aggregate the per-shard
+    /// counters of a `SharedMatrixStore`).
+    pub fn merge(&mut self, other: &KernelStats) {
+        // Exhaustive destructuring (no `..`): adding a counter field without
+        // aggregating it here becomes a compile error, not a silent zero in
+        // `pplx --stats`.
+        let KernelStats {
+            step_identity,
+            step_interval,
+            step_sparse,
+            step_dense,
+            product_trivial,
+            product_interval,
+            product_sparse,
+            product_dense,
+            product_dense_threaded,
+            union_structured,
+            union_dense,
+            intersect_structured,
+            intersect_dense,
+            complement_ops,
+            diagonal_ops,
+            transpose_ops,
+        } = *other;
+        self.step_identity += step_identity;
+        self.step_interval += step_interval;
+        self.step_sparse += step_sparse;
+        self.step_dense += step_dense;
+        self.product_trivial += product_trivial;
+        self.product_interval += product_interval;
+        self.product_sparse += product_sparse;
+        self.product_dense += product_dense;
+        self.product_dense_threaded += product_dense_threaded;
+        self.union_structured += union_structured;
+        self.union_dense += union_dense;
+        self.intersect_structured += intersect_structured;
+        self.intersect_dense += intersect_dense;
+        self.complement_ops += complement_ops;
+        self.diagonal_ops += diagonal_ops;
+        self.transpose_ops += transpose_ops;
+    }
+
     pub(crate) fn record_step(&mut self, relation: &Relation) {
         match relation {
             Relation::Identity(_) => self.step_identity += 1,

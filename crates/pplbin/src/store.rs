@@ -15,20 +15,28 @@
 //!   node, and each id's matrix is computed at most once;
 //! * **successor lists** — the Prop. 10 oracle representation
 //!   (`u ↦ {u' | (u,u') ∈ q_b(t)}`) derived from a matrix is cached per
-//!   [`ExprId`] behind an `Rc`, so repeated HCL⁻ answering over the same
-//!   atoms shares one allocation.
+//!   [`ExprId`] behind an `Arc`, so repeated HCL⁻ answering over the same
+//!   atoms shares one allocation — across threads too.
 //!
 //! The store is deliberately tree-agnostic in its API (the caller passes the
 //! `&Tree` on every evaluation) but domain-checked: it is created for a
 //! fixed node count and will panic if used with a tree of a different size.
-//! `ppl_xpath::Document` owns one store behind interior mutability and
-//! threads it through every cached entry point.
+//!
+//! Two ownership regimes are provided:
+//!
+//! * [`MatrixStore`] — the single-threaded store (`&mut self` evaluation),
+//!   used directly by benchmarks and cold paths;
+//! * [`SharedMatrixStore`] — a sharded `Mutex` wrapper whose evaluation
+//!   methods take `&self`, so one document can answer queries from many
+//!   threads at once.  `ppl_xpath::Session` owns one and threads it through
+//!   every cached entry point.
 
 use crate::eval::step_relation_in_mode;
 use crate::matrix::NodeMatrix;
 use crate::relation::{KernelMode, KernelStats, Relation};
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::hash::{Hash, Hasher};
+use std::sync::{Arc, Mutex, MutexGuard};
 use xpath_ast::{BinExpr, NameTest};
 use xpath_tree::{Axis, NodeId, Tree};
 
@@ -77,6 +85,25 @@ impl CacheStats {
     pub fn lookups(&self) -> u64 {
         self.hits + self.misses
     }
+
+    /// Accumulate another counter set (used to aggregate the per-shard
+    /// stats of a [`SharedMatrixStore`]).
+    pub fn merge(&mut self, other: &CacheStats) {
+        // Exhaustive destructuring (no `..`): a future counter field that is
+        // not aggregated here fails to compile instead of reading 0.
+        let CacheStats {
+            hits,
+            misses,
+            interned,
+            compiled,
+            kernels,
+        } = other;
+        self.hits += hits;
+        self.misses += misses;
+        self.interned += interned;
+        self.compiled += compiled;
+        self.kernels.merge(kernels);
+    }
 }
 
 /// A memoising compiler of PPLbin expressions over one fixed document tree.
@@ -92,8 +119,9 @@ pub struct MatrixStore {
     /// structure-aware; materialised to [`NodeMatrix`] only at the public
     /// boundary.
     relations: Vec<Option<Relation>>,
-    /// Cached Prop. 10 successor lists, shared with callers via `Rc`.
-    successors: HashMap<ExprId, Rc<Vec<Vec<NodeId>>>>,
+    /// Cached Prop. 10 successor lists, shared with callers via `Arc` (so
+    /// they can cross thread boundaries under a [`SharedMatrixStore`]).
+    successors: HashMap<ExprId, Arc<Vec<Vec<NodeId>>>>,
     /// Which kernels the store compiles with.
     mode: KernelMode,
     /// Per-kernel dispatch counters across all compilations.
@@ -202,6 +230,28 @@ impl MatrixStore {
         id
     }
 
+    /// Read-only structural lookup: the id of `expr` if it has been interned
+    /// already, without interning it.
+    fn find_id(&self, expr: &BinExpr) -> Option<ExprId> {
+        let shape = match expr {
+            BinExpr::Step(axis, test) => Shape::Step(*axis, test.clone()),
+            BinExpr::Seq(a, b) => Shape::Seq(self.find_id(a)?, self.find_id(b)?),
+            BinExpr::Union(a, b) => Shape::Union(self.find_id(a)?, self.find_id(b)?),
+            BinExpr::Except(p) => Shape::Except(self.find_id(p)?),
+            BinExpr::Test(p) => Shape::Test(self.find_id(p)?),
+        };
+        self.ids.get(&shape).copied()
+    }
+
+    /// Is the relation of `expr` already compiled in this store?  Pure
+    /// inspection: neither interns nor counts as a cache lookup.  The
+    /// query planner uses this to prefer the cached engine once a session
+    /// is warm for a plan's atoms.
+    pub fn is_compiled(&self, expr: &BinExpr) -> bool {
+        self.find_id(expr)
+            .is_some_and(|id| self.relations[id.index()].is_some())
+    }
+
     /// Make sure the relation of `id` is compiled, reusing every already
     /// compiled child.
     fn ensure(&mut self, tree: &Tree, id: ExprId) {
@@ -262,24 +312,166 @@ impl MatrixStore {
     }
 
     /// The Prop. 10 oracle lists for `expr`: `lists[u] = {u' | (u,u') ∈
-    /// q_expr(t)}` in document order, shared behind an `Rc` so repeated
+    /// q_expr(t)}` in document order, shared behind an `Arc` so repeated
     /// callers pay one pointer clone.  Built straight from the adaptive
     /// representation — interval and sparse relations never materialise
     /// their bits.
-    pub fn successor_lists(&mut self, tree: &Tree, expr: &BinExpr) -> Rc<Vec<Vec<NodeId>>> {
+    pub fn successor_lists(&mut self, tree: &Tree, expr: &BinExpr) -> Arc<Vec<Vec<NodeId>>> {
         self.check_tree(tree);
         let id = self.intern(expr);
         self.ensure(tree, id);
         if let Some(lists) = self.successors.get(&id) {
-            return Rc::clone(lists);
+            return Arc::clone(lists);
         }
         let r = self.relations[id.index()].as_ref().expect("ensured");
         let lists: Vec<Vec<NodeId>> = (0..self.domain)
             .map(|u| r.successor_list(NodeId(u as u32)))
             .collect();
-        let rc = Rc::new(lists);
-        self.successors.insert(id, Rc::clone(&rc));
+        let rc = Arc::new(lists);
+        self.successors.insert(id, Arc::clone(&rc));
         rc
+    }
+}
+
+/// A thread-safe, sharded wrapper around [`MatrixStore`]: the cache design
+/// behind `ppl_xpath::Session`.
+///
+/// Every evaluation routes to one of `shards` independent single-threaded
+/// stores by the hash of the evaluated expression, and only that shard's
+/// `Mutex` is held while compiling.  The unit of caching in the Theorem 1
+/// pipeline is the PPLbin *atom* (queries are answered atom by atom), and
+/// equal atoms always hash to the same shard, so the sharing that matters —
+/// the same atom re-requested by later queries, possibly from other
+/// threads — is always a cache hit.  What sharding gives up is *cross-shard*
+/// subterm sharing: two distinct atoms that happen to contain a common
+/// subterm may compile it once per shard.  That duplication is bounded by
+/// the shard count and buys lock granularity: threads serving disjoint
+/// atoms never contend.
+///
+/// All methods take `&self`; the type is `Send + Sync` and is meant to be
+/// shared behind an `Arc`.
+#[derive(Debug)]
+pub struct SharedMatrixStore {
+    domain: usize,
+    shards: Vec<Mutex<MatrixStore>>,
+}
+
+/// Default shard count of a [`SharedMatrixStore`].
+pub const DEFAULT_STORE_SHARDS: usize = 8;
+
+impl SharedMatrixStore {
+    /// A store for trees with `domain` nodes, with the default shard count
+    /// and kernel mode.
+    pub fn new(domain: usize) -> SharedMatrixStore {
+        Self::with_shards_and_mode(domain, DEFAULT_STORE_SHARDS, KernelMode::default())
+    }
+
+    /// A store with an explicit kernel mode.
+    pub fn with_mode(domain: usize, mode: KernelMode) -> SharedMatrixStore {
+        Self::with_shards_and_mode(domain, DEFAULT_STORE_SHARDS, mode)
+    }
+
+    /// A store with explicit shard count and kernel mode.  `shards` is
+    /// clamped to at least 1.
+    pub fn with_shards_and_mode(
+        domain: usize,
+        shards: usize,
+        mode: KernelMode,
+    ) -> SharedMatrixStore {
+        let shards = shards.max(1);
+        SharedMatrixStore {
+            domain,
+            shards: (0..shards)
+                .map(|_| Mutex::new(MatrixStore::with_mode(domain, mode)))
+                .collect(),
+        }
+    }
+
+    /// The node count the store was created for.
+    pub fn domain(&self) -> usize {
+        self.domain
+    }
+
+    /// Number of independent shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Lock the shard responsible for `expr`.  Poisoning is deliberately
+    /// recovered from: a panicking evaluation leaves at most a `None`
+    /// relation slot behind, which later evaluations simply recompile.
+    fn shard(&self, expr: &BinExpr) -> MutexGuard<'_, MatrixStore> {
+        let mut hasher = std::collections::hash_map::DefaultHasher::new();
+        expr.hash(&mut hasher);
+        let shard = (hasher.finish() as usize) % self.shards.len();
+        self.shards[shard]
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    fn each_shard<R>(&self, mut f: impl FnMut(&mut MatrixStore) -> R) -> Vec<R> {
+        self.shards
+            .iter()
+            .map(|s| f(&mut s.lock().unwrap_or_else(|poisoned| poisoned.into_inner())))
+            .collect()
+    }
+
+    /// Evaluate a PPLbin expression to a dense [`NodeMatrix`] through the
+    /// cache (see [`MatrixStore::eval`]).
+    pub fn eval(&self, tree: &Tree, expr: &BinExpr) -> NodeMatrix {
+        self.shard(expr).eval(tree, expr)
+    }
+
+    /// Evaluate a PPLbin expression to its adaptive [`Relation`] through
+    /// the cache.
+    pub fn eval_relation(&self, tree: &Tree, expr: &BinExpr) -> Relation {
+        self.shard(expr).eval_relation(tree, expr)
+    }
+
+    /// The Prop. 10 successor lists of `expr`, shared behind an `Arc` (see
+    /// [`MatrixStore::successor_lists`]).  The shard lock is held only while
+    /// compiling; callers answer from the returned lists lock-free.
+    pub fn successor_lists(&self, tree: &Tree, expr: &BinExpr) -> Arc<Vec<Vec<NodeId>>> {
+        self.shard(expr).successor_lists(tree, expr)
+    }
+
+    /// Is `expr` already compiled?  Pure inspection of the responsible
+    /// shard (no interning, no hit/miss accounting).
+    pub fn is_compiled(&self, expr: &BinExpr) -> bool {
+        self.shard(expr).is_compiled(expr)
+    }
+
+    /// Aggregate cache counters across all shards.
+    pub fn stats(&self) -> CacheStats {
+        let mut out = CacheStats::default();
+        for stats in self.each_shard(|s| s.stats()) {
+            out.merge(&stats);
+        }
+        out
+    }
+
+    /// Aggregate per-kernel dispatch counters across all shards.
+    pub fn kernel_stats(&self) -> KernelStats {
+        self.stats().kernels
+    }
+
+    /// The kernel mode shards compile with (uniform across shards).
+    pub fn mode(&self) -> KernelMode {
+        self.shards[0]
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+            .mode()
+    }
+
+    /// Switch every shard's kernel mode; already-compiled relations are
+    /// kept.
+    pub fn set_mode(&self, mode: KernelMode) {
+        self.each_shard(|s| s.set_mode(mode));
+    }
+
+    /// Drop every cached relation and counter in every shard.
+    pub fn clear(&self) {
+        self.each_shard(|s| s.clear());
     }
 }
 
@@ -369,7 +561,61 @@ mod tests {
             assert_eq!(lists[u.index()], expected);
         }
         let again = store.successor_lists(&t, &b);
-        assert!(Rc::ptr_eq(&lists, &again), "lists must be shared, not rebuilt");
+        assert!(Arc::ptr_eq(&lists, &again), "lists must be shared, not rebuilt");
+    }
+
+    #[test]
+    fn shared_store_matches_cold_and_is_queried_concurrently() {
+        let t = tree();
+        let store = SharedMatrixStore::new(t.len());
+        let exprs: Vec<BinExpr> = [
+            "child::book/child::author",
+            "descendant::* except child::*",
+            "(child::book union child::paper)/child::title",
+            "descendant::title",
+        ]
+        .iter()
+        .map(|s| bin(s))
+        .collect();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for b in &exprs {
+                        assert_eq!(store.eval(&t, b), answer_binary(&t, b));
+                        let lists = store.successor_lists(&t, b);
+                        assert_eq!(lists.len(), t.len());
+                    }
+                });
+            }
+        });
+        let stats = store.stats();
+        assert!(stats.hits > 0, "threads must share compiled atoms: {stats:?}");
+        assert!(stats.compiled > 0);
+        store.clear();
+        assert_eq!(store.stats().lookups(), 0);
+        assert_eq!(store.domain(), t.len());
+        assert!(store.shard_count() >= 1);
+    }
+
+    #[test]
+    fn shared_store_is_compiled_reports_without_counting() {
+        let t = tree();
+        let store = SharedMatrixStore::new(t.len());
+        let b = bin("child::book/child::author");
+        assert!(!store.is_compiled(&b));
+        store.eval(&t, &b);
+        let before = store.stats();
+        assert!(store.is_compiled(&b));
+        assert!(!store.is_compiled(&bin("descendant::publisher")));
+        assert_eq!(store.stats().lookups(), before.lookups());
+    }
+
+    #[test]
+    fn shared_store_mode_switch_applies_to_every_shard() {
+        let store = SharedMatrixStore::with_mode(4, KernelMode::Dense);
+        assert_eq!(store.mode(), KernelMode::Dense);
+        store.set_mode(KernelMode::Adaptive);
+        assert_eq!(store.mode(), KernelMode::Adaptive);
     }
 
     #[test]

@@ -99,6 +99,56 @@ pub fn pplbin_suite(levels: usize) -> BinExpr {
     expr
 }
 
+/// The E12 planner-comparison suite: PPL queries over the `l0…l2` generator
+/// alphabet deliberately spanning the planner's decision regimes.
+///
+/// * step-only, union-free, acyclic queries (the `acq` regime: sparse
+///   Yannakakis semijoins);
+/// * `except`-bearing dense-filter queries (the `ppl` regime: cached dense
+///   matrix products);
+/// * a union query (distributed by the `acq` executor, native to `ppl`);
+/// * an arity-0 satisfiability query.
+///
+/// Returned as `(source, output_variables)` pairs so callers can prepare
+/// them through any planner configuration.
+pub fn planner_mix_suite() -> Vec<(String, Vec<String>)> {
+    let dense = "(descendant::* except child::l0)/(descendant::* except child::l1)";
+    vec![
+        // acq regime — plain steps, tree-shaped joins.
+        (
+            "descendant::l0[child::l1[. is $x]]/child::l2[. is $y]".to_string(),
+            vec!["x".into(), "y".into()],
+        ),
+        (
+            "descendant::l1[. is $x]".to_string(),
+            vec!["x".into()],
+        ),
+        (
+            "descendant::l0[child::l1][child::l2[. is $z]]".to_string(),
+            vec!["z".into()],
+        ),
+        // ppl regime — dense complements dominate compilation.
+        (
+            format!("descendant::l0[not({dense})][. is $x]"),
+            vec!["x".into()],
+        ),
+        (
+            format!("descendant::l1[not({dense})][child::l2[. is $y]]"),
+            vec!["y".into()],
+        ),
+        // union — ppl natively, acq via Prop. 9 distribution.
+        (
+            "descendant::l0[. is $x] union descendant::l2[. is $x]".to_string(),
+            vec!["x".into()],
+        ),
+        // satisfiability (arity 0).
+        (
+            "descendant::l0[child::l1]".to_string(),
+            vec![],
+        ),
+    ]
+}
+
 /// Convenience re-export of the document generators most benches need.
 pub mod documents {
     pub use xpath_tree::generate::{
@@ -169,6 +219,24 @@ mod tests {
         // Downward paths of length 3 starting anywhere: only b→c→d... and
         // they must be consecutive children: (b,c,d) from a, so 1 tuple.
         assert_eq!(ans.len(), 1);
+    }
+
+    #[test]
+    fn planner_mix_suite_spans_the_decision_regimes() {
+        use xpath_ast::parse_path;
+        let suite = planner_mix_suite();
+        assert!(suite.len() >= 6);
+        let mut has_union = false;
+        let mut has_dense = false;
+        let mut has_zero_ary = false;
+        for (src, vars) in &suite {
+            let q = parse_path(src).unwrap_or_else(|e| panic!("{src}: {e}"));
+            assert!(check_ppl(&q).is_ok(), "{src} must be PPL");
+            has_union |= src.contains("union");
+            has_dense |= src.contains("except");
+            has_zero_ary |= vars.is_empty();
+        }
+        assert!(has_union && has_dense && has_zero_ary);
     }
 
     #[test]

@@ -1,10 +1,10 @@
 //! Minimal, offline stand-in for the `proptest` crate.
 //!
 //! The build environment has no crates.io access, so this crate vendors the
-//! subset of the proptest API used by the workspace: the [`Strategy`] trait
+//! subset of the proptest API used by the workspace: the [`strategy::Strategy`] trait
 //! with `prop_map` / `prop_recursive`, range and tuple strategies, `Just`,
 //! `any`, `prop_oneof!`, `prop::collection::{vec, btree_set}`, and the
-//! [`proptest!`] test macro.
+//! [`proptest!`](crate::proptest) test macro.
 //!
 //! Semantics differ from upstream in one important way: **there is no
 //! shrinking**. A failing case panics with the values that produced it (via

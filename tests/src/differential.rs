@@ -92,7 +92,7 @@ pub struct FuzzReport {
     /// Cases whose query contained at least one `union`.
     pub union_queries: usize,
     /// Cases checked against the ACQ/Yannakakis path (a case is skipped
-    /// only when union distribution exceeds [`ACQ_DISJUNCT_BUDGET`]).
+    /// only when union distribution exceeds `ACQ_DISJUNCT_BUDGET`).
     pub acq_checked: usize,
     /// Widest tuple arity seen.
     pub max_arity: usize,
@@ -686,6 +686,137 @@ pub fn run_fo_fuzz(seed: u64, cases: usize, max_tree_size: usize, alphabet: usiz
         total += fo_side.len();
     }
     total
+}
+
+// ---------------------------------------------------------------------------
+// Planner / Session fuzzing (prepared plans, engine choice, streaming)
+// ---------------------------------------------------------------------------
+
+/// Statistics of one planner fuzz run.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct PlannerFuzzReport {
+    /// (tree, query) pairs checked.
+    pub cases: usize,
+    /// Total answer tuples across all cases.
+    pub total_tuples: usize,
+    /// Auto plans that chose the `ppl` engine.
+    pub chose_ppl: usize,
+    /// Auto plans that chose the `acq` engine.
+    pub chose_acq: usize,
+    /// Auto plans that chose the `naive` engine.
+    pub chose_naive: usize,
+    /// Forced-engine executions compared against the ground truth.
+    pub forced_checks: usize,
+    /// Forced `acq` executions skipped on the Prop. 9 disjunct budget.
+    pub acq_budget_skips: usize,
+    /// Streaming drains compared against the materialised answers.
+    pub stream_checks: usize,
+}
+
+/// Fuzz the planner API: for random (tree, PPL-query) pairs, the auto plan
+/// and every forced-engine plan must agree tuple-for-tuple with naive
+/// enumeration, the plan must explain itself, and the streaming path must
+/// yield exactly the materialised answers (no duplicates, no misses).
+pub fn run_planner_fuzz(cfg: &FuzzConfig) -> PlannerFuzzReport {
+    use ppl_xpath::{Engine, Planner, QueryError, Session};
+
+    let mut gen = QueryGen::new(cfg.seed ^ 0x91A7, cfg.alphabet);
+    let mut arity_rng = StdRng::seed_from_u64(cfg.seed ^ 0x91A8);
+    let mut report = PlannerFuzzReport::default();
+
+    for case in 0..cfg.cases {
+        let arity = arity_rng.gen_range(0..=cfg.max_vars.min(2));
+        let tree = gen.gen_tree(cfg.max_tree_size);
+        let (query, outputs) = gen.gen_query(arity);
+        let ctx = || {
+            format!(
+                "case {case}\n  query : {query}\n  output: {outputs:?}\n  tree  : {}",
+                tree.to_terms()
+            )
+        };
+        let naive: BTreeSet<Vec<NodeId>> = answer_nary(&tree, &query, &outputs)
+            .unwrap_or_else(|e| panic!("naive failed: {e}\n{}", ctx()));
+
+        let session = Session::from_tree(tree.clone());
+        let planner = Planner::default();
+
+        // 1. Auto plan: must pick some engine, explain itself, and agree.
+        let plan = planner
+            .plan(&session, query.clone(), outputs.clone())
+            .unwrap_or_else(|e| panic!("auto planning failed: {e}\n{}", ctx()));
+        let explain = plan.explain();
+        assert!(
+            explain.contains("chosen") && explain.contains(plan.engine().name()),
+            "explain() does not report the decision\n{}",
+            ctx()
+        );
+        let auto_answers = session
+            .execute(&plan)
+            .unwrap_or_else(|e| panic!("auto plan failed: {e}\n{}", ctx()));
+        assert_eq!(
+            answer_tuples(&auto_answers),
+            naive,
+            "auto plan ({}) disagrees with the naive engine\n{}",
+            plan.engine().name(),
+            ctx()
+        );
+        match plan.engine() {
+            Engine::Ppl => report.chose_ppl += 1,
+            Engine::Acq => report.chose_acq += 1,
+            Engine::NaiveEnumeration => report.chose_naive += 1,
+            Engine::Hcl => panic!("planner must never auto-choose hcl\n{}", ctx()),
+        }
+
+        // 2. Every forced engine agrees too (acq may hit the union budget).
+        for engine in Engine::ALL {
+            let forced = planner
+                .plan_with(&session, query.clone(), outputs.clone(), Some(engine))
+                .unwrap_or_else(|e| panic!("forced {engine} planning failed: {e}\n{}", ctx()));
+            match session.execute(&forced) {
+                Ok(answers) => {
+                    assert_eq!(
+                        answer_tuples(&answers),
+                        naive,
+                        "forced {engine} disagrees with the naive engine\n{}",
+                        ctx()
+                    );
+                    report.forced_checks += 1;
+                }
+                Err(QueryError::Acq(message)) if engine == Engine::Acq => {
+                    assert!(
+                        message.contains("budget") || message.contains("disjunct"),
+                        "unexpected acq failure: {message}\n{}",
+                        ctx()
+                    );
+                    report.acq_budget_skips += 1;
+                }
+                Err(e) => panic!("forced {engine} failed: {e}\n{}", ctx()),
+            }
+        }
+
+        // 3. Streaming yields exactly the materialised answers, without
+        //    duplicates, and prefix consumption is a subset.
+        let streamed: Vec<Vec<NodeId>> = session
+            .answers_stream(&plan)
+            .unwrap_or_else(|e| panic!("streaming failed: {e}\n{}", ctx()))
+            .collect();
+        assert_eq!(streamed.len(), naive.len(), "stream duplicated tuples\n{}", ctx());
+        let streamed_set: BTreeSet<Vec<NodeId>> = streamed.into_iter().collect();
+        assert_eq!(streamed_set, naive, "stream disagrees\n{}", ctx());
+        if !naive.is_empty() {
+            let prefix: BTreeSet<Vec<NodeId>> = session
+                .answers_stream(&plan)
+                .unwrap_or_else(|e| panic!("streaming failed: {e}\n{}", ctx()))
+                .take(1)
+                .collect();
+            assert!(prefix.is_subset(&naive), "prefix not a subset\n{}", ctx());
+        }
+        report.stream_checks += 1;
+
+        report.cases += 1;
+        report.total_tuples += naive.len();
+    }
+    report
 }
 
 // ---------------------------------------------------------------------------

@@ -7,7 +7,7 @@
 //! seeds are fixed, so failures reproduce deterministically.
 
 use xpath_tests::differential::{
-    run_batch_fuzz, run_fo_fuzz, run_kernel_mode_fuzz, run_ppl_fuzz, FuzzConfig,
+    run_batch_fuzz, run_fo_fuzz, run_kernel_mode_fuzz, run_planner_fuzz, run_ppl_fuzz, FuzzConfig,
 };
 
 #[test]
@@ -86,6 +86,35 @@ fn fuzz_batch_api_agrees_with_cold_and_naive_answers() {
         report.cache_hits_seen > 30,
         "batches almost never shared matrices: {report:?}"
     );
+}
+
+#[test]
+fn fuzz_planner_choices_agree_with_naive_enumeration() {
+    // 80 random (tree, query) pairs: the auto plan, every forced-engine
+    // plan, and the streaming drain must each agree tuple-for-tuple with
+    // the ground truth; the report asserts the planner actually exercised
+    // more than one engine choice.
+    let report = run_planner_fuzz(&FuzzConfig {
+        seed: 0x091A_77E5,
+        cases: 80,
+        max_tree_size: 14,
+        alphabet: 3,
+        max_vars: 2,
+    });
+    assert_eq!(report.cases, 80);
+    assert_eq!(report.stream_checks, 80);
+    assert!(report.total_tuples > 100, "vacuously empty: {report:?}");
+    assert!(report.chose_naive > 0, "naive never chosen: {report:?}");
+    assert!(
+        report.chose_ppl + report.chose_acq > 0,
+        "matrix engines never chosen: {report:?}"
+    );
+    // 4 forced engines per case, minus the rare acq budget skips.
+    assert_eq!(
+        report.forced_checks + report.acq_budget_skips,
+        report.cases * 4
+    );
+    assert!(report.acq_budget_skips < report.cases / 4, "{report:?}");
 }
 
 #[test]
