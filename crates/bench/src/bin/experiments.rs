@@ -68,8 +68,10 @@ fn main() {
 /// Handle `--bench`/`--check` invocations; returns the process exit code.
 fn run_harness_mode(args: &[String]) -> i32 {
     const USAGE: &str =
-        "usage: experiments [--bench [--smoke] [--out <path>]] [--check <path>]";
+        "usage: experiments [--bench [--smoke] [--out <path>]] \
+         [--bench-corpus [--smoke] [--out <path>]] [--check <path>]";
     let mut bench = false;
+    let mut bench_corpus = false;
     let mut smoke = false;
     let mut out: Option<String> = None;
     let mut check: Option<String> = None;
@@ -77,6 +79,7 @@ fn run_harness_mode(args: &[String]) -> i32 {
     while i < args.len() {
         match args[i].as_str() {
             "--bench" => bench = true,
+            "--bench-corpus" => bench_corpus = true,
             "--smoke" => smoke = true,
             "--out" => {
                 i += 1;
@@ -105,9 +108,55 @@ fn run_harness_mode(args: &[String]) -> i32 {
         }
         i += 1;
     }
-    if !bench && check.is_none() {
+    if !bench && !bench_corpus && check.is_none() {
         eprintln!("{USAGE}");
         return 2;
+    }
+    if bench && bench_corpus {
+        eprintln!("--bench and --bench-corpus write different documents; run them separately");
+        return 2;
+    }
+
+    if bench_corpus {
+        let cfg = if smoke {
+            xpath_bench::CorpusBenchConfig::smoke()
+        } else {
+            xpath_bench::CorpusBenchConfig::full()
+        };
+        let path = out.clone().unwrap_or_else(|| "BENCH_5.json".to_string());
+        eprintln!(
+            "running corpus-serving sweep (E13, {} mode): {} docs (base |t|={}), \
+             {} queries x{} repeats, {} fan-out threads, {} runs/cell",
+            if smoke { "smoke" } else { "full" },
+            cfg.docs,
+            cfg.base_size,
+            xpath_bench::regress::suite().len(),
+            cfg.repeats,
+            cfg.threads,
+            cfg.runs,
+        );
+        let doc = xpath_bench::run_corpus_bench(&cfg);
+        let text = doc.render();
+        if let Err(e) = std::fs::write(&path, &text) {
+            eprintln!("cannot write {path}: {e}");
+            return 1;
+        }
+        if let Some(summary) = doc.get("summary") {
+            let f = |key| summary.get(key).and_then(xpath_bench::Json::as_f64).unwrap_or(0.0);
+            eprintln!(
+                "wrote {path}: corpus pool {} us vs cold rebuild {} us over {} docs \
+                 (speedup x{}, working set {} bytes; budget sweep half {} us / quarter {} us, \
+                 {} evictions at quarter)",
+                f("corpus_pool_us"),
+                f("corpus_cold_us"),
+                f("corpus_docs"),
+                f("corpus_speedup"),
+                f("corpus_working_set_bytes"),
+                f("corpus_budget_half_us"),
+                f("corpus_budget_quarter_us"),
+                f("corpus_budget_quarter_evictions"),
+            );
+        }
     }
 
     if bench {

@@ -163,6 +163,56 @@ pub const PLANNER_MODES: [(Option<Engine>, &str); 4] = [
     (Some(Engine::Hcl), "planner_hcl"),
 ];
 
+/// Sweep dimensions of the E13 corpus-serving experiment.
+#[derive(Debug, Clone)]
+pub struct CorpusBenchConfig {
+    /// Documents in the corpus (three size bands, see
+    /// `xpath_workload::corpus_documents`).
+    pub docs: usize,
+    /// Base tree size; bands are `base`, `2·base`, `3·base`.
+    pub base_size: usize,
+    /// How often the E10 query suite is fanned out over the whole corpus
+    /// per workload.
+    pub repeats: usize,
+    /// Timed runs per cell (median recorded).
+    pub runs: usize,
+    /// Fan-out worker threads of the corpus under test.
+    pub threads: usize,
+}
+
+impl CorpusBenchConfig {
+    /// The full sweep used to produce `BENCH_5.json`.
+    pub fn full() -> CorpusBenchConfig {
+        CorpusBenchConfig {
+            docs: 6,
+            base_size: 100,
+            repeats: 6,
+            runs: 5,
+            threads: 4,
+        }
+    }
+
+    /// Tiny sizes for CI smoke validation.
+    pub fn smoke() -> CorpusBenchConfig {
+        CorpusBenchConfig {
+            docs: 3,
+            base_size: 14,
+            repeats: 2,
+            runs: 2,
+            threads: 2,
+        }
+    }
+}
+
+/// The corpus serving modes swept by E13, with their row names.  Budget
+/// fractions are relative to the measured warm working set (`None` =
+/// unbounded).
+pub const CORPUS_MODES: [(Option<f64>, &str); 3] = [
+    (None, "corpus_pool"),
+    (Some(0.5), "corpus_budget_half"),
+    (Some(0.25), "corpus_budget_quarter"),
+];
+
 /// The filter bodies of the E10 suite: variable-free compositions of
 /// `except`-complemented relations.  Each complement is *dense* (≈`|t|²`
 /// pairs), so the `/` between them is a genuinely cubic `|t|³/64` Boolean
@@ -725,6 +775,185 @@ fn run_regression_impl(
     ])
 }
 
+/// Run the E13 corpus-serving sweep: the E10 compile-heavy suite fanned out
+/// over a multi-document corpus, served by (a) a warm unbounded session
+/// pool, (b) memory-budgeted pools at half and a quarter of the measured
+/// working set (eviction-thrashing), and (c) the per-request cold-rebuild
+/// architecture a corpus layer replaces (fresh `Session` per document per
+/// request).  Returns a standalone `BENCH_5.json`-shaped document.
+pub fn run_corpus_bench(cfg: &CorpusBenchConfig) -> Json {
+    use xpath_corpus::{Corpus, CorpusConfig};
+
+    let documents = xpath_workload::corpus_documents(cfg.docs, cfg.base_size, 0xC0B5);
+    let total_nodes: usize = documents.iter().map(|(_, t)| t.len()).sum();
+    let suite = suite();
+    let specs: Vec<(String, Vec<String>)> = suite
+        .iter()
+        .map(|q| {
+            (
+                q.source().to_string(),
+                q.output().iter().map(|v| v.name().to_string()).collect(),
+            )
+        })
+        .collect();
+
+    let make_corpus = |budget: Option<usize>| {
+        let corpus = Corpus::with_config(CorpusConfig {
+            memory_budget: budget,
+            threads: cfg.threads,
+            queue_capacity: cfg.threads.max(1) * 2,
+            // Forced ppl on both sides: the comparison isolates the session
+            // pool against per-request rebuilds, not the engine choice.
+            engine: Some(Engine::Ppl),
+            ..CorpusConfig::default()
+        });
+        for (name, tree) in &documents {
+            corpus.insert_tree(name, tree.clone());
+        }
+        corpus
+    };
+    let run_workload = |corpus: &Corpus| -> usize {
+        let mut answers = 0usize;
+        for _ in 0..cfg.repeats {
+            for (source, vars) in &specs {
+                let var_refs: Vec<&str> = vars.iter().map(String::as_str).collect();
+                for doc in corpus
+                    .answer_all(source, &var_refs)
+                    .expect("suite queries answer over the corpus")
+                {
+                    answers += doc.answers.len();
+                }
+            }
+        }
+        answers
+    };
+
+    // Measure the warm working set once: it anchors the budget fractions.
+    let warm = make_corpus(None);
+    let reference_answers = run_workload(&warm);
+    let working_set = warm.stats().pool_bytes.max(1);
+
+    let corpus_row = |engine: &str, t: Duration, answers: usize, stats: xpath_corpus::CorpusStats| {
+        Json::Obj(vec![
+            ("experiment".to_string(), Json::Str("corpus_serving".into())),
+            ("engine".to_string(), Json::Str(engine.into())),
+            ("tree_size".to_string(), Json::Num(total_nodes as f64)),
+            ("docs".to_string(), Json::Num(cfg.docs as f64)),
+            ("workload_queries".to_string(), Json::Num(specs.len() as f64)),
+            ("workload_repeats".to_string(), Json::Num(cfg.repeats as f64)),
+            ("threads".to_string(), Json::Num(cfg.threads as f64)),
+            ("median_us".to_string(), Json::Num(us(t))),
+            ("answers".to_string(), Json::Num(answers as f64)),
+            ("pool_bytes".to_string(), Json::Num(stats.pool_bytes as f64)),
+            ("cache_evictions".to_string(), Json::Num(stats.cache_evictions as f64)),
+            (
+                "session_evictions".to_string(),
+                Json::Num(stats.session_evictions as f64),
+            ),
+            ("rebuilds".to_string(), Json::Num(stats.rebuilds as f64)),
+            ("plan_hits".to_string(), Json::Num(stats.plan_hits as f64)),
+        ])
+    };
+
+    let mut rows: Vec<Json> = Vec::new();
+    let mut pool_us = 0.0f64;
+    let mut budget_summary: Vec<(String, Json)> = Vec::new();
+    for (fraction, name) in CORPUS_MODES {
+        let budget = fraction.map(|f| ((working_set as f64 * f) as usize).max(1));
+        let (t, answers) = time_median(cfg.runs, || {
+            let corpus = make_corpus(budget);
+            run_workload(&corpus)
+        });
+        assert_eq!(
+            answers, reference_answers,
+            "{name} disagrees with the unbounded pool"
+        );
+        // Pool counters for the same workload, measured outside the timer.
+        let stats_corpus = make_corpus(budget);
+        run_workload(&stats_corpus);
+        let stats = stats_corpus.stats();
+        if let Some(budget) = budget {
+            assert!(
+                stats.cache_evictions + stats.session_evictions > 0,
+                "{name}: a budget of {budget} bytes under a {working_set}-byte working set must evict"
+            );
+        }
+        rows.push(corpus_row(name, t, answers, stats));
+        if fraction.is_none() {
+            pool_us = us(t);
+        } else {
+            budget_summary.push((format!("{name}_us"), Json::Num(us(t))));
+            budget_summary.push((
+                format!("{name}_evictions"),
+                Json::Num((stats.cache_evictions + stats.session_evictions) as f64),
+            ));
+        }
+    }
+
+    // The pre-corpus architecture: every request builds a fresh session —
+    // plan + full matrix compilation per (document, query, repeat).
+    let parsed: Vec<(xpath_ast::PathExpr, Vec<Var>)> = suite
+        .iter()
+        .map(|q| (q.source().clone(), q.output().to_vec()))
+        .collect();
+    let (cold_t, cold_answers) = time_median(cfg.runs, || {
+        let planner = Planner::default();
+        let mut answers = 0usize;
+        for _ in 0..cfg.repeats {
+            for (path, output) in &parsed {
+                for (_, tree) in &documents {
+                    let session = Session::from_tree(tree.clone());
+                    let plan = planner
+                        .plan_with(&session, path.clone(), output.clone(), Some(Engine::Ppl))
+                        .expect("suite queries plan");
+                    answers += session.execute(&plan).expect("suite queries answer").len();
+                }
+            }
+        }
+        answers
+    });
+    assert_eq!(
+        cold_answers, reference_answers,
+        "cold rebuild disagrees with the corpus pool"
+    );
+    rows.push(corpus_row(
+        "cold_rebuild",
+        cold_t,
+        cold_answers,
+        xpath_corpus::CorpusStats::default(),
+    ));
+
+    let round2 = |x: f64| (x * 100.0).round() / 100.0;
+    let mut summary = vec![
+        ("corpus_docs".to_string(), Json::Num(cfg.docs as f64)),
+        ("corpus_total_nodes".to_string(), Json::Num(total_nodes as f64)),
+        (
+            "corpus_working_set_bytes".to_string(),
+            Json::Num(working_set as f64),
+        ),
+        ("corpus_pool_us".to_string(), Json::Num(pool_us)),
+        ("corpus_cold_us".to_string(), Json::Num(us(cold_t))),
+        // The headline, pinned in CI: pooled sessions vs per-request
+        // rebuild on the same workload and engine.
+        (
+            "corpus_speedup".to_string(),
+            Json::Num(round2(us(cold_t) / pool_us.max(0.1))),
+        ),
+    ];
+    summary.extend(budget_summary);
+
+    Json::Obj(vec![
+        ("schema".to_string(), Json::Str(SCHEMA.into())),
+        ("experiment_doc".to_string(), Json::Str("EXPERIMENTS.md".into())),
+        ("corpus_docs".to_string(), Json::Num(cfg.docs as f64)),
+        ("suite_queries".to_string(), Json::Num(specs.len() as f64)),
+        ("workload_repeats".to_string(), Json::Num(cfg.repeats as f64)),
+        ("runs_per_cell".to_string(), Json::Num(cfg.runs as f64)),
+        ("results".to_string(), Json::Arr(rows)),
+        ("summary".to_string(), Json::Obj(summary)),
+    ])
+}
+
 /// Validate an emitted `BENCH_*.json` document: it must parse, carry the
 /// schema marker, and every result row must have the expected keys.  Used by
 /// `experiments --check` (and so by CI) to keep the harness honest.
@@ -758,17 +987,73 @@ pub fn validate_bench_json(text: &str) -> Result<(), String> {
             }
         }
     }
-    for required in ["ppl_cached", "ppl_cold"] {
-        if !engines_seen.iter().any(|e| e == required) {
-            return Err(format!("no {required:?} rows in \"results\""));
-        }
+    let experiment_of = |row: &Json| {
+        row.get("experiment")
+            .and_then(Json::as_str)
+            .map(str::to_string)
+    };
+    let has_e10 = results
+        .iter()
+        .any(|r| experiment_of(r).as_deref() == Some("repeated_query_workload"));
+    let corpus_rows: Vec<&Json> = results
+        .iter()
+        .filter(|r| experiment_of(r).as_deref() == Some("corpus_serving"))
+        .collect();
+    if !has_e10 && corpus_rows.is_empty() {
+        return Err("no repeated_query_workload or corpus_serving rows in \"results\"".into());
     }
     let summary = doc.get("summary").ok_or("missing \"summary\"")?;
-    for key in ["largest_tree_size", "cold_median_us", "cached_median_us", "cached_speedup"] {
-        summary
-            .get(key)
-            .and_then(Json::as_f64)
-            .ok_or(format!("summary.{key} missing or not a number"))?;
+    if has_e10 {
+        for required in ["ppl_cached", "ppl_cold"] {
+            if !engines_seen.iter().any(|e| e == required) {
+                return Err(format!("no {required:?} rows in \"results\""));
+            }
+        }
+        for key in ["largest_tree_size", "cold_median_us", "cached_median_us", "cached_speedup"] {
+            summary
+                .get(key)
+                .and_then(Json::as_f64)
+                .ok_or(format!("summary.{key} missing or not a number"))?;
+        }
+    }
+    // E13 corpus documents must sweep the pooled, budgeted and cold-rebuild
+    // serving modes, tag every row with the document count, and summarise
+    // the pooled-vs-cold ratio.
+    if !corpus_rows.is_empty() {
+        for required in ["corpus_pool", "cold_rebuild", "corpus_budget_half", "corpus_budget_quarter"] {
+            if !engines_seen.iter().any(|e| e == required) {
+                return Err(format!("corpus rows present but no {required:?} rows"));
+            }
+        }
+        for (i, row) in corpus_rows.iter().enumerate() {
+            for key in ["docs", "threads", "answers", "pool_bytes"] {
+                let value = row
+                    .get(key)
+                    .and_then(Json::as_f64)
+                    .ok_or(format!("corpus row {i} is missing \"{key}\""))?;
+                if !value.is_finite() || value < 0.0 {
+                    return Err(format!("corpus row {i} has invalid {key} = {value}"));
+                }
+            }
+        }
+        for key in [
+            "corpus_docs",
+            "corpus_working_set_bytes",
+            "corpus_pool_us",
+            "corpus_cold_us",
+            "corpus_speedup",
+            "corpus_budget_half_us",
+            "corpus_budget_quarter_us",
+            "corpus_budget_quarter_evictions",
+        ] {
+            let value = summary
+                .get(key)
+                .and_then(Json::as_f64)
+                .ok_or(format!("summary.{key} missing or not a number"))?;
+            if !value.is_finite() || value < 0.0 {
+                return Err(format!("summary.{key} = {value} is not valid"));
+            }
+        }
     }
     // Documents carrying E12 planner rows must sweep auto plus every forced
     // engine; serving rows must come in shared/isolated pairs with a
@@ -1021,6 +1306,78 @@ mod tests {
         );
         let err = validate_bench_json(&doc).unwrap_err();
         assert!(err.contains("kernel"), "{err}");
+    }
+
+    #[test]
+    fn smoke_corpus_bench_emits_a_valid_document() {
+        let doc = run_corpus_bench(&CorpusBenchConfig::smoke());
+        let text = doc.render();
+        validate_bench_json(&text).unwrap();
+        let parsed = Json::parse(&text).unwrap();
+        let rows = parsed.get("results").unwrap().as_arr().unwrap();
+        for (_, name) in CORPUS_MODES {
+            assert!(
+                rows.iter().any(|r| r.get("engine").and_then(Json::as_str) == Some(name)),
+                "missing {name} rows"
+            );
+        }
+        // All serving modes agree on the answer total.
+        let answers: Vec<f64> = rows
+            .iter()
+            .filter_map(|r| r.get("answers").and_then(Json::as_f64))
+            .collect();
+        assert_eq!(answers.len(), CORPUS_MODES.len() + 1, "corpus modes + cold_rebuild");
+        assert!(answers.windows(2).all(|w| w[0] == w[1]), "{answers:?}");
+        // Budgeted rows must actually evict.
+        let quarter = rows
+            .iter()
+            .find(|r| r.get("engine").and_then(Json::as_str) == Some("corpus_budget_quarter"))
+            .unwrap();
+        let evictions = quarter.get("cache_evictions").and_then(Json::as_f64).unwrap()
+            + quarter.get("session_evictions").and_then(Json::as_f64).unwrap();
+        assert!(evictions > 0.0, "a quarter budget must evict");
+        let summary = parsed.get("summary").unwrap();
+        assert!(summary.get("corpus_speedup").and_then(Json::as_f64).unwrap() > 0.0);
+        assert!(summary.get("corpus_working_set_bytes").and_then(Json::as_f64).unwrap() > 0.0);
+    }
+
+    #[test]
+    fn validator_rejects_corpus_documents_without_summary_keys() {
+        let row = |engine: &str| {
+            format!(
+                "{{\"experiment\": \"corpus_serving\", \"engine\": \"{engine}\", \
+                 \"tree_size\": 1, \"workload_queries\": 1, \"workload_repeats\": 1, \
+                 \"docs\": 1, \"threads\": 1, \"answers\": 1, \"pool_bytes\": 0, \
+                 \"median_us\": 1.0}}"
+            )
+        };
+        let doc = format!(
+            "{{\"schema\": \"{SCHEMA}\", \"results\": [{}, {}, {}, {}], \
+             \"summary\": {{\"corpus_docs\": 1}}}}",
+            row("corpus_pool"),
+            row("corpus_budget_half"),
+            row("corpus_budget_quarter"),
+            row("cold_rebuild"),
+        );
+        let err = validate_bench_json(&doc).unwrap_err();
+        assert!(err.contains("corpus_"), "{err}");
+        // A corpus document missing a serving mode is rejected.
+        let doc = format!(
+            "{{\"schema\": \"{SCHEMA}\", \"results\": [{}], \
+             \"summary\": {{\"corpus_docs\": 1}}}}",
+            row("corpus_pool"),
+        );
+        let err = validate_bench_json(&doc).unwrap_err();
+        assert!(err.contains("cold_rebuild"), "{err}");
+        // A document with neither E10 nor corpus rows is rejected outright.
+        let doc = format!(
+            "{{\"schema\": \"{SCHEMA}\", \"results\": [\
+             {{\"experiment\": \"other\", \"engine\": \"x\", \"tree_size\": 1, \
+               \"workload_queries\": 1, \"workload_repeats\": 1, \"median_us\": 1.0}}], \
+             \"summary\": {{}}}}"
+        );
+        let err = validate_bench_json(&doc).unwrap_err();
+        assert!(err.contains("corpus_serving"), "{err}");
     }
 
     #[test]

@@ -44,16 +44,49 @@
 //! timing against the adaptive default).
 
 use ppl_xpath::{Document, Engine, KernelMode, Planner, QueryPlan};
-use std::io::Read;
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::net::TcpStream;
 use std::process::ExitCode;
 use xpath_ast::{parse_path, Var};
+
+/// A classified CLI failure.  Each class maps to its own exit code (see
+/// [`HELP`]) so scripts and the CI daemon smoke test can distinguish a
+/// malformed query from a missing file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum CliError {
+    /// Bad command line (exit 2).
+    Usage(String),
+    /// Document or query failed to parse / compile (exit 3).
+    Parse(String),
+    /// A well-formed query failed during execution (exit 4).
+    Query(String),
+    /// Filesystem or network I/O failed (exit 5).
+    Io(String),
+}
+
+impl CliError {
+    fn exit_code(&self) -> u8 {
+        match self {
+            CliError::Usage(_) => 2,
+            CliError::Parse(_) => 3,
+            CliError::Query(_) => 4,
+            CliError::Io(_) => 5,
+        }
+    }
+
+    fn message(&self) -> &str {
+        match self {
+            CliError::Usage(m) | CliError::Parse(m) | CliError::Query(m) | CliError::Io(m) => m,
+        }
+    }
+}
 
 /// Parsed command-line options.
 #[derive(Debug, Clone, PartialEq, Eq)]
 struct Options {
     mode: Mode,
     vars: Vec<String>,
-    source: Source,
+    source: Option<Source>,
     /// `None` means `--engine auto`: let the planner decide per query.
     engine: Option<Engine>,
     format: Format,
@@ -61,6 +94,9 @@ struct Options {
     stats: bool,
     kernels: KernelMode,
     threads: usize,
+    /// Non-fatal diagnostics emitted to stderr before running (e.g. the
+    /// `--threads 0` clamp).
+    warnings: Vec<String>,
 }
 
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -69,6 +105,24 @@ enum Mode {
     Single(String),
     /// A `--batch` file of queries answered with shared compilation state.
     Batch(String),
+    /// `--connect host:port`: act as a client of a running `pplxd` daemon.
+    Remote(RemoteActions),
+}
+
+/// What to ask a `pplxd` daemon for, in protocol order.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+struct RemoteActions {
+    addr: String,
+    /// `--load NAME`: send the `--file`/`--stdin` document as `LOAD NAME …`.
+    load: Option<String>,
+    /// `--query EXPR` with `--doc NAME` → `QUERY`; without → `QUERYALL`.
+    query: Option<(Option<String>, String)>,
+    /// `--stats` → `STATS`.
+    stats: bool,
+    /// `--evict NAME` → `EVICT NAME`.
+    evict: Option<String>,
+    /// `--shutdown` → `SHUTDOWN` (stops the daemon).
+    shutdown: bool,
 }
 
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -87,7 +141,26 @@ enum Format {
 const USAGE: &str = "usage: pplx (--query <XPATH> | --batch <file>) [--vars a,b,...] \
 (--file <path> | --terms <term-tree> | --stdin) \
 [--engine ppl|acq|hcl|naive|auto] [--threads N] [--format table|csv] \
-[--explain] [--stats] [--kernels dense|adaptive|adaptive_threaded]";
+[--explain] [--stats] [--kernels dense|adaptive|adaptive_threaded]\n\
+       pplx --connect <host:port> [--load <name>] [--doc <name>] [--query <XPATH>] \
+[--vars a,b,...] [--stats] [--evict <name>] [--shutdown]\n\
+       pplx --help";
+
+/// Full `--help` text (printed to stdout, exit 0).
+const HELP: &str = "pplx — the PPL XPath query engine CLI\n\
+\n\
+Local modes answer queries in-process; --connect drives a running pplxd\n\
+corpus daemon over its line protocol (LOAD/QUERY/QUERYALL/STATS/EVICT).\n\
+With --connect, --query targets the --doc document, or every loaded\n\
+document when --doc is omitted; --load NAME sends the --file/--stdin XML.\n\
+\n\
+EXIT CODES:\n\
+    0  success\n\
+    2  usage error (bad flags or flag combinations)\n\
+    3  parse error (document or query failed to parse / compile)\n\
+    4  query error (a well-formed query failed during execution,\n\
+       including ERR responses from a pplxd daemon)\n\
+    5  I/O error (file, stdin, or network)\n";
 
 fn parse_args(args: &[String]) -> Result<Options, String> {
     let mut query = None;
@@ -100,6 +173,18 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     let mut stats = false;
     let mut kernels = KernelMode::default();
     let mut threads = 1usize;
+    let mut warnings = Vec::new();
+    let mut connect = None;
+    let mut load = None;
+    let mut doc = None;
+    let mut evict = None;
+    let mut shutdown = false;
+    // Local-only flags actually given (vs. defaulted), so remote mode can
+    // reject them instead of silently ignoring an override.
+    let mut engine_flag = false;
+    let mut kernels_flag = false;
+    let mut format_flag = false;
+    let mut threads_flag = false;
 
     let mut i = 0;
     let value = |i: &mut usize, flag: &str| -> Result<String, String> {
@@ -113,19 +198,30 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             "--query" | "-q" => query = Some(value(&mut i, "--query")?),
             "--batch" | "-b" => batch = Some(value(&mut i, "--batch")?),
             "--stats" => stats = true,
+            "--connect" => connect = Some(value(&mut i, "--connect")?),
+            "--load" => load = Some(value(&mut i, "--load")?),
+            "--doc" => doc = Some(value(&mut i, "--doc")?),
+            "--evict" => evict = Some(value(&mut i, "--evict")?),
+            "--shutdown" => shutdown = true,
             "--kernels" => {
+                kernels_flag = true;
                 let name = value(&mut i, "--kernels")?;
                 kernels = KernelMode::parse(&name).ok_or_else(|| {
                     format!("unknown kernel mode '{name}' (expected dense|adaptive|adaptive_threaded)")
                 })?;
             }
             "--threads" => {
+                threads_flag = true;
                 let n = value(&mut i, "--threads")?;
                 threads = n
                     .parse::<usize>()
-                    .ok()
-                    .filter(|&n| n >= 1)
-                    .ok_or_else(|| format!("--threads expects a positive integer, got '{n}'"))?;
+                    .map_err(|_| format!("--threads expects an integer, got '{n}'"))?;
+                if threads == 0 {
+                    warnings.push(
+                        "--threads 0 makes no sense for serving; clamped to 1".to_string(),
+                    );
+                    threads = 1;
+                }
             }
             "--vars" | "-v" => {
                 vars = value(&mut i, "--vars")?
@@ -138,6 +234,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             "--terms" | "-t" => source = Some(Source::Terms(value(&mut i, "--terms")?)),
             "--stdin" => source = Some(Source::Stdin),
             "--engine" => {
+                engine_flag = true;
                 let name = value(&mut i, "--engine")?;
                 engine = match name.as_str() {
                     "auto" => None,
@@ -147,6 +244,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                 }
             }
             "--format" => {
+                format_flag = true;
                 format = match value(&mut i, "--format")?.as_str() {
                     "table" => Format::Table,
                     "csv" => Format::Csv,
@@ -160,48 +258,120 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         i += 1;
     }
 
-    let mode = match (query, batch) {
-        (Some(_), Some(_)) => {
-            return Err(format!("--query and --batch are mutually exclusive\n{USAGE}"))
+    let mode = if let Some(addr) = connect {
+        if batch.is_some() {
+            return Err("--batch is a local mode; a pplxd daemon serves prepared corpora".into());
         }
-        (Some(q), None) => {
-            if threads != 1 {
-                return Err("--threads only applies to --batch serving".into());
+        for (flag, present) in [
+            ("--engine", engine_flag),
+            ("--kernels", kernels_flag),
+            ("--format", format_flag),
+            ("--threads", threads_flag),
+            ("--explain", explain),
+            // (--terms with --load falls through to the clearer
+            // "--load needs --file or --stdin" rejection below.)
+            ("--terms", load.is_none() && matches!(source, Some(Source::Terms(_)))),
+        ] {
+            if present {
+                return Err(format!(
+                    "{flag} is local-only; the daemon's configuration applies with --connect"
+                ));
             }
-            Mode::Single(q)
         }
-        (None, Some(b)) => Mode::Batch(b),
-        (None, None) => return Err(format!("--query or --batch is required\n{USAGE}")),
+        if load.is_none() && source.is_some() {
+            return Err("--file/--stdin only feed --load when using --connect".into());
+        }
+        if load.is_some() && !matches!(source, Some(Source::File(_)) | Some(Source::Stdin)) {
+            return Err("--load needs the XML from --file or --stdin".into());
+        }
+        let remote = RemoteActions {
+            addr,
+            load,
+            query: query.map(|q| (doc.take(), q)),
+            stats,
+            evict,
+            shutdown,
+        };
+        if doc.is_some() {
+            return Err("--doc only applies together with --query".into());
+        }
+        if remote.load.is_none()
+            && remote.query.is_none()
+            && !remote.stats
+            && remote.evict.is_none()
+            && !remote.shutdown
+        {
+            return Err(format!(
+                "--connect needs at least one of --load/--query/--stats/--evict/--shutdown\n{USAGE}"
+            ));
+        }
+        Mode::Remote(remote)
+    } else {
+        for (flag, present) in [
+            ("--load", load.is_some()),
+            ("--doc", doc.is_some()),
+            ("--evict", evict.is_some()),
+            ("--shutdown", shutdown),
+        ] {
+            if present {
+                return Err(format!("{flag} only applies with --connect\n{USAGE}"));
+            }
+        }
+        match (query, batch) {
+            (Some(_), Some(_)) => {
+                return Err(format!("--query and --batch are mutually exclusive\n{USAGE}"))
+            }
+            (Some(q), None) => {
+                if threads != 1 {
+                    return Err("--threads only applies to --batch serving".into());
+                }
+                Mode::Single(q)
+            }
+            (None, Some(b)) => Mode::Batch(b),
+            (None, None) => return Err(format!("--query or --batch is required\n{USAGE}")),
+        }
     };
+    if matches!(mode, Mode::Single(_) | Mode::Batch(_)) && source.is_none() {
+        return Err(format!("one of --file/--terms/--stdin is required\n{USAGE}"));
+    }
     Ok(Options {
         mode,
         vars,
-        source: source.ok_or_else(|| format!("one of --file/--terms/--stdin is required\n{USAGE}"))?,
+        source,
         engine,
         format,
         explain,
         stats,
         kernels,
         threads,
+        warnings,
     })
 }
 
-fn load_document(source: &Source) -> Result<Document, String> {
+/// Read the raw document text of a `--file`/`--stdin` source (I/O errors
+/// only; parsing happens later).
+fn read_source_text(source: &Source) -> Result<String, CliError> {
     match source {
-        Source::Terms(terms) => Document::from_terms(terms).map_err(|e| e.to_string()),
-        Source::File(path) => {
-            let content =
-                std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-            Document::from_xml(&content).map_err(|e| e.to_string())
-        }
+        Source::Terms(terms) => Ok(terms.clone()),
+        Source::File(path) => std::fs::read_to_string(path)
+            .map_err(|e| CliError::Io(format!("cannot read {path}: {e}"))),
         Source::Stdin => {
             let mut content = String::new();
             std::io::stdin()
                 .read_to_string(&mut content)
-                .map_err(|e| format!("cannot read stdin: {e}"))?;
-            Document::from_xml(&content).map_err(|e| e.to_string())
+                .map_err(|e| CliError::Io(format!("cannot read stdin: {e}")))?;
+            Ok(content)
         }
     }
+}
+
+fn load_document(source: &Source) -> Result<Document, CliError> {
+    let content = read_source_text(source)?;
+    match source {
+        Source::Terms(_) => Document::from_terms(&content),
+        Source::File(_) | Source::Stdin => Document::from_xml(&content),
+    }
+    .map_err(|e| CliError::Parse(e.to_string()))
 }
 
 /// Parse one batch line: `<query>` with an optional ` -> v1,v2` variable
@@ -226,12 +396,12 @@ fn plan_query(
     query: &str,
     vars: &[String],
     engine: Option<Engine>,
-) -> Result<QueryPlan, String> {
-    let path = parse_path(query).map_err(|e| e.to_string())?;
+) -> Result<QueryPlan, CliError> {
+    let path = parse_path(query).map_err(|e| CliError::Parse(e.to_string()))?;
     let output: Vec<Var> = vars.iter().map(|n| Var::new(n)).collect();
     Planner::default()
         .plan_with(doc.session(), path, output, engine)
-        .map_err(|e| e.to_string())
+        .map_err(|e| CliError::Parse(e.to_string()))
 }
 
 fn render_answers(
@@ -275,21 +445,24 @@ fn render_answers(
     }
 }
 
-fn run_single(options: &Options, doc: &Document, query: &str) -> Result<String, String> {
+fn run_single(options: &Options, doc: &Document, query: &str) -> Result<String, CliError> {
     let plan = plan_query(doc, query, &options.vars, options.engine)?;
     let mut out = String::new();
     if options.explain {
         out.push_str(&plan.explain());
         out.push('\n');
     }
-    let answers = doc.session().execute(&plan).map_err(|e| e.to_string())?;
+    let answers = doc
+        .session()
+        .execute(&plan)
+        .map_err(|e| CliError::Query(e.to_string()))?;
     render_answers(&mut out, doc, &answers, &options.vars, options.format);
     Ok(out)
 }
 
-fn run_batch(options: &Options, doc: &Document, path: &str) -> Result<String, String> {
-    let content =
-        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+fn run_batch(options: &Options, doc: &Document, path: &str) -> Result<String, CliError> {
+    let content = std::fs::read_to_string(path)
+        .map_err(|e| CliError::Io(format!("cannot read {path}: {e}")))?;
     let mut plans: Vec<QueryPlan> = Vec::new();
     let mut specs: Vec<(String, Vec<String>)> = Vec::new();
     for (lineno, line) in content.lines().enumerate() {
@@ -299,18 +472,20 @@ fn run_batch(options: &Options, doc: &Document, path: &str) -> Result<String, St
         }
         let (query, vars) = parse_batch_line(line, &options.vars);
         let plan = plan_query(doc, &query, &vars, options.engine)
-            .map_err(|e| format!("{path}:{}: {e}", lineno + 1))?;
+            .map_err(|e| CliError::Parse(format!("{path}:{}: {}", lineno + 1, e.message())))?;
         plans.push(plan);
         specs.push((query, vars));
     }
     if plans.is_empty() {
-        return Err(format!("{path}: no queries (blank lines and # comments are skipped)"));
+        return Err(CliError::Usage(format!(
+            "{path}: no queries (blank lines and # comments are skipped)"
+        )));
     }
 
     let answers = doc
         .session()
         .answer_batch_parallel(&plans, options.threads)
-        .map_err(|e| e.to_string())?;
+        .map_err(|e| CliError::Query(e.to_string()))?;
     let mut out = String::new();
     for (i, ((query, vars), answer)) in specs.iter().zip(&answers).enumerate() {
         out.push_str(&format!("# [{}] {query}\n", i + 1));
@@ -338,17 +513,110 @@ fn run_batch(options: &Options, doc: &Document, path: &str) -> Result<String, St
     Ok(out)
 }
 
-fn run(options: &Options) -> Result<String, String> {
-    let doc = load_document(&options.source)?;
+/// Drive a running `pplxd` daemon over its line protocol.  Each action
+/// sends one request; `OK` payload lines are echoed to the output, an `ERR`
+/// response becomes a query error (exit 4).
+fn run_remote(options: &Options, remote: &RemoteActions) -> Result<String, CliError> {
+    let stream = TcpStream::connect(&remote.addr)
+        .map_err(|e| CliError::Io(format!("cannot connect to {}: {e}", remote.addr)))?;
+    let mut reader = BufReader::new(
+        stream
+            .try_clone()
+            .map_err(|e| CliError::Io(format!("cannot clone connection: {e}")))?,
+    );
+    let mut writer = BufWriter::new(stream);
+    let mut out = String::new();
+
+    let mut request = |line: String, out: &mut String| -> Result<(), CliError> {
+        writeln!(writer, "{line}").map_err(|e| CliError::Io(format!("send failed: {e}")))?;
+        writer
+            .flush()
+            .map_err(|e| CliError::Io(format!("send failed: {e}")))?;
+        let mut status = String::new();
+        reader
+            .read_line(&mut status)
+            .map_err(|e| CliError::Io(format!("receive failed: {e}")))?;
+        let status = status.trim_end();
+        if let Some(message) = status.strip_prefix("ERR ") {
+            return Err(CliError::Query(format!("daemon: {message}")));
+        }
+        let count: usize = status
+            .strip_prefix("OK ")
+            .and_then(|n| n.parse().ok())
+            .ok_or_else(|| CliError::Io(format!("malformed daemon response '{status}'")))?;
+        for _ in 0..count {
+            let mut payload = String::new();
+            reader
+                .read_line(&mut payload)
+                .map_err(|e| CliError::Io(format!("receive failed: {e}")))?;
+            out.push_str(payload.trim_end());
+            out.push('\n');
+        }
+        Ok(())
+    };
+
+    if let Some(name) = &remote.load {
+        let source = options
+            .source
+            .as_ref()
+            .expect("parse_args requires a source for --load");
+        // The protocol is line-based: collapse the XML onto one line.
+        // Newlines only separate markup in the paper's data model (element
+        // structure is what the tree keeps), so this is lossless here.
+        let xml = read_source_text(source)?.replace(['\n', '\r'], " ");
+        request(format!("LOAD {name} {}", xml.trim()), &mut out)?;
+    }
+    if let Some((doc, query)) = &remote.query {
+        let suffix = if options.vars.is_empty() {
+            String::new()
+        } else {
+            format!(" -> {}", options.vars.join(","))
+        };
+        let line = match doc {
+            Some(doc) => format!("QUERY {doc} {query}{suffix}"),
+            None => format!("QUERYALL {query}{suffix}"),
+        };
+        request(line, &mut out)?;
+    }
+    if remote.stats {
+        request("STATS".to_string(), &mut out)?;
+    }
+    if let Some(name) = &remote.evict {
+        request(format!("EVICT {name}"), &mut out)?;
+    }
+    if remote.shutdown {
+        request("SHUTDOWN".to_string(), &mut out)?;
+    } else {
+        // Best-effort courtesy QUIT; the daemon also handles disconnects.
+        let _ = writeln!(writer, "QUIT");
+        let _ = writer.flush();
+    }
+    Ok(out)
+}
+
+fn run(options: &Options) -> Result<String, CliError> {
+    if let Mode::Remote(remote) = &options.mode {
+        return run_remote(options, remote);
+    }
+    let source = options
+        .source
+        .as_ref()
+        .expect("parse_args requires a source for local modes");
+    let doc = load_document(source)?;
     doc.set_kernel_mode(options.kernels);
     match &options.mode {
         Mode::Single(query) => run_single(options, &doc, query),
         Mode::Batch(path) => run_batch(options, &doc, path),
+        Mode::Remote(_) => unreachable!("handled above"),
     }
 }
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        println!("{HELP}\n{USAGE}");
+        return ExitCode::SUCCESS;
+    }
     let options = match parse_args(&args) {
         Ok(o) => o,
         Err(message) => {
@@ -356,14 +624,17 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    for warning in &options.warnings {
+        eprintln!("warning: {warning}");
+    }
     match run(&options) {
         Ok(output) => {
             print!("{output}");
             ExitCode::SUCCESS
         }
-        Err(message) => {
-            eprintln!("error: {message}");
-            ExitCode::FAILURE
+        Err(error) => {
+            eprintln!("error: {}", error.message());
+            ExitCode::from(error.exit_code())
         }
     }
 }
@@ -394,7 +665,7 @@ mod tests {
         .unwrap();
         assert_eq!(opts.mode, Mode::Single("descendant::a[. is $x]".into()));
         assert_eq!(opts.vars, vec!["x", "y"]);
-        assert_eq!(opts.source, Source::Terms("r(a,b)".into()));
+        assert_eq!(opts.source, Some(Source::Terms("r(a,b)".into())));
         assert_eq!(opts.engine, Some(Engine::NaiveEnumeration));
         assert_eq!(opts.format, Format::Csv);
         assert!(opts.explain);
@@ -448,16 +719,25 @@ mod tests {
         assert_eq!(opts.mode, Mode::Batch("queries.txt".into()));
         assert!(opts.stats);
         assert_eq!(opts.threads, 8);
+        assert!(opts.warnings.is_empty());
         assert!(parse_args(&args(&[
             "--batch", "q.txt", "--query", "child::a", "--terms", "r",
         ]))
         .unwrap_err()
         .contains("mutually exclusive"));
-        assert!(parse_args(&args(&[
+        // --threads 0 is clamped to 1 with a warning instead of erroring.
+        let clamped = parse_args(&args(&[
             "--batch", "q.txt", "--terms", "r", "--threads", "0",
         ]))
+        .unwrap();
+        assert_eq!(clamped.threads, 1);
+        assert_eq!(clamped.warnings.len(), 1);
+        assert!(clamped.warnings[0].contains("clamped to 1"), "{:?}", clamped.warnings);
+        assert!(parse_args(&args(&[
+            "--batch", "q.txt", "--terms", "r", "--threads", "zero",
+        ]))
         .unwrap_err()
-        .contains("positive integer"));
+        .contains("integer"));
         // --threads is a batch-serving knob; silently ignoring it on a
         // single query would fake multi-threaded measurements.
         assert!(parse_args(&args(&[
@@ -465,6 +745,128 @@ mod tests {
         ]))
         .unwrap_err()
         .contains("--batch"));
+    }
+
+    #[test]
+    fn parse_connect_mode_arguments() {
+        let opts = parse_args(&args(&[
+            "--connect", "127.0.0.1:7878", "--query", "descendant::a[. is $x]",
+            "--vars", "x", "--doc", "bib",
+        ]))
+        .unwrap();
+        match &opts.mode {
+            Mode::Remote(remote) => {
+                assert_eq!(remote.addr, "127.0.0.1:7878");
+                assert_eq!(
+                    remote.query,
+                    Some((Some("bib".to_string()), "descendant::a[. is $x]".to_string()))
+                );
+                assert!(!remote.stats && !remote.shutdown);
+                assert!(remote.load.is_none() && remote.evict.is_none());
+            }
+            other => panic!("expected remote mode, got {other:?}"),
+        }
+        // No --doc → QUERYALL; --stats / --evict / --shutdown compose.
+        let opts = parse_args(&args(&[
+            "--connect", "h:1", "--query", "child::a", "--stats", "--evict", "bib",
+            "--shutdown",
+        ]))
+        .unwrap();
+        match &opts.mode {
+            Mode::Remote(remote) => {
+                assert_eq!(remote.query, Some((None, "child::a".to_string())));
+                assert!(remote.stats && remote.shutdown);
+                assert_eq!(remote.evict.as_deref(), Some("bib"));
+            }
+            other => panic!("expected remote mode, got {other:?}"),
+        }
+        // --load needs XML from --file or --stdin, not --terms.
+        let opts =
+            parse_args(&args(&["--connect", "h:1", "--load", "bib", "--file", "d.xml"])).unwrap();
+        assert!(matches!(opts.mode, Mode::Remote(_)));
+        assert!(parse_args(&args(&["--connect", "h:1", "--load", "bib", "--terms", "r(a)"]))
+            .unwrap_err()
+            .contains("--file or --stdin"));
+        // Remote flags are rejected without --connect; an action is required.
+        assert!(parse_args(&args(&["--load", "bib", "--file", "d.xml"]))
+            .unwrap_err()
+            .contains("--connect"));
+        assert!(parse_args(&args(&["--shutdown", "--terms", "r", "--query", "child::a"]))
+            .unwrap_err()
+            .contains("--connect"));
+        assert!(parse_args(&args(&["--connect", "h:1"]))
+            .unwrap_err()
+            .contains("at least one"));
+        assert!(parse_args(&args(&["--connect", "h:1", "--batch", "q.txt"]))
+            .unwrap_err()
+            .contains("local mode"));
+        assert!(parse_args(&args(&["--connect", "h:1", "--doc", "bib", "--stats"]))
+            .unwrap_err()
+            .contains("--query"));
+        // Local-only flags are rejected, not silently ignored, with
+        // --connect; so is a source that feeds nothing.
+        for argv in [
+            vec!["--connect", "h:1", "--stats", "--engine", "hcl"],
+            vec!["--connect", "h:1", "--stats", "--kernels", "dense"],
+            vec!["--connect", "h:1", "--stats", "--format", "csv"],
+            vec!["--connect", "h:1", "--stats", "--threads", "4"],
+            vec!["--connect", "h:1", "--stats", "--explain"],
+            vec!["--connect", "h:1", "--stats", "--terms", "r(a)"],
+        ] {
+            let err = parse_args(&args(&argv)).unwrap_err();
+            assert!(err.contains("local-only"), "{argv:?}: {err}");
+        }
+        assert!(parse_args(&args(&["--connect", "h:1", "--stats", "--file", "d.xml"]))
+            .unwrap_err()
+            .contains("--load"));
+    }
+
+    #[test]
+    fn cli_errors_map_to_distinct_exit_codes() {
+        assert_eq!(CliError::Usage("x".into()).exit_code(), 2);
+        assert_eq!(CliError::Parse("x".into()).exit_code(), 3);
+        assert_eq!(CliError::Query("x".into()).exit_code(), 4);
+        assert_eq!(CliError::Io("x".into()).exit_code(), 5);
+        assert_eq!(CliError::Io("boom".into()).message(), "boom");
+        // The exit codes are part of the CLI contract: documented in --help.
+        for code in ["2  usage", "3  parse", "4  query", "5  I/O"] {
+            assert!(HELP.contains(code), "HELP must document exit code {code}");
+        }
+    }
+
+    #[test]
+    fn error_classification_per_failure_kind() {
+        // Missing file → I/O.
+        let opts = parse_args(&args(&[
+            "--query", "child::a", "--file", "/nonexistent/q.xml",
+        ]))
+        .unwrap();
+        assert!(matches!(run(&opts).unwrap_err(), CliError::Io(_)));
+        // Broken XML → parse.
+        let tmp = std::env::temp_dir().join("pplx_exit_code_broken.xml");
+        std::fs::write(&tmp, "<a><b></a>").unwrap();
+        let opts = parse_args(&args(&[
+            "--query", "child::a", "--file", tmp.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(matches!(run(&opts).unwrap_err(), CliError::Parse(_)));
+        std::fs::remove_file(&tmp).ok();
+        // Broken query → parse.
+        let opts = parse_args(&args(&["--query", "child::(", "--terms", "r(a)"])).unwrap();
+        assert!(matches!(run(&opts).unwrap_err(), CliError::Parse(_)));
+        // Well-formed query failing at execution (acq disjunct budget) → query.
+        let mut union = String::from("descendant::a[. is $x]");
+        for _ in 0..9 {
+            union = format!("({union}) union ({union})");
+        }
+        let opts_vec = args(&[
+            "--query", &union, "--vars", "x", "--terms", "r(a,a)", "--engine", "acq",
+        ]);
+        let opts = parse_args(&opts_vec).unwrap();
+        assert!(matches!(run(&opts).unwrap_err(), CliError::Query(_)));
+        // Unreachable daemon → I/O.
+        let opts = parse_args(&args(&["--connect", "127.0.0.1:1", "--stats"])).unwrap();
+        assert!(matches!(run(&opts).unwrap_err(), CliError::Io(_)));
     }
 
     #[test]
@@ -565,7 +967,64 @@ mod tests {
         ]))
         .unwrap();
         let err = run(&opts).unwrap_err();
-        assert!(err.contains("NVS(/)"));
+        assert!(err.message().contains("NVS(/)"), "{err:?}");
+        assert!(matches!(err, CliError::Parse(_)), "fragment violations are parse errors");
+    }
+
+    #[test]
+    fn run_connect_round_trip_against_an_in_process_daemon() {
+        use xpath_corpus::server::{bind, serve};
+        use xpath_corpus::Corpus;
+        let (listener, addr) = bind("127.0.0.1:0").unwrap();
+        let corpus = std::sync::Arc::new(Corpus::new());
+        let server = std::thread::spawn(move || serve(listener, corpus));
+        let addr = addr.to_string();
+
+        let tmp = std::env::temp_dir().join("pplx_connect_test_doc.xml");
+        std::fs::write(&tmp, "<bib>\n  <book><author/><title/></book>\n</bib>\n").unwrap();
+        let out = run(&parse_args(&args(&[
+            "--connect", &addr, "--load", "bib", "--file", tmp.to_str().unwrap(),
+        ]))
+        .unwrap())
+        .unwrap();
+        std::fs::remove_file(&tmp).ok();
+        assert!(out.contains("loaded bib nodes=4"), "{out}");
+
+        let out = run(&parse_args(&args(&[
+            "--connect", &addr, "--doc", "bib",
+            "--query", "descendant::author[. is $a]", "--vars", "a",
+        ]))
+        .unwrap())
+        .unwrap();
+        assert!(out.contains("vars=a tuples=1"), "{out}");
+        assert!(out.contains("author#2"), "{out}");
+
+        // No --doc → QUERYALL across the corpus; --stats appends counters.
+        let out = run(&parse_args(&args(&[
+            "--connect", &addr, "--query", "descendant::title[. is $t]", "--vars", "t",
+            "--stats",
+        ]))
+        .unwrap())
+        .unwrap();
+        assert!(out.contains("doc=bib tuples=1"), "{out}");
+        assert!(out.contains("documents=1"), "{out}");
+
+        // A daemon-side failure surfaces as a query error (exit 4).
+        let err = run(&parse_args(&args(&[
+            "--connect", &addr, "--doc", "missing", "--query", "child::a",
+        ]))
+        .unwrap())
+        .unwrap_err();
+        assert!(matches!(err, CliError::Query(_)), "{err:?}");
+        assert!(err.message().contains("unknown document"), "{err:?}");
+
+        let out = run(&parse_args(&args(&[
+            "--connect", &addr, "--evict", "bib", "--shutdown",
+        ]))
+        .unwrap())
+        .unwrap();
+        assert!(out.contains("evicted=true"), "{out}");
+        server.join().unwrap().unwrap();
     }
 
     #[test]
@@ -624,8 +1083,9 @@ mod tests {
         .unwrap();
         let err = run(&opts).unwrap_err();
         std::fs::remove_file(&path).ok();
-        assert!(err.contains(":2:"), "{err}");
-        assert!(err.contains("N(for)"), "{err}");
+        assert!(err.message().contains(":2:"), "{err:?}");
+        assert!(err.message().contains("N(for)"), "{err:?}");
+        assert!(matches!(err, CliError::Parse(_)));
     }
 
     #[test]

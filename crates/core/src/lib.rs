@@ -96,6 +96,12 @@
 //!   for differential testing and the benchmark experiments.
 //! * Re-exports of the component crates under [`components`], and a
 //!   [`prelude`] for glob imports.
+//!
+//! Multi-document serving lives one layer up, in the `xpath_corpus` crate
+//! (which depends on this one): a `Corpus` pools one session per named
+//! document behind a memory-bounded LRU, fans queries out across
+//! documents, and backs the `pplxd` TCP daemon — with `pplx --connect`
+//! as the client.
 
 pub mod document;
 pub mod engine;

@@ -70,11 +70,24 @@ impl Session {
 
     /// Wrap an already constructed tree.
     pub fn from_tree(tree: Tree) -> Session {
+        Session::from_shared_tree(Arc::new(tree))
+    }
+
+    /// Wrap an already shared tree without cloning it.  This is the cheap
+    /// session-(re)build path of the corpus layer: evicting a session under
+    /// a memory budget drops only its matrix cache, and the next request
+    /// rebuilds the session around the same `Arc<Tree>`.
+    pub fn from_shared_tree(tree: Arc<Tree>) -> Session {
         let store = SharedMatrixStore::new(tree.len());
         Session {
-            tree: Arc::new(tree),
+            tree,
             store: Arc::new(store),
         }
+    }
+
+    /// The shared handle to the underlying tree (an `Arc` clone).
+    pub fn shared_tree(&self) -> Arc<Tree> {
+        Arc::clone(&self.tree)
     }
 
     /// The underlying tree.

@@ -1,0 +1,184 @@
+//! `pplxd` — the corpus query daemon.
+//!
+//! Serves a shared [`Corpus`] over a line-based TCP protocol (see
+//! `xpath_corpus::server` for the wire format), one connection-handler
+//! thread per client.  `pplx --connect host:port` is the matching client.
+//!
+//! ```text
+//! USAGE:
+//!     pplxd [--bind ADDR] [--port N] [--budget BYTES] [--threads N]
+//!           [--engine ppl|acq|hcl|naive|auto] [--preload DIR]
+//!
+//! OPTIONS:
+//!     --bind ADDR     interface to bind (default 127.0.0.1)
+//!     --port N        TCP port; 0 picks an ephemeral port (default 7878)
+//!     --budget BYTES  memory budget of the session pool (default unbounded)
+//!     --threads N     fan-out worker threads for QUERYALL (default 4)
+//!     --engine E      force one engine for every plan (default auto)
+//!     --preload DIR   ingest every *.xml under DIR before serving
+//! ```
+//!
+//! On startup the daemon prints `pplxd listening on <addr>` to stdout (the
+//! CI smoke test parses this to discover the ephemeral port).
+
+use std::process::ExitCode;
+use std::sync::Arc;
+use xpath_corpus::server::{bind, serve};
+use xpath_corpus::{Corpus, CorpusConfig};
+
+const USAGE: &str = "usage: pplxd [--bind ADDR] [--port N] [--budget BYTES] \
+[--threads N] [--engine ppl|acq|hcl|naive|auto] [--preload DIR]";
+
+#[derive(Debug)]
+struct Options {
+    bind: String,
+    port: u16,
+    budget: Option<usize>,
+    threads: usize,
+    engine: Option<ppl_xpath::Engine>,
+    preload: Option<String>,
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut options = Options {
+        bind: "127.0.0.1".to_string(),
+        port: 7878,
+        budget: None,
+        threads: 4,
+        engine: None,
+        preload: None,
+    };
+    let mut i = 0;
+    let value = |i: &mut usize, flag: &str| -> Result<String, String> {
+        *i += 1;
+        args.get(*i)
+            .cloned()
+            .ok_or_else(|| format!("missing value for {flag}"))
+    };
+    while i < args.len() {
+        match args[i].as_str() {
+            "--bind" => options.bind = value(&mut i, "--bind")?,
+            "--port" => {
+                options.port = value(&mut i, "--port")?
+                    .parse()
+                    .map_err(|_| "--port expects a number in 0..=65535".to_string())?
+            }
+            "--budget" => {
+                options.budget = Some(
+                    value(&mut i, "--budget")?
+                        .parse()
+                        .map_err(|_| "--budget expects a byte count".to_string())?,
+                )
+            }
+            "--threads" => {
+                let n: usize = value(&mut i, "--threads")?
+                    .parse()
+                    .map_err(|_| "--threads expects a number".to_string())?;
+                options.threads = n.max(1);
+            }
+            "--engine" => {
+                let name = value(&mut i, "--engine")?;
+                options.engine = match name.as_str() {
+                    "auto" => None,
+                    other => Some(ppl_xpath::Engine::parse(other).ok_or_else(|| {
+                        format!("unknown engine '{other}' (expected ppl|acq|hcl|naive|auto)")
+                    })?),
+                }
+            }
+            "--preload" => options.preload = Some(value(&mut i, "--preload")?),
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            other => return Err(format!("unknown argument '{other}'\n{USAGE}")),
+        }
+        i += 1;
+    }
+    Ok(options)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let options = match parse_args(&args) {
+        Ok(options) => options,
+        Err(message) => {
+            eprintln!("{message}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let corpus = Arc::new(Corpus::with_config(CorpusConfig {
+        memory_budget: options.budget,
+        threads: options.threads,
+        queue_capacity: options.threads.max(1) * 2,
+        engine: options.engine,
+        ..CorpusConfig::default()
+    }));
+    if let Some(dir) = &options.preload {
+        match corpus.load_dir(std::path::Path::new(dir)) {
+            Ok(names) => eprintln!("pplxd preloaded {} document(s) from {dir}", names.len()),
+            Err(e) => {
+                eprintln!("pplxd cannot preload {dir}: {e}");
+                return ExitCode::from(5);
+            }
+        }
+    }
+
+    let address = format!("{}:{}", options.bind, options.port);
+    let (listener, local) = match bind(&address) {
+        Ok(bound) => bound,
+        Err(e) => {
+            eprintln!("pplxd cannot bind {address}: {e}");
+            return ExitCode::from(5);
+        }
+    };
+    println!("pplxd listening on {local}");
+    // Line-buffered stdout may sit on the message until exit; the CI smoke
+    // test reads it from a pipe, so flush explicitly.
+    use std::io::Write;
+    let _ = std::io::stdout().flush();
+
+    match serve(listener, corpus) {
+        Ok(()) => {
+            println!("pplxd shut down");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("pplxd server error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parse_defaults_and_overrides() {
+        let defaults = parse_args(&[]).unwrap();
+        assert_eq!(defaults.bind, "127.0.0.1");
+        assert_eq!(defaults.port, 7878);
+        assert_eq!(defaults.budget, None);
+        assert_eq!(defaults.threads, 4);
+        assert!(defaults.engine.is_none());
+        assert!(defaults.preload.is_none());
+
+        let options = parse_args(&args(&[
+            "--bind", "0.0.0.0", "--port", "0", "--budget", "1048576", "--threads", "0",
+            "--engine", "ppl", "--preload", "/tmp/docs",
+        ]))
+        .unwrap();
+        assert_eq!(options.bind, "0.0.0.0");
+        assert_eq!(options.port, 0);
+        assert_eq!(options.budget, Some(1 << 20));
+        assert_eq!(options.threads, 1, "--threads 0 clamps to 1");
+        assert_eq!(options.engine, Some(ppl_xpath::Engine::Ppl));
+        assert_eq!(options.preload.as_deref(), Some("/tmp/docs"));
+
+        assert!(parse_args(&args(&["--port", "notanumber"])).is_err());
+        assert!(parse_args(&args(&["--engine", "zzz"])).unwrap_err().contains("unknown engine"));
+        assert!(parse_args(&args(&["--wat"])).unwrap_err().contains("unknown argument"));
+    }
+}

@@ -1,0 +1,158 @@
+//! A small bounded MPMC work queue for the corpus fan-out pool.
+//!
+//! [`BoundedQueue`] is a classic capacity-bounded queue over
+//! `Mutex<VecDeque>` plus two condvars: producers block in
+//! [`BoundedQueue::push`] while the queue is at capacity (backpressure —
+//! a corpus fan-out over ten thousand documents never materialises ten
+//! thousand pending work items), consumers block in [`BoundedQueue::pop`]
+//! until an item arrives or the queue is closed.  After
+//! [`BoundedQueue::close`], `pop` drains the remaining items and then
+//! returns `None`, which is the worker-shutdown signal.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+/// A blocking, capacity-bounded multi-producer multi-consumer queue.
+#[derive(Debug)]
+pub struct BoundedQueue<T> {
+    state: Mutex<State<T>>,
+    not_full: Condvar,
+    not_empty: Condvar,
+    capacity: usize,
+}
+
+#[derive(Debug)]
+struct State<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+impl<T> BoundedQueue<T> {
+    /// A queue holding at most `capacity` pending items (`capacity >= 1`).
+    pub fn new(capacity: usize) -> BoundedQueue<T> {
+        assert!(capacity >= 1, "a bounded queue needs capacity >= 1");
+        BoundedQueue {
+            state: Mutex::new(State {
+                items: VecDeque::with_capacity(capacity),
+                closed: false,
+            }),
+            not_full: Condvar::new(),
+            not_empty: Condvar::new(),
+            capacity,
+        }
+    }
+
+    /// The capacity the queue was created with.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Enqueue an item, blocking while the queue is at capacity.
+    ///
+    /// Panics if the queue has been closed — closing with producers still
+    /// pushing is a caller bug, not a runtime condition.
+    pub fn push(&self, item: T) {
+        let mut state = self.state.lock().expect("queue lock poisoned");
+        while state.items.len() >= self.capacity && !state.closed {
+            state = self.not_full.wait(state).expect("queue lock poisoned");
+        }
+        assert!(!state.closed, "push on a closed BoundedQueue");
+        state.items.push_back(item);
+        drop(state);
+        self.not_empty.notify_one();
+    }
+
+    /// Dequeue an item, blocking until one is available.  Returns `None`
+    /// once the queue is closed *and* drained.
+    pub fn pop(&self) -> Option<T> {
+        let mut state = self.state.lock().expect("queue lock poisoned");
+        loop {
+            if let Some(item) = state.items.pop_front() {
+                drop(state);
+                self.not_full.notify_one();
+                return Some(item);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self.not_empty.wait(state).expect("queue lock poisoned");
+        }
+    }
+
+    /// Close the queue: consumers drain what is left, then see `None`.
+    pub fn close(&self) {
+        self.state.lock().expect("queue lock poisoned").closed = true;
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn fifo_single_thread() {
+        let q = BoundedQueue::new(4);
+        q.push(1);
+        q.push(2);
+        q.push(3);
+        q.close();
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), Some(3));
+        assert_eq!(q.pop(), None);
+        assert_eq!(q.pop(), None, "closed queues stay closed");
+        assert_eq!(q.capacity(), 4);
+    }
+
+    #[test]
+    fn consumers_block_until_close() {
+        let q = BoundedQueue::new(2);
+        let drained = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..3 {
+                scope.spawn(|| {
+                    while q.pop().is_some() {
+                        drained.fetch_add(1, Ordering::Relaxed);
+                    }
+                });
+            }
+            for i in 0..20 {
+                q.push(i); // blocks whenever more than 2 items are pending
+            }
+            q.close();
+        });
+        assert_eq!(drained.load(Ordering::Relaxed), 20);
+    }
+
+    #[test]
+    fn producers_respect_the_capacity_bound() {
+        // A capacity-1 queue with a slow consumer: the producer can never
+        // run ahead, so the observed pending count is always <= 1.
+        let q = BoundedQueue::new(1);
+        std::thread::scope(|scope| {
+            scope.spawn(|| {
+                let mut expected = 0;
+                while let Some(item) = q.pop() {
+                    assert_eq!(item, expected, "bounded queue must stay FIFO");
+                    expected += 1;
+                }
+                assert_eq!(expected, 50);
+            });
+            for i in 0..50 {
+                q.push(i);
+            }
+            q.close();
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "closed BoundedQueue")]
+    fn pushing_after_close_is_a_bug() {
+        let q = BoundedQueue::new(1);
+        q.close();
+        q.push(1);
+    }
+}

@@ -1,0 +1,570 @@
+//! The `pplxd` wire protocol and serving loop.
+//!
+//! `pplxd` speaks a line-based protocol over TCP.  Every request is one
+//! line; every response is a status line followed by zero or more payload
+//! lines:
+//!
+//! ```text
+//! -> LOAD bib <bib><book><author/><title/></book></bib>
+//! <- OK 1
+//! <- loaded bib nodes=4 documents=1
+//! -> QUERY bib descendant::author[. is $a] -> a
+//! <- OK 2
+//! <- vars=a tuples=1
+//! <- author#2
+//! -> STATS
+//! <- OK 9
+//! <- documents=1
+//! <- ...
+//! -> QUIT
+//! <- OK 1
+//! <- bye
+//! ```
+//!
+//! The status line is `OK <n>` (with exactly `n` payload lines following)
+//! or `ERR <message>` (no payload).  Commands:
+//!
+//! | command                              | effect                                      |
+//! |--------------------------------------|---------------------------------------------|
+//! | `LOAD <name> <xml>`                  | ingest an XML document (one line)           |
+//! | `LOADTERMS <name> <terms>`           | ingest a term-syntax document               |
+//! | `QUERY <name> <expr> [-> v1,v2]`     | answer over one document                    |
+//! | `QUERYALL <expr> [-> v1,v2]`         | fan out over every document                 |
+//! | `STATS`                              | pool / plan-cache counters                  |
+//! | `EVICT [<name>]`                     | drop one session, or all of them            |
+//! | `QUIT`                               | close this connection                       |
+//! | `SHUTDOWN`                           | stop the whole daemon                       |
+//!
+//! [`serve`] runs the accept loop with one handler thread per client over
+//! one shared [`Corpus`]; the `pplxd` binary wraps it, and `pplx --connect`
+//! is the matching client.
+
+use crate::{Corpus, CorpusError};
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use xpath_tree::Tree;
+
+/// A parsed protocol command.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Command {
+    /// `LOAD <name> <xml>` — ingest an XML document.
+    Load {
+        /// Document name.
+        name: String,
+        /// The document, as one line of XML.
+        xml: String,
+    },
+    /// `LOADTERMS <name> <terms>` — ingest a term-syntax document.
+    LoadTerms {
+        /// Document name.
+        name: String,
+        /// The document in compact term syntax.
+        terms: String,
+    },
+    /// `QUERY <name> <expr> [-> vars]` — answer over one document.
+    Query {
+        /// Target document.
+        name: String,
+        /// Core XPath 2.0 source.
+        query: String,
+        /// Output variables.
+        vars: Vec<String>,
+    },
+    /// `QUERYALL <expr> [-> vars]` — answer over every document.
+    QueryAll {
+        /// Core XPath 2.0 source.
+        query: String,
+        /// Output variables.
+        vars: Vec<String>,
+    },
+    /// `STATS` — report the corpus counters.
+    Stats,
+    /// `EVICT [<name>]` — drop one session (or all sessions).
+    Evict(Option<String>),
+    /// `QUIT` — close this connection.
+    Quit,
+    /// `SHUTDOWN` — stop the daemon.
+    Shutdown,
+}
+
+/// Split an optional ` -> v1,v2` variable suffix off a query expression.
+fn split_vars(expr: &str) -> (String, Vec<String>) {
+    match expr.rsplit_once("->") {
+        Some((query, vars)) => (
+            query.trim().to_string(),
+            vars.split(',')
+                .map(|s| s.trim().trim_start_matches('$').to_string())
+                .filter(|s| !s.is_empty())
+                .collect(),
+        ),
+        None => (expr.trim().to_string(), Vec::new()),
+    }
+}
+
+/// Parse one request line into a [`Command`].
+pub fn parse_command(line: &str) -> Result<Command, String> {
+    let line = line.trim();
+    let (verb, rest) = match line.split_once(char::is_whitespace) {
+        Some((verb, rest)) => (verb, rest.trim()),
+        None => (line, ""),
+    };
+    let two_args = |rest: &str, usage: &str| -> Result<(String, String), String> {
+        rest.split_once(char::is_whitespace)
+            .map(|(a, b)| (a.to_string(), b.trim().to_string()))
+            .filter(|(a, b)| !a.is_empty() && !b.is_empty())
+            .ok_or_else(|| format!("usage: {usage}"))
+    };
+    match verb.to_ascii_uppercase().as_str() {
+        "LOAD" => {
+            let (name, xml) = two_args(rest, "LOAD <name> <xml>")?;
+            Ok(Command::Load { name, xml })
+        }
+        "LOADTERMS" => {
+            let (name, terms) = two_args(rest, "LOADTERMS <name> <terms>")?;
+            Ok(Command::LoadTerms { name, terms })
+        }
+        "QUERY" => {
+            let (name, expr) = two_args(rest, "QUERY <name> <expr> [-> vars]")?;
+            let (query, vars) = split_vars(&expr);
+            Ok(Command::Query { name, query, vars })
+        }
+        "QUERYALL" => {
+            if rest.is_empty() {
+                return Err("usage: QUERYALL <expr> [-> vars]".into());
+            }
+            let (query, vars) = split_vars(rest);
+            Ok(Command::QueryAll { query, vars })
+        }
+        "STATS" => Ok(Command::Stats),
+        "EVICT" => Ok(Command::Evict(if rest.is_empty() {
+            None
+        } else {
+            Some(rest.to_string())
+        })),
+        "QUIT" => Ok(Command::Quit),
+        "SHUTDOWN" => Ok(Command::Shutdown),
+        other => Err(format!("unknown command '{other}'")),
+    }
+}
+
+/// Render one answer tuple as `label#preorder,label#preorder,…`.
+fn render_tuple(tree: &Tree, tuple: &[xpath_tree::NodeId]) -> String {
+    tuple
+        .iter()
+        .map(|&n| format!("{}#{}", tree.label_str(n), tree.preorder(n)))
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+fn corpus_err(e: &CorpusError) -> String {
+    e.to_string().replace('\n', " | ")
+}
+
+/// Payload lines of one `QUERY` answer: a header plus one line per tuple
+/// (or a `satisfiable=` header for arity-0 queries).
+fn answer_lines(tree: &Tree, vars: &[String], answers: &ppl_xpath::AnswerSet) -> Vec<String> {
+    let mut lines = Vec::with_capacity(answers.len() + 1);
+    if vars.is_empty() {
+        lines.push(format!("satisfiable={}", !answers.is_empty()));
+        return lines;
+    }
+    lines.push(format!("vars={} tuples={}", vars.join(","), answers.len()));
+    for tuple in answers.tuples() {
+        lines.push(render_tuple(tree, tuple));
+    }
+    lines
+}
+
+/// Execute one command against the corpus.  Returns the payload lines, or
+/// an error message for an `ERR` response.  `Quit`/`Shutdown` are handled
+/// by the connection loop, not here.
+pub fn execute_command(corpus: &Corpus, command: &Command) -> Result<Vec<String>, String> {
+    match command {
+        Command::Load { name, xml } => {
+            let nodes = corpus.insert_xml(name, xml).map_err(|e| corpus_err(&e))?;
+            Ok(vec![format!(
+                "loaded {name} nodes={nodes} documents={}",
+                corpus.len()
+            )])
+        }
+        Command::LoadTerms { name, terms } => {
+            let nodes = corpus.insert_terms(name, terms).map_err(|e| corpus_err(&e))?;
+            Ok(vec![format!(
+                "loaded {name} nodes={nodes} documents={}",
+                corpus.len()
+            )])
+        }
+        Command::Query { name, query, vars } => {
+            let var_refs: Vec<&str> = vars.iter().map(String::as_str).collect();
+            // answer_tagged carries the tree snapshot the node ids index —
+            // looking the document up again here would race with a
+            // concurrent LOAD replacing it.
+            let doc = corpus
+                .answer_tagged(name, query, &var_refs)
+                .map_err(|e| corpus_err(&e))?;
+            Ok(answer_lines(&doc.tree, vars, &doc.answers))
+        }
+        Command::QueryAll { query, vars } => {
+            let var_refs: Vec<&str> = vars.iter().map(String::as_str).collect();
+            let per_doc = corpus
+                .answer_all(query, &var_refs)
+                .map_err(|e| corpus_err(&e))?;
+            let mut lines = Vec::new();
+            for doc in &per_doc {
+                if vars.is_empty() {
+                    lines.push(format!(
+                        "doc={} satisfiable={}",
+                        doc.name,
+                        !doc.answers.is_empty()
+                    ));
+                    continue;
+                }
+                lines.push(format!("doc={} tuples={}", doc.name, doc.answers.len()));
+                for tuple in doc.answers.tuples() {
+                    lines.push(render_tuple(&doc.tree, tuple));
+                }
+            }
+            Ok(lines)
+        }
+        Command::Stats => {
+            let stats = corpus.stats();
+            Ok(vec![
+                format!("documents={}", stats.documents),
+                format!("live_sessions={}", stats.live_sessions),
+                format!("pool_bytes={}", stats.pool_bytes),
+                format!(
+                    "memory_budget={}",
+                    corpus
+                        .config()
+                        .memory_budget
+                        .map_or("unbounded".to_string(), |b| b.to_string())
+                ),
+                format!("admissions={}", stats.admissions),
+                format!("rebuilds={}", stats.rebuilds),
+                format!("cache_evictions={}", stats.cache_evictions),
+                format!("session_evictions={}", stats.session_evictions),
+                format!("plan_hits={}", stats.plan_hits),
+                format!("plan_misses={}", stats.plan_misses),
+            ])
+        }
+        Command::Evict(Some(name)) => Ok(vec![format!(
+            "evicted={}",
+            corpus.evict(name)
+        )]),
+        Command::Evict(None) => Ok(vec![format!("evicted={}", corpus.evict_all())]),
+        Command::Quit | Command::Shutdown => Ok(vec!["bye".to_string()]),
+    }
+}
+
+fn write_response<W: Write>(writer: &mut W, result: Result<Vec<String>, String>) -> std::io::Result<()> {
+    match result {
+        Ok(lines) => {
+            writeln!(writer, "OK {}", lines.len())?;
+            for line in lines {
+                writeln!(writer, "{line}")?;
+            }
+        }
+        Err(message) => writeln!(writer, "ERR {}", message.replace('\n', " | "))?,
+    }
+    writer.flush()
+}
+
+/// Serve one client connection until `QUIT`, `SHUTDOWN`, or disconnect.
+/// Returns `true` when the client requested a daemon shutdown.
+fn handle_client(stream: TcpStream, corpus: &Corpus) -> bool {
+    let Ok(read_half) = stream.try_clone() else {
+        return false;
+    };
+    let reader = BufReader::new(read_half);
+    let mut writer = BufWriter::new(stream);
+    for line in reader.lines() {
+        let Ok(line) = line else { break };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let command = match parse_command(&line) {
+            Ok(command) => command,
+            Err(message) => {
+                if write_response(&mut writer, Err(message)).is_err() {
+                    break;
+                }
+                continue;
+            }
+        };
+        let result = execute_command(corpus, &command);
+        if write_response(&mut writer, result).is_err() {
+            break;
+        }
+        match command {
+            Command::Quit => break,
+            Command::Shutdown => return true,
+            _ => {}
+        }
+    }
+    false
+}
+
+/// Run the daemon accept loop: one handler thread per client over the
+/// shared corpus, until a client sends `SHUTDOWN`.  Returns once the accept
+/// loop has stopped and every handler thread has finished.
+pub fn serve(listener: TcpListener, corpus: Arc<Corpus>) -> std::io::Result<()> {
+    let mut addr = listener.local_addr()?;
+    // The shutdown handler wakes the accept loop by connecting to the
+    // listener; a wildcard bind address (0.0.0.0 / ::) is not connectable
+    // on every platform, so target the loopback equivalent instead.
+    if addr.ip().is_unspecified() {
+        let loopback: std::net::IpAddr = if addr.is_ipv4() {
+            std::net::Ipv4Addr::LOCALHOST.into()
+        } else {
+            std::net::Ipv6Addr::LOCALHOST.into()
+        };
+        addr.set_ip(loopback);
+    }
+    let shutdown = AtomicBool::new(false);
+    std::thread::scope(|scope| -> std::io::Result<()> {
+        loop {
+            let (stream, _) = listener.accept()?;
+            if shutdown.load(Ordering::SeqCst) {
+                return Ok(()); // woken by the shutdown handler below
+            }
+            let corpus = Arc::clone(&corpus);
+            let shutdown = &shutdown;
+            scope.spawn(move || {
+                if handle_client(stream, &corpus) {
+                    shutdown.store(true, Ordering::SeqCst);
+                    // Wake the accept loop so it observes the flag.
+                    let _ = TcpStream::connect(addr);
+                }
+            });
+        }
+    })
+}
+
+/// Bind a listener on `addr` (port 0 picks an ephemeral port) and return it
+/// together with the resolved local address.
+pub fn bind(addr: &str) -> std::io::Result<(TcpListener, SocketAddr)> {
+    let listener = TcpListener::bind(addr)?;
+    let local = listener.local_addr()?;
+    Ok((listener, local))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CorpusConfig;
+
+    #[test]
+    fn command_parsing_round_trip() {
+        assert_eq!(
+            parse_command("LOAD bib <bib><book/></bib>").unwrap(),
+            Command::Load {
+                name: "bib".into(),
+                xml: "<bib><book/></bib>".into()
+            }
+        );
+        assert_eq!(
+            parse_command("LOADTERMS d a(b,c)").unwrap(),
+            Command::LoadTerms {
+                name: "d".into(),
+                terms: "a(b,c)".into()
+            }
+        );
+        assert_eq!(
+            parse_command("QUERY bib descendant::author[. is $a] -> a").unwrap(),
+            Command::Query {
+                name: "bib".into(),
+                query: "descendant::author[. is $a]".into(),
+                vars: vec!["a".into()]
+            }
+        );
+        assert_eq!(
+            parse_command("QUERYALL descendant::book -> $x, y").unwrap(),
+            Command::QueryAll {
+                query: "descendant::book".into(),
+                vars: vec!["x".into(), "y".into()]
+            }
+        );
+        assert_eq!(
+            parse_command("QUERY bib child::book").unwrap(),
+            Command::Query {
+                name: "bib".into(),
+                query: "child::book".into(),
+                vars: vec![]
+            }
+        );
+        assert_eq!(parse_command("stats").unwrap(), Command::Stats);
+        assert_eq!(parse_command("EVICT bib").unwrap(), Command::Evict(Some("bib".into())));
+        assert_eq!(parse_command("EVICT").unwrap(), Command::Evict(None));
+        assert_eq!(parse_command("QUIT").unwrap(), Command::Quit);
+        assert_eq!(parse_command("SHUTDOWN").unwrap(), Command::Shutdown);
+        assert!(parse_command("LOAD onlyname").unwrap_err().contains("usage"));
+        assert!(parse_command("QUERYALL").unwrap_err().contains("usage"));
+        assert!(parse_command("FROBNICATE x").unwrap_err().contains("unknown command"));
+    }
+
+    #[test]
+    fn execute_load_query_stats_evict() {
+        let corpus = Corpus::new();
+        let load = parse_command("LOAD bib <bib><book><author/><title/></book></bib>").unwrap();
+        let lines = execute_command(&corpus, &load).unwrap();
+        assert_eq!(lines, vec!["loaded bib nodes=4 documents=1"]);
+
+        let query =
+            parse_command("QUERY bib descendant::author[. is $a] -> a").unwrap();
+        let lines = execute_command(&corpus, &query).unwrap();
+        assert_eq!(lines[0], "vars=a tuples=1");
+        assert_eq!(lines[1], "author#2");
+
+        let boolean = parse_command("QUERY bib descendant::author").unwrap();
+        assert_eq!(
+            execute_command(&corpus, &boolean).unwrap(),
+            vec!["satisfiable=true"]
+        );
+
+        let stats = execute_command(&corpus, &Command::Stats).unwrap();
+        assert!(stats.iter().any(|l| l == "documents=1"), "{stats:?}");
+        assert!(stats.iter().any(|l| l.starts_with("pool_bytes=")), "{stats:?}");
+        assert!(stats.iter().any(|l| l == "memory_budget=unbounded"), "{stats:?}");
+
+        let evict = execute_command(&corpus, &Command::Evict(Some("bib".into()))).unwrap();
+        assert_eq!(evict, vec!["evicted=true"]);
+        let evict_all = execute_command(&corpus, &Command::Evict(None)).unwrap();
+        assert_eq!(evict_all, vec!["evicted=0"]);
+
+        // Errors: unknown doc, malformed query, malformed XML.
+        let err = execute_command(
+            &corpus,
+            &parse_command("QUERY nope child::a").unwrap(),
+        )
+        .unwrap_err();
+        assert!(err.contains("unknown document"), "{err}");
+        let err = execute_command(
+            &corpus,
+            &parse_command("QUERY bib child::(").unwrap(),
+        )
+        .unwrap_err();
+        assert!(err.contains("compile"), "{err}");
+        let err = execute_command(
+            &corpus,
+            &parse_command("LOAD broken <a><b></a>").unwrap(),
+        )
+        .unwrap_err();
+        assert!(err.contains("broken"), "{err}");
+    }
+
+    #[test]
+    fn execute_queryall_tags_documents() {
+        let corpus = Corpus::new();
+        execute_command(
+            &corpus,
+            &parse_command("LOADTERMS d1 r(a(b))").unwrap(),
+        )
+        .unwrap();
+        execute_command(
+            &corpus,
+            &parse_command("LOADTERMS d2 r(a(b),a(b))").unwrap(),
+        )
+        .unwrap();
+        let lines = execute_command(
+            &corpus,
+            &parse_command("QUERYALL descendant::b[. is $x] -> x").unwrap(),
+        )
+        .unwrap();
+        assert_eq!(lines[0], "doc=d1 tuples=1");
+        assert_eq!(lines[1], "b#2");
+        assert_eq!(lines[2], "doc=d2 tuples=2");
+        assert_eq!(lines.len(), 5);
+        // Arity-0 fan-out renders one satisfiable= line per document, never
+        // blank tuple lines.
+        let lines = execute_command(
+            &corpus,
+            &parse_command("QUERYALL descendant::b").unwrap(),
+        )
+        .unwrap();
+        assert_eq!(lines, vec!["doc=d1 satisfiable=true", "doc=d2 satisfiable=true"]);
+        let lines = execute_command(
+            &corpus,
+            &parse_command("QUERYALL descendant::zzz").unwrap(),
+        )
+        .unwrap();
+        assert_eq!(lines, vec!["doc=d1 satisfiable=false", "doc=d2 satisfiable=false"]);
+    }
+
+    /// Full TCP round trip: serve on an ephemeral port, drive the protocol
+    /// through real sockets from a client thread, then SHUTDOWN.
+    #[test]
+    fn tcp_round_trip_and_shutdown() {
+        let (listener, addr) = bind("127.0.0.1:0").unwrap();
+        let corpus = Arc::new(Corpus::with_config(CorpusConfig {
+            memory_budget: Some(1 << 20),
+            ..CorpusConfig::default()
+        }));
+        let server = std::thread::spawn(move || serve(listener, corpus));
+
+        let stream = TcpStream::connect(addr).unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut writer = BufWriter::new(stream);
+        let mut request = |line: &str| -> (String, Vec<String>) {
+            writeln!(writer, "{line}").unwrap();
+            writer.flush().unwrap();
+            let mut status = String::new();
+            reader.read_line(&mut status).unwrap();
+            let status = status.trim().to_string();
+            let n = status
+                .strip_prefix("OK ")
+                .map(|n| n.parse::<usize>().unwrap())
+                .unwrap_or(0);
+            let mut payload = Vec::with_capacity(n);
+            for _ in 0..n {
+                let mut line = String::new();
+                reader.read_line(&mut line).unwrap();
+                payload.push(line.trim_end().to_string());
+            }
+            (status, payload)
+        };
+
+        let (status, payload) =
+            request("LOAD bib <bib><book><author/><title/></book></bib>");
+        assert_eq!(status, "OK 1");
+        assert_eq!(payload[0], "loaded bib nodes=4 documents=1");
+
+        let (status, payload) = request("QUERY bib descendant::author[. is $a] -> a");
+        assert_eq!(status, "OK 2");
+        assert_eq!(payload, vec!["vars=a tuples=1", "author#2"]);
+
+        let (status, payload) = request("QUERYALL descendant::title[. is $t] -> t");
+        assert_eq!(status, "OK 2");
+        assert_eq!(payload[0], "doc=bib tuples=1");
+
+        let (status, _) = request("STATS");
+        assert_eq!(status, "OK 10");
+
+        let (status, _) = request("BOGUS");
+        assert!(status.starts_with("ERR unknown command"), "{status}");
+
+        let (status, payload) = request("EVICT bib");
+        assert_eq!(status, "OK 1");
+        assert_eq!(payload[0], "evicted=true");
+
+        // A second client works concurrently and can QUIT independently.
+        {
+            let stream2 = TcpStream::connect(addr).unwrap();
+            let mut reader2 = BufReader::new(stream2.try_clone().unwrap());
+            let mut writer2 = BufWriter::new(stream2);
+            writeln!(writer2, "QUERY bib descendant::author[. is $a] -> a").unwrap();
+            writer2.flush().unwrap();
+            let mut status2 = String::new();
+            reader2.read_line(&mut status2).unwrap();
+            assert_eq!(status2.trim(), "OK 2", "evicted sessions must rebuild");
+            writeln!(writer2, "QUIT").unwrap();
+            writer2.flush().unwrap();
+        }
+
+        let (status, payload) = request("SHUTDOWN");
+        assert_eq!(status, "OK 1");
+        assert_eq!(payload[0], "bye");
+        server.join().unwrap().unwrap();
+    }
+}

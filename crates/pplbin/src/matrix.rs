@@ -71,6 +71,12 @@ impl NodeMatrix {
         self.n == 0
     }
 
+    /// Approximate heap footprint of the bit storage, in bytes (used by the
+    /// corpus layer's memory-budget accounting).
+    pub fn approx_bytes(&self) -> usize {
+        self.words.len() * std::mem::size_of::<u64>()
+    }
+
     #[inline]
     fn row_range(&self, u: NodeId) -> std::ops::Range<usize> {
         let start = u.index() * self.stride;

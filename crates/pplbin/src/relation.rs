@@ -274,6 +274,11 @@ impl SparseRows {
         &self.cols[self.offsets[u] as usize..self.offsets[u + 1] as usize]
     }
 
+    /// Approximate heap footprint of the CSR arrays, in bytes.
+    pub fn approx_bytes(&self) -> usize {
+        (self.offsets.len() + self.cols.len()) * std::mem::size_of::<u32>()
+    }
+
     /// Number of stored pairs.
     #[inline]
     pub fn nnz(&self) -> usize {
@@ -353,6 +358,18 @@ impl Relation {
             Relation::Identity(n) | Relation::Full(n) | Relation::Interval { n, .. } => *n,
             Relation::Sparse(s) => s.n,
             Relation::Dense(m) => m.len(),
+        }
+    }
+
+    /// Approximate heap footprint of this representation, in bytes.  The
+    /// corpus layer sums these over a store's compiled relations to decide
+    /// when a session must be evicted from its memory budget.
+    pub fn approx_bytes(&self) -> usize {
+        match self {
+            Relation::Identity(_) | Relation::Full(_) => std::mem::size_of::<Relation>(),
+            Relation::Interval { rows, .. } => rows.len() * std::mem::size_of::<(u32, u32)>(),
+            Relation::Sparse(s) => s.approx_bytes(),
+            Relation::Dense(m) => m.approx_bytes(),
         }
     }
 

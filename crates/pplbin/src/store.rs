@@ -182,6 +182,30 @@ impl MatrixStore {
         self.kernels
     }
 
+    /// Approximate heap occupancy of the cached state, in bytes: compiled
+    /// relations plus Prop. 10 successor lists (hash-consing table overhead
+    /// is ignored — it is dwarfed by the matrices it indexes).  The corpus
+    /// layer charges this against its session-pool memory budget.
+    pub fn approx_bytes(&self) -> usize {
+        let relations: usize = self
+            .relations
+            .iter()
+            .flatten()
+            .map(Relation::approx_bytes)
+            .sum();
+        let lists: usize = self
+            .successors
+            .values()
+            .map(|lists| {
+                lists
+                    .iter()
+                    .map(|row| std::mem::size_of::<Vec<NodeId>>() + row.len() * std::mem::size_of::<NodeId>())
+                    .sum::<usize>()
+            })
+            .sum();
+        relations + lists
+    }
+
     /// Drop every cached relation and counter (the hash-consing table is
     /// cleared too); the kernel mode is kept.
     pub fn clear(&mut self) {
@@ -455,6 +479,12 @@ impl SharedMatrixStore {
         self.stats().kernels
     }
 
+    /// Approximate heap occupancy across all shards, in bytes (see
+    /// [`MatrixStore::approx_bytes`]).
+    pub fn approx_bytes(&self) -> usize {
+        self.each_shard(|s| s.approx_bytes()).iter().sum()
+    }
+
     /// The kernel mode shards compile with (uniform across shards).
     pub fn mode(&self) -> KernelMode {
         self.shards[0]
@@ -627,6 +657,23 @@ mod tests {
         store.clear();
         assert_eq!(store.stats(), CacheStats::default());
         assert_eq!(store.domain(), t.len());
+    }
+
+    #[test]
+    fn approx_bytes_tracks_compiled_state_and_clears() {
+        let t = tree();
+        let store = SharedMatrixStore::new(t.len());
+        assert_eq!(store.approx_bytes(), 0, "empty stores occupy nothing");
+        store.eval(&t, &bin("descendant::* except child::*"));
+        let after_eval = store.approx_bytes();
+        assert!(after_eval > 0, "compiled relations must be accounted");
+        store.successor_lists(&t, &bin("descendant::* except child::*"));
+        assert!(
+            store.approx_bytes() > after_eval,
+            "successor lists must add occupancy"
+        );
+        store.clear();
+        assert_eq!(store.approx_bytes(), 0, "clear() must release the accounting");
     }
 
     #[test]

@@ -149,6 +149,31 @@ pub fn planner_mix_suite() -> Vec<(String, Vec<String>)> {
     ]
 }
 
+/// The E13 multi-document corpus suite: `docs` named random trees in three
+/// size bands (`base`, `2·base`, `3·base` nodes, cycling) over the
+/// `l0…l2` generator alphabet, so the E10/E12 query suites apply unchanged.
+/// Names are zero-padded (`doc00`, `doc01`, …) so corpus name order equals
+/// generation order.
+pub fn corpus_documents(docs: usize, base_size: usize, seed: u64) -> Vec<(String, Tree)> {
+    (0..docs)
+        .map(|i| {
+            let size = base_size.max(1) * (1 + i % 3);
+            let shape = match i % 3 {
+                0 => TreeShape::BoundedBranching { max_children: 4 },
+                1 => TreeShape::RandomAttachment,
+                _ => TreeShape::BoundedBranching { max_children: 2 },
+            };
+            let tree = random_tree(&TreeGenConfig {
+                size,
+                shape,
+                alphabet: 3,
+                seed: seed ^ ((i as u64 + 1) << 7),
+            });
+            (format!("doc{i:02}"), tree)
+        })
+        .collect()
+}
+
 /// Convenience re-export of the document generators most benches need.
 pub mod documents {
     pub use xpath_tree::generate::{
@@ -237,6 +262,31 @@ mod tests {
             has_zero_ary |= vars.is_empty();
         }
         assert!(has_union && has_dense && has_zero_ary);
+    }
+
+    #[test]
+    fn corpus_documents_have_banded_sizes_and_stable_names() {
+        let docs = corpus_documents(7, 40, 0xC0FF);
+        assert_eq!(docs.len(), 7);
+        let names: Vec<&str> = docs.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names[..3], ["doc00", "doc01", "doc02"]);
+        let sizes: Vec<usize> = docs.iter().map(|(_, t)| t.len()).collect();
+        assert_eq!(&sizes[..6], &[40, 80, 120, 40, 80, 120]);
+        // Labels come from the l0..l2 alphabet so the E10/E12 suites apply.
+        for (name, tree) in &docs {
+            for node in tree.nodes() {
+                assert!(
+                    matches!(tree.label_str(node), "l0" | "l1" | "l2"),
+                    "{name}: unexpected label {}",
+                    tree.label_str(node)
+                );
+            }
+        }
+        // Deterministic per seed, distinct across seeds.
+        let again = corpus_documents(7, 40, 0xC0FF);
+        assert_eq!(docs[3].1.to_terms(), again[3].1.to_terms());
+        let other = corpus_documents(7, 40, 0xBEEF);
+        assert_ne!(docs[3].1.to_terms(), other[3].1.to_terms());
     }
 
     #[test]

@@ -33,8 +33,8 @@
 pub mod parser;
 pub mod serializer;
 
-pub use parser::{parse, parse_with, ParseOptions, XmlError};
-pub use serializer::{to_xml, to_xml_pretty};
+pub use parser::{locate, parse, parse_with, Location, ParseOptions, XmlError};
+pub use serializer::{is_valid_name, to_xml, to_xml_pretty, to_xml_with_text};
 
 #[cfg(test)]
 mod round_trip_tests {

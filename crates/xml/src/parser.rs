@@ -2,23 +2,60 @@
 
 use xpath_tree::{Tree, TreeBuilder, TreeError};
 
+/// A source location: 1-based line and column (column counts bytes within
+/// the line, so multi-byte UTF-8 text advances it per byte).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Location {
+    /// 1-based line number.
+    pub line: usize,
+    /// 1-based byte column within the line.
+    pub column: usize,
+    /// Raw byte offset in the input.
+    pub position: usize,
+}
+
+impl std::fmt::Display for Location {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:{}", self.line, self.column)
+    }
+}
+
+/// Compute the [`Location`] of a byte offset in `input`.
+pub fn locate(input: &str, position: usize) -> Location {
+    let upto = position.min(input.len());
+    let bytes = input.as_bytes();
+    let mut line = 1;
+    let mut line_start = 0;
+    for (i, &b) in bytes[..upto].iter().enumerate() {
+        if b == b'\n' {
+            line += 1;
+            line_start = i + 1;
+        }
+    }
+    Location {
+        line,
+        column: upto - line_start + 1,
+        position,
+    }
+}
+
 /// Errors reported by the XML parser.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum XmlError {
     /// Unexpected end of input.
     UnexpectedEof { context: &'static str },
-    /// A syntactic problem at a byte offset.
-    Syntax { position: usize, message: String },
+    /// A syntactic problem at a source location.
+    Syntax { location: Location, message: String },
     /// Closing tag does not match the open element.
     MismatchedTag {
-        position: usize,
+        location: Location,
         expected: String,
         found: String,
     },
     /// The document contains no root element.
     NoRootElement,
     /// Content found after the root element closed.
-    TrailingContent { position: usize },
+    TrailingContent { location: Location },
     /// The underlying tree construction failed.
     Tree(TreeError),
 }
@@ -29,20 +66,20 @@ impl std::fmt::Display for XmlError {
             XmlError::UnexpectedEof { context } => {
                 write!(f, "unexpected end of input while parsing {context}")
             }
-            XmlError::Syntax { position, message } => {
-                write!(f, "XML syntax error at byte {position}: {message}")
+            XmlError::Syntax { location, message } => {
+                write!(f, "XML syntax error at {location}: {message}")
             }
             XmlError::MismatchedTag {
-                position,
+                location,
                 expected,
                 found,
             } => write!(
                 f,
-                "mismatched closing tag at byte {position}: expected </{expected}>, found </{found}>"
+                "mismatched closing tag at {location}: expected </{expected}>, found </{found}>"
             ),
             XmlError::NoRootElement => write!(f, "document has no root element"),
-            XmlError::TrailingContent { position } => {
-                write!(f, "content after the root element at byte {position}")
+            XmlError::TrailingContent { location } => {
+                write!(f, "content after the root element at {location}")
             }
             XmlError::Tree(e) => write!(f, "tree construction failed: {e}"),
         }
@@ -66,6 +103,12 @@ pub struct ParseOptions {
     /// Map each attribute `name="…"` to a child element labelled
     /// `@name`.  Default: `false`.
     pub attributes_as_children: bool,
+    /// Label text leaves with their decoded character data instead of
+    /// `#text` (implies keeping text).  With
+    /// [`crate::serializer::to_xml_with_text`] this makes
+    /// parse ∘ serialize the identity on trees with text leaves.
+    /// Default: `false`.
+    pub text_labels: bool,
 }
 
 /// Label given to text leaves when [`ParseOptions::keep_text`] is enabled.
@@ -79,6 +122,7 @@ pub fn parse(input: &str) -> Result<Tree, XmlError> {
 /// Parse an XML document with explicit [`ParseOptions`].
 pub fn parse_with(input: &str, options: &ParseOptions) -> Result<Tree, XmlError> {
     let mut p = Parser {
+        source: input,
         input: input.as_bytes(),
         pos: 0,
         options: options.clone(),
@@ -91,6 +135,7 @@ pub fn parse_with(input: &str, options: &ParseOptions) -> Result<Tree, XmlError>
 }
 
 struct Parser<'a> {
+    source: &'a str,
     input: &'a [u8],
     pos: usize,
     options: ParseOptions,
@@ -100,9 +145,13 @@ struct Parser<'a> {
 }
 
 impl<'a> Parser<'a> {
+    fn location(&self) -> Location {
+        locate(self.source, self.pos)
+    }
+
     fn syntax(&self, message: impl Into<String>) -> XmlError {
         XmlError::Syntax {
-            position: self.pos,
+            location: self.location(),
             message: message.into(),
         }
     }
@@ -189,7 +238,7 @@ impl<'a> Parser<'a> {
                 self.skip_doctype()?;
             } else if self.starts_with("<") {
                 if self.seen_root {
-                    return Err(XmlError::TrailingContent { position: self.pos });
+                    return Err(XmlError::TrailingContent { location: self.location() });
                 }
                 self.element()?;
                 self.seen_root = true;
@@ -197,7 +246,7 @@ impl<'a> Parser<'a> {
                 // Character data outside the root element: only whitespace is
                 // allowed, and whitespace was already skipped.
                 return Err(if self.seen_root {
-                    XmlError::TrailingContent { position: self.pos }
+                    XmlError::TrailingContent { location: self.location() }
                 } else {
                     self.syntax("character data before the root element")
                 });
@@ -271,7 +320,7 @@ impl<'a> Parser<'a> {
                 let open = self.open_names.pop().expect("open element on the stack");
                 if open != close {
                     return Err(XmlError::MismatchedTag {
-                        position: self.pos,
+                        location: self.location(),
                         expected: open,
                         found: close,
                     });
@@ -301,22 +350,37 @@ impl<'a> Parser<'a> {
     }
 
     fn text_node(&mut self, text: &str) {
-        if self.options.keep_text && !text.trim().is_empty() {
+        if text.trim().is_empty() {
+            return;
+        }
+        if self.options.text_labels {
+            self.builder.leaf(text);
+        } else if self.options.keep_text {
             self.builder.leaf(TEXT_LABEL);
         }
     }
 
     fn char_data(&mut self) -> Result<String, XmlError> {
         let mut out = String::new();
-        while let Some(c) = self.peek() {
-            match c {
-                b'<' => break,
-                b'&' => out.push(self.entity()?),
-                _ => {
-                    // Accumulate a UTF-8 code point byte-by-byte.
-                    out.push(self.input[self.pos] as char);
-                    self.pos += 1;
+        loop {
+            // Take a maximal run of plain bytes in one go: `<` and `&` are
+            // ASCII, so a run boundary can never split a UTF-8 code point.
+            let start = self.pos;
+            while let Some(c) = self.peek() {
+                if c == b'<' || c == b'&' {
+                    break;
                 }
+                self.pos += 1;
+            }
+            if self.pos > start {
+                out.push_str(
+                    std::str::from_utf8(&self.input[start..self.pos])
+                        .map_err(|_| self.syntax("character data is not valid UTF-8"))?,
+                );
+            }
+            match self.peek() {
+                Some(b'&') => out.push(self.entity()?),
+                _ => break,
             }
         }
         Ok(out)
@@ -517,6 +581,98 @@ mod tests {
         assert!(e.to_string().contains("bogus"));
         let e = parse("<a/><b/>").unwrap_err();
         assert!(e.to_string().contains("after the root"));
+    }
+
+    #[test]
+    fn locate_reports_one_based_lines_and_columns() {
+        let src = "ab\ncde\n\nf";
+        assert_eq!(locate(src, 0), Location { line: 1, column: 1, position: 0 });
+        assert_eq!(locate(src, 2), Location { line: 1, column: 3, position: 2 });
+        assert_eq!(locate(src, 3), Location { line: 2, column: 1, position: 3 });
+        assert_eq!(locate(src, 6), Location { line: 2, column: 4, position: 6 });
+        assert_eq!(locate(src, 7), Location { line: 3, column: 1, position: 7 });
+        assert_eq!(locate(src, 8), Location { line: 4, column: 1, position: 8 });
+        // Past-the-end offsets clamp to the final location.
+        assert_eq!(locate(src, 999).line, 4);
+        assert_eq!(format!("{}", locate(src, 3)), "2:1");
+    }
+
+    #[test]
+    fn syntax_errors_report_line_and_column_on_multi_line_input() {
+        // The bogus entity sits on line 3; the error points just past its
+        // closing `;` (column 15 of `  <bad>&bogus;`).
+        let src = "<doc>\n  <ok/>\n  <bad>&bogus;</bad>\n</doc>";
+        let err = parse(src).unwrap_err();
+        match &err {
+            XmlError::Syntax { location, .. } => {
+                assert_eq!(location.line, 3, "{err}");
+                assert_eq!(location.column, 15, "{err}");
+            }
+            other => panic!("expected a syntax error, got {other:?}"),
+        }
+        assert!(err.to_string().contains("at 3:15"), "{err}");
+
+        // Mismatched closing tags report the line of the close tag.
+        let src = "<doc>\n  <open>\n</doc>";
+        let err = parse(src).unwrap_err();
+        match &err {
+            XmlError::MismatchedTag { location, .. } => assert_eq!(location.line, 3, "{err}"),
+            other => panic!("expected a mismatched tag error, got {other:?}"),
+        }
+        assert!(err.to_string().contains("3:"), "{err}");
+
+        // Trailing content reports where the second root starts.
+        let src = "<doc/>\n\n<oops/>";
+        let err = parse(src).unwrap_err();
+        match &err {
+            XmlError::TrailingContent { location } => {
+                assert_eq!((location.line, location.column), (3, 1), "{err}")
+            }
+            other => panic!("expected trailing content, got {other:?}"),
+        }
+        assert!(err.to_string().contains("3:1"), "{err}");
+
+        // Single-line input degenerates to line 1 / byte column.
+        let err = parse("<a attr=unquoted/>").unwrap_err();
+        match err {
+            XmlError::Syntax { location, .. } => {
+                assert_eq!(location.line, 1);
+                assert_eq!(location.column, location.position + 1);
+            }
+            other => panic!("expected a syntax error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn multibyte_text_survives_parsing() {
+        let t = parse_with(
+            "<a>héllo wörld ❤</a>",
+            &ParseOptions {
+                text_labels: true,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let text = t.children(t.root()).next().unwrap();
+        assert_eq!(t.label_str(text), "héllo wörld ❤");
+    }
+
+    #[test]
+    fn text_labels_keep_decoded_content_as_labels() {
+        let src = "<book><title>T &amp; A</title><!-- split -->tail</book>";
+        let t = parse_with(
+            src,
+            &ParseOptions {
+                text_labels: true,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let kids: Vec<&str> = t.children(t.root()).map(|c| t.label_str(c)).collect();
+        assert_eq!(kids, vec!["title", "tail"]);
+        let title = t.children(t.root()).next().unwrap();
+        let inner: Vec<&str> = t.children(title).map(|c| t.label_str(c)).collect();
+        assert_eq!(inner, vec!["T & A"]);
     }
 
     #[test]

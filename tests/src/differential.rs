@@ -820,6 +820,105 @@ pub fn run_planner_fuzz(cfg: &FuzzConfig) -> PlannerFuzzReport {
 }
 
 // ---------------------------------------------------------------------------
+// Corpus eviction fuzzing (memory-bounded session pool)
+// ---------------------------------------------------------------------------
+
+/// Statistics of one corpus fuzz run.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct CorpusFuzzReport {
+    /// Documents in the fuzzed corpus.
+    pub docs: usize,
+    /// Queries fanned out over the corpus.
+    pub queries: usize,
+    /// Total answer tuples across all (document, query) cells.
+    pub total_tuples: usize,
+    /// Tier-1 evictions (matrix caches dropped) observed.
+    pub cache_evictions: u64,
+    /// Tier-2 evictions (sessions dropped) observed.
+    pub session_evictions: u64,
+    /// Sessions rebuilt after eviction.
+    pub rebuilds: u64,
+    /// Plan-cache hits across the run.
+    pub plan_hits: u64,
+}
+
+/// Fuzz the corpus layer's eviction correctness: random documents are served
+/// from a `Corpus` whose memory budget is deliberately smaller than the
+/// working set (so the LRU pool thrashes — caches dropped, sessions rebuilt
+/// mid-run), and every per-document answer is checked tuple-for-tuple
+/// against a fresh cold `Session` over the same document.  Plans are forced
+/// onto the `ppl` engine so the matrix caches the evictor manages are
+/// actually exercised.
+pub fn run_corpus_fuzz(cfg: &FuzzConfig, docs: usize, queries: usize) -> CorpusFuzzReport {
+    use ppl_xpath::{Planner, Session};
+    use xpath_corpus::{Corpus, CorpusConfig};
+
+    let mut gen = QueryGen::new(cfg.seed ^ 0xC0A9, cfg.alphabet);
+    let mut arity_rng = StdRng::seed_from_u64(cfg.seed ^ 0xC0AA);
+    let corpus = Corpus::with_config(CorpusConfig {
+        // A few hundred bytes: far below the matrices of even one warmed
+        // document, so answering steadily evicts and rebuilds.
+        memory_budget: Some(384),
+        threads: 3,
+        queue_capacity: 2,
+        engine: Some(Engine::Ppl),
+        ..CorpusConfig::default()
+    });
+    let mut trees: Vec<(String, Tree)> = Vec::with_capacity(docs);
+    for i in 0..docs {
+        let tree = gen.gen_tree(cfg.max_tree_size);
+        let name = format!("doc{i:02}");
+        corpus.insert_tree(&name, tree.clone());
+        trees.push((name, tree));
+    }
+
+    let mut report = CorpusFuzzReport {
+        docs,
+        ..CorpusFuzzReport::default()
+    };
+    for case in 0..queries {
+        let arity = arity_rng.gen_range(0..=cfg.max_vars.min(2));
+        let (query, outputs) = gen.gen_query(arity);
+        let source = query.to_string();
+        let vars: Vec<&str> = outputs.iter().map(|v| v.name()).collect();
+        let ctx = |name: &str| {
+            format!("case {case}, doc {name}\n  query : {source}\n  output: {outputs:?}")
+        };
+
+        let per_doc = corpus
+            .answer_all(&source, &vars)
+            .unwrap_or_else(|e| panic!("corpus answer_all failed: {e}\n{}", ctx("*")));
+        assert_eq!(per_doc.len(), docs, "one answer set per document");
+
+        for ((name, tree), doc_answer) in trees.iter().zip(&per_doc) {
+            assert_eq!(&doc_answer.name, name, "fan-out must tag by name, in order");
+            // Ground truth: a fresh cold session per document, same engine.
+            let cold = Session::from_tree(tree.clone());
+            let plan = Planner::default()
+                .plan_with(&cold, query.clone(), outputs.clone(), Some(Engine::Ppl))
+                .unwrap_or_else(|e| panic!("cold planning failed: {e}\n{}", ctx(name)));
+            let expected = cold
+                .execute(&plan)
+                .unwrap_or_else(|e| panic!("cold execution failed: {e}\n{}", ctx(name)));
+            assert_eq!(
+                doc_answer.answers,
+                expected,
+                "eviction-thrashing corpus disagrees with a cold session\n{}",
+                ctx(name)
+            );
+            report.total_tuples += expected.len();
+        }
+        report.queries += 1;
+    }
+    let stats = corpus.stats();
+    report.cache_evictions = stats.cache_evictions;
+    report.session_evictions = stats.session_evictions;
+    report.rebuilds = stats.rebuilds;
+    report.plan_hits = stats.plan_hits;
+    report
+}
+
+// ---------------------------------------------------------------------------
 // Kernel-mode differential fuzzing (PPLbin relation kernels)
 // ---------------------------------------------------------------------------
 
