@@ -17,6 +17,13 @@
 //!   documents at 1/2/4/8 serving threads; see EXPERIMENTS.md) and write
 //!   the result as `BENCH_*.json`-schema JSON to `<path>` (default
 //!   `BENCH_4.json`).  `--smoke` shrinks every dimension for CI.
+//! * `--bench-corpus [--smoke] [--out <path>]` — run the E13 corpus-serving
+//!   sweep (pooled vs budgeted vs cold-rebuild serving) and write the result
+//!   to `<path>` (default `BENCH_5.json`).
+//! * `--bench-lazy [--smoke] [--out <path>]` — run the E14 lazy
+//!   large-document sweep (DBLP-style trees at |t| ∈ {10k, 100k}, lazy
+//!   relation algebra vs the eager adaptive kernels) and write the result to
+//!   `<path>` (default `BENCH_6.json`).
 //! * `--check <path>` — parse an emitted JSON file and validate the schema
 //!   (exit non-zero on any missing key), so CI notices when the harness or
 //!   the trajectory file rots.
@@ -69,9 +76,11 @@ fn main() {
 fn run_harness_mode(args: &[String]) -> i32 {
     const USAGE: &str =
         "usage: experiments [--bench [--smoke] [--out <path>]] \
-         [--bench-corpus [--smoke] [--out <path>]] [--check <path>]";
+         [--bench-corpus [--smoke] [--out <path>]] \
+         [--bench-lazy [--smoke] [--out <path>]] [--check <path>]";
     let mut bench = false;
     let mut bench_corpus = false;
+    let mut bench_lazy = false;
     let mut smoke = false;
     let mut out: Option<String> = None;
     let mut check: Option<String> = None;
@@ -80,6 +89,7 @@ fn run_harness_mode(args: &[String]) -> i32 {
         match args[i].as_str() {
             "--bench" => bench = true,
             "--bench-corpus" => bench_corpus = true,
+            "--bench-lazy" => bench_lazy = true,
             "--smoke" => smoke = true,
             "--out" => {
                 i += 1;
@@ -108,13 +118,54 @@ fn run_harness_mode(args: &[String]) -> i32 {
         }
         i += 1;
     }
-    if !bench && !bench_corpus && check.is_none() {
+    if !bench && !bench_corpus && !bench_lazy && check.is_none() {
         eprintln!("{USAGE}");
         return 2;
     }
-    if bench && bench_corpus {
-        eprintln!("--bench and --bench-corpus write different documents; run them separately");
+    if (bench as usize) + (bench_corpus as usize) + (bench_lazy as usize) > 1 {
+        eprintln!(
+            "--bench, --bench-corpus and --bench-lazy write different documents; \
+             run them separately"
+        );
         return 2;
+    }
+
+    if bench_lazy {
+        let cfg = if smoke {
+            xpath_bench::LazyBenchConfig::smoke()
+        } else {
+            xpath_bench::LazyBenchConfig::full()
+        };
+        let path = out.clone().unwrap_or_else(|| "BENCH_6.json".to_string());
+        eprintln!(
+            "running lazy large-document sweep (E14, {} mode): dblp trees {:?}, \
+             eager baseline up to |t|={}, {} queries, {} runs/cell",
+            if smoke { "smoke" } else { "full" },
+            cfg.tree_sizes,
+            cfg.eager_max_size,
+            xpath_workload::dblp_suite().len(),
+            cfg.runs,
+        );
+        let doc = xpath_bench::run_lazy_bench(&cfg);
+        let text = doc.render();
+        if let Err(e) = std::fs::write(&path, &text) {
+            eprintln!("cannot write {path}: {e}");
+            return 1;
+        }
+        if let Some(summary) = doc.get("summary") {
+            let f = |key| summary.get(key).and_then(xpath_bench::Json::as_f64).unwrap_or(0.0);
+            eprintln!(
+                "wrote {path}: lazy {} us vs eager {} us at |t|={} (speedup x{}); \
+                 lazy reaches |t|={} in {} us at {} bytes/node",
+                f("lazy_pin_us"),
+                f("eager_pin_us"),
+                f("lazy_pin_tree_size"),
+                f("lazy_speedup"),
+                f("lazy_largest_tree_size"),
+                f("lazy_largest_us"),
+                f("lazy_bytes_per_node"),
+            );
+        }
     }
 
     if bench_corpus {

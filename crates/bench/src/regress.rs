@@ -213,6 +213,49 @@ pub const CORPUS_MODES: [(Option<f64>, &str); 3] = [
     (Some(0.25), "corpus_budget_quarter"),
 ];
 
+/// Sweep dimensions of the E14 lazy large-document experiment.
+#[derive(Debug, Clone)]
+pub struct LazyBenchConfig {
+    /// Node counts of the swept DBLP-style documents.  Every size is
+    /// answered by the lazy pipeline; this is the band the eager kernels
+    /// cannot reach.
+    pub tree_sizes: Vec<usize>,
+    /// Largest size the eager comparison (`kernel_adaptive_threaded`) is
+    /// run at — the speedup pin lives here.
+    pub eager_max_size: usize,
+    /// Timed runs per (mode, size) cell; the median is recorded.
+    pub runs: usize,
+}
+
+impl LazyBenchConfig {
+    /// The full sweep used to produce `BENCH_6.json` (|t| ∈ {10k, 100k},
+    /// two orders of magnitude past the BENCH_3 ablation top of 960).
+    pub fn full() -> LazyBenchConfig {
+        LazyBenchConfig {
+            tree_sizes: vec![10_000, 100_000],
+            eager_max_size: 10_000,
+            runs: 5,
+        }
+    }
+
+    /// CI smoke validation: the |t|=10k band only (release builds answer it
+    /// in well under a second per run), fewer runs.
+    pub fn smoke() -> LazyBenchConfig {
+        LazyBenchConfig {
+            tree_sizes: vec![10_000],
+            eager_max_size: 10_000,
+            runs: 2,
+        }
+    }
+}
+
+/// The kernel modes swept by E14, with their row names.  Lazy runs at every
+/// size; the eager comparison stops at [`LazyBenchConfig::eager_max_size`].
+pub const LAZY_MODES: [(KernelMode, &str); 2] = [
+    (KernelMode::Lazy, "kernel_lazy"),
+    (KernelMode::AdaptiveThreaded, "kernel_adaptive_threaded"),
+];
+
 /// The filter bodies of the E10 suite: variable-free compositions of
 /// `except`-complemented relations.  Each complement is *dense* (≈`|t|²`
 /// pairs), so the `/` between them is a genuinely cubic `|t|³/64` Boolean
@@ -954,6 +997,139 @@ pub fn run_corpus_bench(cfg: &CorpusBenchConfig) -> Json {
     ])
 }
 
+/// Run the E14 lazy large-document sweep: the DBLP-style suite over
+/// `xpath_tree::generate::dblp` documents at sizes far past the eager
+/// kernels' |t|≈960 band.  The lazy pipeline (symbolic relation algebra +
+/// per-row densification) answers every size; the eager adaptive-threaded
+/// kernels answer up to [`LazyBenchConfig::eager_max_size`] as the speedup
+/// baseline.  Returns a standalone `BENCH_6.json`-shaped document whose
+/// summary carries the two CI-pinned claims: `lazy_speedup` (eager/lazy at
+/// the pin size) and `lazy_bytes_per_node` (store occupancy ceiling).
+pub fn run_lazy_bench(cfg: &LazyBenchConfig) -> Json {
+    let specs = xpath_workload::dblp_suite();
+    let planner = Planner::default();
+    let round2 = |x: f64| (x * 100.0).round() / 100.0;
+
+    let mut rows: Vec<Json> = Vec::new();
+    // (size, lazy_us, eager_us) at the pin size; (size, bytes/node) maxima.
+    let mut pin: Option<(usize, f64, f64)> = None;
+    let mut largest_lazy: Option<(usize, f64)> = None;
+    let mut worst_bytes_per_node = 0.0f64;
+
+    for &size in &cfg.tree_sizes {
+        let tree = xpath_tree::generate::dblp(size, 0xE14);
+        assert_eq!(tree.len(), size, "dblp generator missed the target size");
+
+        // Plans are engine + HCL only — independent of the kernel mode the
+        // executing session compiles with — so prepare them once per size.
+        let plan_session = Session::from_tree(tree.clone());
+        let plans: Vec<QueryPlan> = specs
+            .iter()
+            .map(|(src, vars)| {
+                let path = parse_path(src).expect("dblp suite query parses");
+                let output: Vec<Var> = vars.iter().map(|n| Var::new(n)).collect();
+                planner
+                    .plan_with(&plan_session, path, output, Some(Engine::Ppl))
+                    .expect("dblp suite query plans")
+            })
+            .collect();
+
+        let mut reference: Option<usize> = None;
+        let mut size_us = [None::<f64>; LAZY_MODES.len()];
+        for (i, &(mode, name)) in LAZY_MODES.iter().enumerate() {
+            if mode != KernelMode::Lazy && size > cfg.eager_max_size {
+                continue; // eager kernels stop at the pin size by design
+            }
+            let (t, answers) = time_median(cfg.runs, || {
+                let session = Session::from_tree(tree.clone());
+                session.set_kernel_mode(mode);
+                plans
+                    .iter()
+                    .map(|p| session.execute(p).expect("dblp suite answers").len())
+                    .sum::<usize>()
+            });
+            match reference {
+                None => reference = Some(answers),
+                Some(r) => assert_eq!(
+                    r, answers,
+                    "{name} disagrees with the lazy pipeline at |t|={size}"
+                ),
+            }
+            assert!(answers > 0, "dblp suite selected nothing at |t|={size}");
+            size_us[i] = Some(us(t));
+
+            // Store occupancy after the full workload, measured outside the
+            // timer: this is the honest `approx_bytes` the lazy layer is
+            // accountable to (symbolic forms + materialised rows).
+            let session = Session::from_tree(tree.clone());
+            session.set_kernel_mode(mode);
+            for p in &plans {
+                session.execute(p).expect("dblp suite answers");
+            }
+            let bytes = session.store().approx_bytes();
+            let bytes_per_node = bytes as f64 / size as f64;
+            if mode == KernelMode::Lazy {
+                worst_bytes_per_node = worst_bytes_per_node.max(bytes_per_node);
+                largest_lazy = Some((size, us(t)));
+            }
+            rows.push(Json::Obj(vec![
+                ("experiment".to_string(), Json::Str("lazy_large_documents".into())),
+                ("engine".to_string(), Json::Str(name.into())),
+                ("tree_size".to_string(), Json::Num(size as f64)),
+                ("workload_queries".to_string(), Json::Num(specs.len() as f64)),
+                ("workload_repeats".to_string(), Json::Num(1.0)),
+                ("median_us".to_string(), Json::Num(us(t))),
+                ("answers".to_string(), Json::Num(answers as f64)),
+                ("store_bytes".to_string(), Json::Num(bytes as f64)),
+                (
+                    "bytes_per_node".to_string(),
+                    Json::Num(round2(bytes_per_node)),
+                ),
+            ]));
+        }
+        if size <= cfg.eager_max_size {
+            if let [Some(lazy_us), Some(eager_us)] = size_us {
+                pin = Some((size, lazy_us, eager_us));
+            }
+        }
+    }
+
+    let (pin_size, lazy_pin_us, eager_pin_us) =
+        pin.expect("at least one size within the eager comparison band");
+    let (largest, lazy_largest_us) = largest_lazy.expect("at least one lazy row");
+    Json::Obj(vec![
+        ("schema".to_string(), Json::Str(SCHEMA.into())),
+        ("experiment_doc".to_string(), Json::Str("EXPERIMENTS.md".into())),
+        (
+            "tree_sizes".to_string(),
+            Json::Arr(cfg.tree_sizes.iter().map(|&s| Json::Num(s as f64)).collect()),
+        ),
+        ("suite_queries".to_string(), Json::Num(specs.len() as f64)),
+        ("workload_repeats".to_string(), Json::Num(1.0)),
+        ("runs_per_cell".to_string(), Json::Num(cfg.runs as f64)),
+        ("results".to_string(), Json::Arr(rows)),
+        (
+            "summary".to_string(),
+            Json::Obj(vec![
+                ("lazy_largest_tree_size".to_string(), Json::Num(largest as f64)),
+                ("lazy_largest_us".to_string(), Json::Num(lazy_largest_us)),
+                ("lazy_pin_tree_size".to_string(), Json::Num(pin_size as f64)),
+                ("lazy_pin_us".to_string(), Json::Num(lazy_pin_us)),
+                ("eager_pin_us".to_string(), Json::Num(eager_pin_us)),
+                // The two CI-pinned claims of BENCH_6.json.
+                (
+                    "lazy_speedup".to_string(),
+                    Json::Num(round2(eager_pin_us / lazy_pin_us.max(0.1))),
+                ),
+                (
+                    "lazy_bytes_per_node".to_string(),
+                    Json::Num(round2(worst_bytes_per_node)),
+                ),
+            ]),
+        ),
+    ])
+}
+
 /// Validate an emitted `BENCH_*.json` document: it must parse, carry the
 /// schema marker, and every result row must have the expected keys.  Used by
 /// `experiments --check` (and so by CI) to keep the harness honest.
@@ -999,8 +1175,15 @@ pub fn validate_bench_json(text: &str) -> Result<(), String> {
         .iter()
         .filter(|r| experiment_of(r).as_deref() == Some("corpus_serving"))
         .collect();
-    if !has_e10 && corpus_rows.is_empty() {
-        return Err("no repeated_query_workload or corpus_serving rows in \"results\"".into());
+    let lazy_rows: Vec<&Json> = results
+        .iter()
+        .filter(|r| experiment_of(r).as_deref() == Some("lazy_large_documents"))
+        .collect();
+    if !has_e10 && corpus_rows.is_empty() && lazy_rows.is_empty() {
+        return Err(
+            "no repeated_query_workload, corpus_serving or lazy_large_documents rows in \"results\""
+                .into(),
+        );
     }
     let summary = doc.get("summary").ok_or("missing \"summary\"")?;
     if has_e10 {
@@ -1045,6 +1228,43 @@ pub fn validate_bench_json(text: &str) -> Result<(), String> {
             "corpus_budget_half_us",
             "corpus_budget_quarter_us",
             "corpus_budget_quarter_evictions",
+        ] {
+            let value = summary
+                .get(key)
+                .and_then(Json::as_f64)
+                .ok_or(format!("summary.{key} missing or not a number"))?;
+            if !value.is_finite() || value < 0.0 {
+                return Err(format!("summary.{key} = {value} is not valid"));
+            }
+        }
+    }
+    // E14 lazy documents must carry both the lazy rows and the eager
+    // baseline, account store occupancy per row, and summarise the two
+    // pinned claims (speedup at the pin size, bytes/node ceiling).
+    if !lazy_rows.is_empty() {
+        for (_, required) in LAZY_MODES {
+            if !engines_seen.iter().any(|e| e == required) {
+                return Err(format!("lazy rows present but no {required:?} rows"));
+            }
+        }
+        for (i, row) in lazy_rows.iter().enumerate() {
+            for key in ["answers", "store_bytes", "bytes_per_node"] {
+                let value = row
+                    .get(key)
+                    .and_then(Json::as_f64)
+                    .ok_or(format!("lazy row {i} is missing \"{key}\""))?;
+                if !value.is_finite() || value < 0.0 {
+                    return Err(format!("lazy row {i} has invalid {key} = {value}"));
+                }
+            }
+        }
+        for key in [
+            "lazy_largest_tree_size",
+            "lazy_pin_tree_size",
+            "lazy_pin_us",
+            "eager_pin_us",
+            "lazy_speedup",
+            "lazy_bytes_per_node",
         ] {
             let value = summary
                 .get(key)
@@ -1378,6 +1598,88 @@ mod tests {
         );
         let err = validate_bench_json(&doc).unwrap_err();
         assert!(err.contains("corpus_serving"), "{err}");
+    }
+
+    #[test]
+    fn lazy_bench_emits_a_valid_document_at_tiny_sizes() {
+        // Not `LazyBenchConfig::smoke()` — its 10k documents are sized for
+        // the release-built CI harness, not the debug test profile.
+        let cfg = LazyBenchConfig {
+            tree_sizes: vec![300, 600],
+            eager_max_size: 300,
+            runs: 1,
+        };
+        let doc = run_lazy_bench(&cfg);
+        let text = doc.render();
+        validate_bench_json(&text).unwrap();
+        let parsed = Json::parse(&text).unwrap();
+        let rows = parsed.get("results").unwrap().as_arr().unwrap();
+        // Lazy at both sizes, eager only at the pin size.
+        let engine_sizes: Vec<(&str, f64)> = rows
+            .iter()
+            .map(|r| {
+                (
+                    r.get("engine").and_then(Json::as_str).unwrap(),
+                    r.get("tree_size").and_then(Json::as_f64).unwrap(),
+                )
+            })
+            .collect();
+        assert!(engine_sizes.contains(&("kernel_lazy", 300.0)));
+        assert!(engine_sizes.contains(&("kernel_lazy", 600.0)));
+        assert!(engine_sizes.contains(&("kernel_adaptive_threaded", 300.0)));
+        assert!(!engine_sizes.contains(&("kernel_adaptive_threaded", 600.0)));
+        // Every row accounts its store occupancy.
+        for row in rows {
+            assert!(row.get("store_bytes").and_then(Json::as_f64).unwrap() > 0.0);
+            assert!(row.get("bytes_per_node").and_then(Json::as_f64).unwrap() > 0.0);
+        }
+        let summary = parsed.get("summary").unwrap();
+        assert_eq!(
+            summary.get("lazy_largest_tree_size").and_then(Json::as_f64),
+            Some(600.0)
+        );
+        assert_eq!(summary.get("lazy_pin_tree_size").and_then(Json::as_f64), Some(300.0));
+        assert!(summary.get("lazy_speedup").and_then(Json::as_f64).unwrap() > 0.0);
+        assert!(summary.get("lazy_bytes_per_node").and_then(Json::as_f64).unwrap() > 0.0);
+    }
+
+    #[test]
+    fn validator_rejects_lazy_documents_without_summary_keys() {
+        let row = |engine: &str| {
+            format!(
+                "{{\"experiment\": \"lazy_large_documents\", \"engine\": \"{engine}\", \
+                 \"tree_size\": 1, \"workload_queries\": 1, \"workload_repeats\": 1, \
+                 \"answers\": 1, \"store_bytes\": 1, \"bytes_per_node\": 1, \
+                 \"median_us\": 1.0}}"
+            )
+        };
+        let doc = format!(
+            "{{\"schema\": \"{SCHEMA}\", \"results\": [{}, {}], \
+             \"summary\": {{\"lazy_largest_tree_size\": 1}}}}",
+            row("kernel_lazy"),
+            row("kernel_adaptive_threaded"),
+        );
+        let err = validate_bench_json(&doc).unwrap_err();
+        assert!(err.contains("lazy_"), "{err}");
+        // A lazy document without the eager baseline is rejected.
+        let doc = format!(
+            "{{\"schema\": \"{SCHEMA}\", \"results\": [{}], \
+             \"summary\": {{\"lazy_largest_tree_size\": 1}}}}",
+            row("kernel_lazy"),
+        );
+        let err = validate_bench_json(&doc).unwrap_err();
+        assert!(err.contains("kernel_adaptive_threaded"), "{err}");
+        // A lazy row without store accounting is rejected.
+        let doc = format!(
+            "{{\"schema\": \"{SCHEMA}\", \"results\": [{}, {}], \
+             \"summary\": {{\"lazy_largest_tree_size\": 1, \"lazy_pin_tree_size\": 1, \
+             \"lazy_pin_us\": 1, \"eager_pin_us\": 1, \"lazy_speedup\": 1, \
+             \"lazy_bytes_per_node\": 1}}}}",
+            row("kernel_lazy").replace("\"store_bytes\": 1, ", ""),
+            row("kernel_adaptive_threaded"),
+        );
+        let err = validate_bench_json(&doc).unwrap_err();
+        assert!(err.contains("store_bytes"), "{err}");
     }
 
     #[test]

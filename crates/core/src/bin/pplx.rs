@@ -4,10 +4,10 @@
 //! USAGE:
 //!     pplx --query <XPATH> [--vars y,z] (--file doc.xml | --terms 'a(b,c)' | --stdin)
 //!          [--engine ppl|acq|hcl|naive|auto] [--format table|csv] [--explain]
-//!          [--kernels dense|adaptive|adaptive_threaded]
+//!          [--kernels dense|adaptive|adaptive_threaded|lazy]
 //!     pplx --batch <queries.txt> (--file doc.xml | --terms 'a(b,c)' | --stdin)
 //!          [--vars y,z] [--engine ...] [--threads N] [--format table|csv]
-//!          [--explain] [--stats] [--kernels dense|adaptive|adaptive_threaded]
+//!          [--explain] [--stats] [--kernels dense|adaptive|adaptive_threaded|lazy]
 //!
 //! EXAMPLES:
 //!     pplx --terms 'bib(book(author,title))' \
@@ -141,7 +141,7 @@ enum Format {
 const USAGE: &str = "usage: pplx (--query <XPATH> | --batch <file>) [--vars a,b,...] \
 (--file <path> | --terms <term-tree> | --stdin) \
 [--engine ppl|acq|hcl|naive|auto] [--threads N] [--format table|csv] \
-[--explain] [--stats] [--kernels dense|adaptive|adaptive_threaded]\n\
+[--explain] [--stats] [--kernels dense|adaptive|adaptive_threaded|lazy]\n\
        pplx --connect <host:port> [--load <name>] [--doc <name>] [--query <XPATH>] \
 [--vars a,b,...] [--stats] [--evict <name>] [--shutdown]\n\
        pplx --help";
@@ -207,7 +207,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                 kernels_flag = true;
                 let name = value(&mut i, "--kernels")?;
                 kernels = KernelMode::parse(&name).ok_or_else(|| {
-                    format!("unknown kernel mode '{name}' (expected dense|adaptive|adaptive_threaded)")
+                    format!("unknown kernel mode '{name}' (expected dense|adaptive|adaptive_threaded|lazy)")
                 })?;
             }
             "--threads" => {
@@ -701,6 +701,11 @@ mod tests {
         ]))
         .unwrap();
         assert_eq!(opts.kernels, KernelMode::Dense);
+        let lazy = parse_args(&args(&[
+            "--query", "child::a", "--terms", "r(a)", "--kernels", "lazy",
+        ]))
+        .unwrap();
+        assert_eq!(lazy.kernels, KernelMode::Lazy);
         let default = parse_args(&args(&["--query", "child::a", "--terms", "r(a)"])).unwrap();
         assert_eq!(default.kernels, KernelMode::AdaptiveThreaded);
         assert!(parse_args(&args(&[

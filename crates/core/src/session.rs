@@ -199,7 +199,12 @@ impl Session {
                     if result.is_err() {
                         failed_before.fetch_min(i, Ordering::Relaxed);
                     }
-                    *slots[i].lock().expect("result slot poisoned") = Some(result);
+                    // A panicking `execute` on another worker poisons its own
+                    // slot, never ours — but recover anyway so one bad plan
+                    // cannot wedge the whole batch.
+                    *slots[i]
+                        .lock()
+                        .unwrap_or_else(|poisoned| poisoned.into_inner()) = Some(result);
                 });
             }
         });
@@ -209,7 +214,7 @@ impl Session {
             .take(first_failure.saturating_add(1))
             .map(|slot| {
                 slot.into_inner()
-                    .expect("result slot poisoned")
+                    .unwrap_or_else(|poisoned| poisoned.into_inner())
                     .unwrap_or_else(|| {
                         unreachable!("slots up to the first failure are always filled")
                     })

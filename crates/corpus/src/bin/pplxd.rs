@@ -8,14 +8,17 @@
 //! USAGE:
 //!     pplxd [--bind ADDR] [--port N] [--budget BYTES] [--threads N]
 //!           [--engine ppl|acq|hcl|naive|auto] [--preload DIR]
+//!           [--max-line BYTES]
 //!
 //! OPTIONS:
-//!     --bind ADDR     interface to bind (default 127.0.0.1)
-//!     --port N        TCP port; 0 picks an ephemeral port (default 7878)
-//!     --budget BYTES  memory budget of the session pool (default unbounded)
-//!     --threads N     fan-out worker threads for QUERYALL (default 4)
-//!     --engine E      force one engine for every plan (default auto)
-//!     --preload DIR   ingest every *.xml under DIR before serving
+//!     --bind ADDR      interface to bind (default 127.0.0.1)
+//!     --port N         TCP port; 0 picks an ephemeral port (default 7878)
+//!     --budget BYTES   memory budget of the session pool (default unbounded)
+//!     --threads N      fan-out worker threads for QUERYALL (default 4)
+//!     --engine E       force one engine for every plan (default auto)
+//!     --preload DIR    ingest every *.xml under DIR before serving
+//!     --max-line BYTES cap on one request line (default 16 MiB); overlong
+//!                      lines answer `ERR line too long`
 //! ```
 //!
 //! On startup the daemon prints `pplxd listening on <addr>` to stdout (the
@@ -23,11 +26,11 @@
 
 use std::process::ExitCode;
 use std::sync::Arc;
-use xpath_corpus::server::{bind, serve};
+use xpath_corpus::server::{bind, serve_with_limit, DEFAULT_MAX_LINE};
 use xpath_corpus::{Corpus, CorpusConfig};
 
 const USAGE: &str = "usage: pplxd [--bind ADDR] [--port N] [--budget BYTES] \
-[--threads N] [--engine ppl|acq|hcl|naive|auto] [--preload DIR]";
+[--threads N] [--engine ppl|acq|hcl|naive|auto] [--preload DIR] [--max-line BYTES]";
 
 #[derive(Debug)]
 struct Options {
@@ -37,6 +40,7 @@ struct Options {
     threads: usize,
     engine: Option<ppl_xpath::Engine>,
     preload: Option<String>,
+    max_line: usize,
 }
 
 fn parse_args(args: &[String]) -> Result<Options, String> {
@@ -47,6 +51,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         threads: 4,
         engine: None,
         preload: None,
+        max_line: DEFAULT_MAX_LINE,
     };
     let mut i = 0;
     let value = |i: &mut usize, flag: &str| -> Result<String, String> {
@@ -86,6 +91,12 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                 }
             }
             "--preload" => options.preload = Some(value(&mut i, "--preload")?),
+            "--max-line" => {
+                let n: usize = value(&mut i, "--max-line")?
+                    .parse()
+                    .map_err(|_| "--max-line expects a byte count".to_string())?;
+                options.max_line = n.max(1);
+            }
             "--help" | "-h" => return Err(USAGE.to_string()),
             other => return Err(format!("unknown argument '{other}'\n{USAGE}")),
         }
@@ -135,7 +146,7 @@ fn main() -> ExitCode {
     use std::io::Write;
     let _ = std::io::stdout().flush();
 
-    match serve(listener, corpus) {
+    match serve_with_limit(listener, corpus, options.max_line) {
         Ok(()) => {
             println!("pplxd shut down");
             ExitCode::SUCCESS
@@ -164,12 +175,14 @@ mod tests {
         assert_eq!(defaults.threads, 4);
         assert!(defaults.engine.is_none());
         assert!(defaults.preload.is_none());
+        assert_eq!(defaults.max_line, DEFAULT_MAX_LINE);
 
         let options = parse_args(&args(&[
             "--bind", "0.0.0.0", "--port", "0", "--budget", "1048576", "--threads", "0",
-            "--engine", "ppl", "--preload", "/tmp/docs",
+            "--engine", "ppl", "--preload", "/tmp/docs", "--max-line", "4096",
         ]))
         .unwrap();
+        assert_eq!(options.max_line, 4096);
         assert_eq!(options.bind, "0.0.0.0");
         assert_eq!(options.port, 0);
         assert_eq!(options.budget, Some(1 << 20));
@@ -178,6 +191,14 @@ mod tests {
         assert_eq!(options.preload.as_deref(), Some("/tmp/docs"));
 
         assert!(parse_args(&args(&["--port", "notanumber"])).is_err());
+        assert!(parse_args(&args(&["--max-line", "lots"]))
+            .unwrap_err()
+            .contains("byte count"));
+        assert_eq!(
+            parse_args(&args(&["--max-line", "0"])).unwrap().max_line,
+            1,
+            "--max-line 0 clamps to 1"
+        );
         assert!(parse_args(&args(&["--engine", "zzz"])).unwrap_err().contains("unknown engine"));
         assert!(parse_args(&args(&["--wat"])).unwrap_err().contains("unknown argument"));
     }

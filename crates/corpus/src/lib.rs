@@ -137,6 +137,16 @@ pub enum CorpusError {
     },
     /// A filesystem ingestion path failed.
     Io(String),
+    /// A fan-out worker panicked while answering one document.  The panic is
+    /// caught at the job boundary so one bad document cannot take down the
+    /// pool (or, in `pplxd`, the daemon) — the failure is reported like any
+    /// other per-document error.
+    Panicked {
+        /// The document whose job panicked.
+        name: String,
+        /// The panic payload, when it was a string.
+        message: String,
+    },
 }
 
 impl fmt::Display for CorpusError {
@@ -151,6 +161,9 @@ impl fmt::Display for CorpusError {
                 write!(f, "query failed on document '{name}': {source}")
             }
             CorpusError::Io(message) => write!(f, "{message}"),
+            CorpusError::Panicked { name, message } => {
+                write!(f, "worker panicked on document '{name}': {message}")
+            }
         }
     }
 }
@@ -228,6 +241,22 @@ pub struct Corpus {
     plans: Mutex<HashMap<PlanKey, QueryPlan>>,
     plan_hits: AtomicU64,
     plan_misses: AtomicU64,
+    /// Fault injection for the pool tests: fan-out jobs for these documents
+    /// panic, exercising the catch-at-job-boundary path.
+    #[cfg(test)]
+    panic_docs: Mutex<std::collections::HashSet<String>>,
+}
+
+/// Render a caught panic payload (`String` / `&str` payloads, which is what
+/// `panic!` produces; anything else gets a placeholder).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else {
+        "non-string panic payload".to_string()
+    }
 }
 
 const fn _assert_send_sync<T: Send + Sync>() {}
@@ -270,6 +299,8 @@ impl Corpus {
             plans: Mutex::new(HashMap::new()),
             plan_hits: AtomicU64::new(0),
             plan_misses: AtomicU64::new(0),
+            #[cfg(test)]
+            panic_docs: Mutex::new(std::collections::HashSet::new()),
         }
     }
 
@@ -665,8 +696,33 @@ impl Corpus {
             for _ in 0..workers {
                 scope.spawn(|| {
                     while let Some(i) = work.pop() {
-                        let result = self.answer_tagged(&names[i], query, vars);
-                        *slots[i].lock().expect("result slot poisoned") = Some(result);
+                        // Catch panics at the job boundary: a panicking
+                        // document must surface as a per-document error,
+                        // not unwind the worker (which would poison shared
+                        // locks and re-panic the whole scope).
+                        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(
+                            || {
+                                #[cfg(test)]
+                                if self
+                                    .panic_docs
+                                    .lock()
+                                    .unwrap_or_else(|poisoned| poisoned.into_inner())
+                                    .contains(&names[i])
+                                {
+                                    panic!("injected job panic");
+                                }
+                                self.answer_tagged(&names[i], query, vars)
+                            },
+                        ))
+                        .unwrap_or_else(|payload| {
+                            Err(CorpusError::Panicked {
+                                name: names[i].clone(),
+                                message: panic_message(payload.as_ref()),
+                            })
+                        });
+                        *slots[i]
+                            .lock()
+                            .unwrap_or_else(|poisoned| poisoned.into_inner()) = Some(result);
                     }
                 });
             }
@@ -679,7 +735,7 @@ impl Corpus {
         for slot in slots {
             out.push(
                 slot.into_inner()
-                    .expect("result slot poisoned")
+                    .unwrap_or_else(|poisoned| poisoned.into_inner())
                     .expect("every queued document gets a result")?,
             );
         }
@@ -711,6 +767,35 @@ mod tests {
             engine: Some(Engine::Ppl),
             ..CorpusConfig::default()
         })
+    }
+
+    #[test]
+    fn panicked_job_does_not_kill_the_pool() {
+        let corpus = two_doc_corpus();
+        corpus
+            .panic_docs
+            .lock()
+            .unwrap()
+            .insert("bib1".to_string());
+        // The injected panic must come back as a per-document error — not
+        // unwind through the worker, the scope, or the caller.
+        let err = corpus
+            .answer_all("descendant::book[child::author[. is $a]]", &["a"])
+            .expect_err("the panicking document must fail the fan-out");
+        match &err {
+            CorpusError::Panicked { name, message } => {
+                assert_eq!(name, "bib1");
+                assert!(message.contains("injected"), "unexpected payload: {message}");
+            }
+            other => panic!("expected a Panicked error, got: {other}"),
+        }
+        // The pool (queue, sessions, plan cache) must still serve normally.
+        corpus.panic_docs.lock().unwrap().clear();
+        let answers = corpus
+            .answer_all("descendant::book[child::author[. is $a]]", &["a"])
+            .expect("the corpus must keep serving after a panicked job");
+        assert_eq!(answers.len(), 2);
+        assert!(answers.iter().all(|a| !a.answers.is_empty()));
     }
 
     #[test]

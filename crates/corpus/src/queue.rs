@@ -10,7 +10,7 @@
 //! returns `None`, which is the worker-shutdown signal.
 
 use std::collections::VecDeque;
-use std::sync::{Condvar, Mutex};
+use std::sync::{Condvar, Mutex, MutexGuard};
 
 /// A blocking, capacity-bounded multi-producer multi-consumer queue.
 #[derive(Debug)]
@@ -47,14 +47,30 @@ impl<T> BoundedQueue<T> {
         self.capacity
     }
 
+    /// Lock the queue state, recovering from poison.
+    ///
+    /// A worker that panics mid-`pop` (or a producer mid-`push`) poisons the
+    /// mutex, but the `VecDeque` + `closed` flag are valid after any partial
+    /// update — every mutation is a single push/pop/store.  Recovering keeps
+    /// the rest of the pool draining work instead of cascading the panic
+    /// through every thread that touches the queue.
+    fn lock_state(&self) -> MutexGuard<'_, State<T>> {
+        self.state
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
     /// Enqueue an item, blocking while the queue is at capacity.
     ///
     /// Panics if the queue has been closed — closing with producers still
     /// pushing is a caller bug, not a runtime condition.
     pub fn push(&self, item: T) {
-        let mut state = self.state.lock().expect("queue lock poisoned");
+        let mut state = self.lock_state();
         while state.items.len() >= self.capacity && !state.closed {
-            state = self.not_full.wait(state).expect("queue lock poisoned");
+            state = self
+                .not_full
+                .wait(state)
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
         }
         assert!(!state.closed, "push on a closed BoundedQueue");
         state.items.push_back(item);
@@ -65,7 +81,7 @@ impl<T> BoundedQueue<T> {
     /// Dequeue an item, blocking until one is available.  Returns `None`
     /// once the queue is closed *and* drained.
     pub fn pop(&self) -> Option<T> {
-        let mut state = self.state.lock().expect("queue lock poisoned");
+        let mut state = self.lock_state();
         loop {
             if let Some(item) = state.items.pop_front() {
                 drop(state);
@@ -75,13 +91,16 @@ impl<T> BoundedQueue<T> {
             if state.closed {
                 return None;
             }
-            state = self.not_empty.wait(state).expect("queue lock poisoned");
+            state = self
+                .not_empty
+                .wait(state)
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
         }
     }
 
     /// Close the queue: consumers drain what is left, then see `None`.
     pub fn close(&self) {
-        self.state.lock().expect("queue lock poisoned").closed = true;
+        self.lock_state().closed = true;
         self.not_empty.notify_all();
         self.not_full.notify_all();
     }
@@ -146,6 +165,23 @@ mod tests {
             }
             q.close();
         });
+    }
+
+    #[test]
+    fn poisoned_lock_does_not_wedge_the_queue() {
+        let q = BoundedQueue::new(4);
+        q.push(1);
+        q.push(2);
+        q.close();
+        // `push` on a closed queue panics *while holding the state lock*,
+        // poisoning the mutex — the same state a worker panicking mid-pop
+        // leaves behind.  The queue must keep serving regardless.
+        let pusher = std::thread::scope(|scope| scope.spawn(|| q.push(3)).join());
+        assert!(pusher.is_err(), "push on a closed queue must panic");
+        assert_eq!(q.pop(), Some(1), "pop must recover from the poisoned lock");
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), None);
+        q.close(); // close is idempotent even after poisoning
     }
 
     #[test]

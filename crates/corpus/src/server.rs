@@ -40,7 +40,7 @@
 //! is the matching client.
 
 use crate::{Corpus, CorpusError};
-use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -87,6 +87,81 @@ pub enum Command {
     Quit,
     /// `SHUTDOWN` — stop the daemon.
     Shutdown,
+}
+
+/// Default cap on one request line, in bytes (16 MiB).
+///
+/// `LOAD` carries a whole XML document on one line, so the cap is generous —
+/// but without *some* bound a malicious (or just confused) client can feed
+/// an endless newline-free stream and grow the handler's line buffer until
+/// the daemon is OOM-killed.  Configurable per server via
+/// [`serve_with_limit`] (`pplxd --max-line`).
+pub const DEFAULT_MAX_LINE: usize = 16 << 20;
+
+/// Outcome of one bounded request-line read.
+enum LineRead {
+    /// A complete line (without the trailing newline).
+    Line(String),
+    /// The line exceeded the cap; the remainder has been drained, the
+    /// connection is still in sync.
+    TooLong,
+    /// End of stream.
+    Eof,
+}
+
+/// Discard input up to and including the next newline.  Returns `false` at
+/// end of stream.
+fn drain_line<R: BufRead>(reader: &mut R) -> std::io::Result<bool> {
+    loop {
+        let available = reader.fill_buf()?;
+        if available.is_empty() {
+            return Ok(false);
+        }
+        match available.iter().position(|&b| b == b'\n') {
+            Some(pos) => {
+                reader.consume(pos + 1);
+                return Ok(true);
+            }
+            None => {
+                let len = available.len();
+                reader.consume(len);
+            }
+        }
+    }
+}
+
+/// Read one request line of at most `max_len` bytes (newline excluded).
+///
+/// Unlike `BufRead::lines`, memory use is bounded by `max_len` no matter
+/// what the peer sends: an overlong line is consumed (not buffered) up to
+/// its newline and reported as [`LineRead::TooLong`], leaving the stream
+/// positioned at the next request so the connection stays usable.
+fn read_request_line<R: BufRead>(reader: &mut R, max_len: usize) -> std::io::Result<LineRead> {
+    let mut buf = Vec::new();
+    // `take` bounds what read_until may buffer; one extra byte distinguishes
+    // "exactly max_len" from "longer than max_len".
+    let n = reader
+        .by_ref()
+        .take(max_len as u64 + 1)
+        .read_until(b'\n', &mut buf)?;
+    if n == 0 {
+        return Ok(LineRead::Eof);
+    }
+    if buf.last() == Some(&b'\n') {
+        buf.pop();
+        if buf.last() == Some(&b'\r') {
+            buf.pop();
+        }
+    } else if n > max_len {
+        // Overlong: skip to the end of the offending line.
+        if !drain_line(reader)? {
+            return Ok(LineRead::Eof);
+        }
+        return Ok(LineRead::TooLong);
+    }
+    // Non-UTF-8 bytes only ever reach parse_command, which will reject the
+    // verb; mangling them lossily beats killing the connection.
+    Ok(LineRead::Line(String::from_utf8_lossy(&buf).into_owned()))
 }
 
 /// Split an optional ` -> v1,v2` variable suffix off a query expression.
@@ -273,14 +348,24 @@ fn write_response<W: Write>(writer: &mut W, result: Result<Vec<String>, String>)
 
 /// Serve one client connection until `QUIT`, `SHUTDOWN`, or disconnect.
 /// Returns `true` when the client requested a daemon shutdown.
-fn handle_client(stream: TcpStream, corpus: &Corpus) -> bool {
+fn handle_client(stream: TcpStream, corpus: &Corpus, max_line: usize) -> bool {
     let Ok(read_half) = stream.try_clone() else {
         return false;
     };
-    let reader = BufReader::new(read_half);
+    let mut reader = BufReader::new(read_half);
     let mut writer = BufWriter::new(stream);
-    for line in reader.lines() {
-        let Ok(line) = line else { break };
+    loop {
+        let line = match read_request_line(&mut reader, max_line) {
+            Ok(LineRead::Line(line)) => line,
+            Ok(LineRead::TooLong) => {
+                let message = format!("line too long (max {max_line} bytes)");
+                if write_response(&mut writer, Err(message)).is_err() {
+                    break;
+                }
+                continue; // the offending line was drained; keep serving
+            }
+            Ok(LineRead::Eof) | Err(_) => break,
+        };
         if line.trim().is_empty() {
             continue;
         }
@@ -308,8 +393,21 @@ fn handle_client(stream: TcpStream, corpus: &Corpus) -> bool {
 
 /// Run the daemon accept loop: one handler thread per client over the
 /// shared corpus, until a client sends `SHUTDOWN`.  Returns once the accept
-/// loop has stopped and every handler thread has finished.
+/// loop has stopped and every handler thread has finished.  Request lines
+/// are capped at [`DEFAULT_MAX_LINE`] bytes; use [`serve_with_limit`] for a
+/// different cap.
 pub fn serve(listener: TcpListener, corpus: Arc<Corpus>) -> std::io::Result<()> {
+    serve_with_limit(listener, corpus, DEFAULT_MAX_LINE)
+}
+
+/// [`serve`] with an explicit request-line cap in bytes (`pplxd
+/// --max-line`).  Overlong lines are answered with `ERR line too long …`
+/// and the connection keeps serving subsequent requests.
+pub fn serve_with_limit(
+    listener: TcpListener,
+    corpus: Arc<Corpus>,
+    max_line: usize,
+) -> std::io::Result<()> {
     let mut addr = listener.local_addr()?;
     // The shutdown handler wakes the accept loop by connecting to the
     // listener; a wildcard bind address (0.0.0.0 / ::) is not connectable
@@ -332,7 +430,7 @@ pub fn serve(listener: TcpListener, corpus: Arc<Corpus>) -> std::io::Result<()> 
             let corpus = Arc::clone(&corpus);
             let shutdown = &shutdown;
             scope.spawn(move || {
-                if handle_client(stream, &corpus) {
+                if handle_client(stream, &corpus, max_line.max(1)) {
                     shutdown.store(true, Ordering::SeqCst);
                     // Wake the accept loop so it observes the flag.
                     let _ = TcpStream::connect(addr);
@@ -354,6 +452,26 @@ pub fn bind(addr: &str) -> std::io::Result<(TcpListener, SocketAddr)> {
 mod tests {
     use super::*;
     use crate::CorpusConfig;
+
+    #[test]
+    fn bounded_line_reads_cap_memory_and_stay_in_sync() {
+        use std::io::Cursor;
+        let mut r = Cursor::new(b"short\r\nexactly8\nwaaaaaay too long line\nnext\ntail".to_vec());
+        let next = |r: &mut Cursor<Vec<u8>>| read_request_line(r, 8).unwrap();
+        assert!(matches!(next(&mut r), LineRead::Line(l) if l == "short"));
+        assert!(matches!(next(&mut r), LineRead::Line(l) if l == "exactly8"));
+        // The overlong line is consumed, not buffered, and the stream is
+        // positioned at the next request.
+        assert!(matches!(next(&mut r), LineRead::TooLong));
+        assert!(matches!(next(&mut r), LineRead::Line(l) if l == "next"));
+        // Final line without a newline, within the cap.
+        assert!(matches!(next(&mut r), LineRead::Line(l) if l == "tail"));
+        assert!(matches!(next(&mut r), LineRead::Eof));
+        // An overlong line that hits EOF before its newline is EOF, not a
+        // request.
+        let mut r = Cursor::new(b"0123456789 endless".to_vec());
+        assert!(matches!(read_request_line(&mut r, 8).unwrap(), LineRead::Eof));
+    }
 
     #[test]
     fn command_parsing_round_trip() {
@@ -490,6 +608,48 @@ mod tests {
         )
         .unwrap();
         assert_eq!(lines, vec!["doc=d1 satisfiable=false", "doc=d2 satisfiable=false"]);
+    }
+
+    /// An overlong request line answers `ERR line too long` and the same
+    /// connection keeps serving — the daemon neither buffers the flood nor
+    /// drops the client.
+    #[test]
+    fn overlong_lines_err_without_killing_the_connection() {
+        let (listener, addr) = bind("127.0.0.1:0").unwrap();
+        let corpus = Arc::new(Corpus::new());
+        let server =
+            std::thread::spawn(move || serve_with_limit(listener, corpus, 64));
+
+        let stream = TcpStream::connect(addr).unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut writer = BufWriter::new(stream);
+
+        // 1. A flood well past the cap, in one "line".
+        writeln!(writer, "LOAD big <bib>{}</bib>", "x".repeat(1024)).unwrap();
+        writer.flush().unwrap();
+        let mut status = String::new();
+        reader.read_line(&mut status).unwrap();
+        assert!(
+            status.starts_with("ERR line too long"),
+            "expected a line-length error, got: {status}"
+        );
+
+        // 2. The connection is still in sync: a normal request succeeds.
+        writeln!(writer, "LOADTERMS d a(b)").unwrap();
+        writer.flush().unwrap();
+        let mut status = String::new();
+        reader.read_line(&mut status).unwrap();
+        assert_eq!(status.trim(), "OK 1");
+        let mut payload = String::new();
+        reader.read_line(&mut payload).unwrap();
+        assert_eq!(payload.trim(), "loaded d nodes=2 documents=1");
+
+        writeln!(writer, "SHUTDOWN").unwrap();
+        writer.flush().unwrap();
+        let mut status = String::new();
+        reader.read_line(&mut status).unwrap();
+        assert_eq!(status.trim(), "OK 1");
+        server.join().unwrap().unwrap();
     }
 
     /// Full TCP round trip: serve on an ephemeral port, drive the protocol

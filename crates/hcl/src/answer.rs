@@ -31,7 +31,7 @@ use std::collections::{BTreeSet, HashSet, VecDeque};
 use std::fmt;
 use std::sync::Arc;
 use xpath_ast::{BinExpr, Var};
-use xpath_pplbin::{MatrixStore, SharedMatrixStore};
+use xpath_pplbin::{CapacityError, MatrixStore, SharedMatrixStore, SuccessorSource};
 use xpath_tree::{NodeId, Tree};
 
 /// An answer tuple: one node per output variable, in the order of the output
@@ -44,6 +44,9 @@ pub enum HclError {
     /// The expression violates NVS(/) — it is in HCL(L) but not HCL⁻(L), so
     /// the polynomial algorithm does not apply.
     VariableSharing(Vec<Var>),
+    /// Compiling an atom would materialise a dense matrix over the capacity
+    /// budget (e.g. an eager complement at |t| = 1M, ~125 GB).
+    Capacity(CapacityError),
 }
 
 impl fmt::Display for HclError {
@@ -57,11 +60,18 @@ impl fmt::Display for HclError {
                     names.join(", ")
                 )
             }
+            HclError::Capacity(err) => write!(f, "{err}"),
         }
     }
 }
 
 impl std::error::Error for HclError {}
+
+impl From<CapacityError> for HclError {
+    fn from(err: CapacityError) -> HclError {
+        HclError::Capacity(err)
+    }
+}
 
 /// A partial valuation over the output variables: `None` means "not yet
 /// constrained".
@@ -77,7 +87,9 @@ pub fn answer_hcl_pplbin(
     hcl: &Hcl<BinExpr>,
     output: &[Var],
 ) -> Result<BTreeSet<Tuple>, HclError> {
-    answer_hcl(tree, hcl, output, PplBinAtoms::compile)
+    answer_hcl(tree, hcl, output, |t: &Tree, atoms: &[BinExpr]| {
+        Ok(PplBinAtoms::compile(t, atoms))
+    })
 }
 
 /// Answer an `HCL⁻(PPLbin)` query with atoms compiled through a
@@ -92,7 +104,7 @@ pub fn answer_hcl_pplbin_with_store(
     store: &mut MatrixStore,
 ) -> Result<BTreeSet<Tuple>, HclError> {
     answer_hcl(tree, hcl, output, |t: &Tree, atoms: &[BinExpr]| {
-        PplBinAtoms::compile_with_store(t, atoms, store)
+        Ok(PplBinAtoms::try_compile_with_store(t, atoms, store)?)
     })
 }
 
@@ -107,7 +119,7 @@ pub fn answer_hcl_pplbin_shared(
     store: &SharedMatrixStore,
 ) -> Result<BTreeSet<Tuple>, HclError> {
     answer_hcl(tree, hcl, output, |t: &Tree, atoms: &[BinExpr]| {
-        PplBinAtoms::compile_with_shared(t, atoms, store)
+        Ok(PplBinAtoms::try_compile_with_shared(t, atoms, store)?)
     })
 }
 
@@ -120,7 +132,7 @@ pub fn answer_hcl<B, F>(
 ) -> Result<BTreeSet<Tuple>, HclError>
 where
     B: Clone + Eq + std::hash::Hash,
-    F: FnOnce(&Tree, &[B]) -> CompiledAtoms,
+    F: FnOnce(&Tree, &[B]) -> Result<CompiledAtoms, HclError>,
 {
     Ok(stream_hcl(tree, hcl, output, compile)?.collect())
 }
@@ -137,11 +149,11 @@ pub fn stream_hcl<B, F>(
 ) -> Result<AnswerStream, HclError>
 where
     B: Clone + Eq + std::hash::Hash,
-    F: FnOnce(&Tree, &[B]) -> CompiledAtoms,
+    F: FnOnce(&Tree, &[B]) -> Result<CompiledAtoms, HclError>,
 {
     hcl.check_no_sharing().map_err(HclError::VariableSharing)?;
     let (interned, atoms) = intern_atoms(hcl);
-    let compiled = compile(tree, &atoms);
+    let compiled = compile(tree, &atoms)?;
     let eq = EquationSystem::from_hcl(&interned);
     Ok(AnswerStream::new(eq, compiled, output.to_vec()))
 }
@@ -152,7 +164,9 @@ pub fn stream_hcl_pplbin(
     hcl: &Hcl<BinExpr>,
     output: &[Var],
 ) -> Result<AnswerStream, HclError> {
-    stream_hcl(tree, hcl, output, PplBinAtoms::compile)
+    stream_hcl(tree, hcl, output, |t: &Tree, atoms: &[BinExpr]| {
+        Ok(PplBinAtoms::compile(t, atoms))
+    })
 }
 
 /// Build a lazy [`AnswerStream`] with atoms compiled through a
@@ -165,7 +179,7 @@ pub fn stream_hcl_pplbin_shared(
     store: &SharedMatrixStore,
 ) -> Result<AnswerStream, HclError> {
     stream_hcl(tree, hcl, output, |t: &Tree, atoms: &[BinExpr]| {
-        PplBinAtoms::compile_with_shared(t, atoms, store)
+        Ok(PplBinAtoms::try_compile_with_shared(t, atoms, store)?)
     })
 }
 
@@ -268,12 +282,23 @@ impl AnswerStream {
             ShareNode::Param(body) => self.vals(body, u).as_ref().clone(),
             ShareNode::StepAtom(atom, rest) => {
                 let mut out: Vec<PartialVal> = Vec::new();
-                // Clone the Arc (one refcount bump, no node copies): `vals`
-                // below re-borrows `self` mutably.
-                let lists = Arc::clone(self.atoms.shared_lists(atom));
-                for &v in &lists[u.index()] {
-                    let vals = self.vals(rest, v);
-                    out.extend(vals.iter().cloned());
+                // Clone the source handle (one refcount bump, no node
+                // copies): `vals` below re-borrows `self` mutably.  Lazy
+                // sources materialise (and memoise) exactly the rows the
+                // exploration visits.
+                match self.atoms.source(atom).clone() {
+                    SuccessorSource::Eager(lists) => {
+                        for &v in &lists[u.index()] {
+                            let vals = self.vals(rest, v);
+                            out.extend(vals.iter().cloned());
+                        }
+                    }
+                    SuccessorSource::Lazy(rows) => {
+                        for &v in rows.row(u).iter() {
+                            let vals = self.vals(rest, v);
+                            out.extend(vals.iter().cloned());
+                        }
+                    }
                 }
                 dedup(out)
             }

@@ -61,11 +61,10 @@ impl McTable {
                     let mut s = NodeSet::empty(n);
                     for u in 0..n {
                         let uid = NodeId(u as u32);
-                        if atoms
-                            .successors(*atom, uid)
-                            .iter()
-                            .any(|&v| rest_set.contains(v))
-                        {
+                        // Early-exit row predicate: lazy atom sources answer
+                        // without materialising the row, so the sweep stays
+                        // `O(pairs touched)` over deferred complements.
+                        if atoms.row_any(*atom, uid, |v| rest_set.contains(v)) {
                             s.insert(uid);
                         }
                     }

@@ -19,7 +19,10 @@ use std::collections::HashMap;
 use std::hash::Hash;
 use std::sync::Arc;
 use xpath_ast::{BinExpr, NameTest};
-use xpath_pplbin::{eval_relation, KernelMode, KernelStats, MatrixStore, SharedMatrixStore};
+use xpath_pplbin::{
+    eval_relation, CapacityError, KernelMode, KernelStats, MatrixStore, SharedMatrixStore,
+    SuccessorSource,
+};
 use xpath_tree::{Axis, NodeId, Tree};
 
 /// Identifier of an interned atom inside a [`CompiledAtoms`] table.
@@ -33,16 +36,19 @@ impl AtomId {
     }
 }
 
-/// Precompiled successor lists for a set of binary queries over one tree.
+/// Precompiled successor rows for a set of binary queries over one tree.
 ///
-/// Per-atom lists are held behind `Arc` so a cache (the `MatrixStore` of a
-/// `Document`, or the `SharedMatrixStore` of a `Session`) can hand out the
-/// same compiled lists to many queries — on any thread — without copying
-/// them.
+/// Per-atom rows are held behind `Arc`d [`SuccessorSource`] handles so a
+/// cache (the `MatrixStore` of a `Document`, or the `SharedMatrixStore` of a
+/// `Session`) can hand out the same compiled rows to many queries — on any
+/// thread — without copying them.  Under the lazy kernel mode a source
+/// computes and memoises rows the first time the Fig. 8 answering phase
+/// pulls them, so "precompiled" means the *symbolic* form is ready; the
+/// `|S_{u,b}|`-time guarantee of Prop. 10 then holds per pulled row.
 #[derive(Debug, Clone)]
 pub struct CompiledAtoms {
-    /// `succ[atom][node]` — sorted successors of `node` under `atom`.
-    succ: Vec<Arc<Vec<Vec<NodeId>>>>,
+    /// `succ[atom]` — the successor rows of one atom.
+    succ: Vec<SuccessorSource>,
     domain: usize,
 }
 
@@ -59,7 +65,7 @@ impl CompiledAtoms {
                 l.sort_unstable();
                 l.dedup();
             }
-            succ.push(Arc::new(lists));
+            succ.push(SuccessorSource::Eager(Arc::new(lists)));
         }
         CompiledAtoms { succ, domain }
     }
@@ -72,6 +78,15 @@ impl CompiledAtoms {
         atoms: Vec<Arc<Vec<Vec<NodeId>>>>,
     ) -> CompiledAtoms {
         debug_assert!(atoms.iter().all(|per_node| per_node.len() == domain));
+        CompiledAtoms {
+            succ: atoms.into_iter().map(SuccessorSource::Eager).collect(),
+            domain,
+        }
+    }
+
+    /// Build a table from per-atom row sources (eager or lazy).
+    pub fn from_sources(domain: usize, atoms: Vec<SuccessorSource>) -> CompiledAtoms {
+        debug_assert!(atoms.iter().all(|src| src.len() == domain));
         CompiledAtoms { succ: atoms, domain }
     }
 
@@ -85,29 +100,44 @@ impl CompiledAtoms {
         self.succ.len()
     }
 
-    /// The successors `S_{u,b}` of `u` under atom `b`, in document order.
-    pub fn successors(&self, atom: AtomId, u: NodeId) -> &[NodeId] {
-        &self.succ[atom.index()][u.index()]
+    /// The row source of one atom.  Cloning the handle (an `Arc` bump) lets
+    /// a caller iterate rows while holding `&mut` state of its own (the
+    /// Fig. 8 stream does this) without copying any nodes.
+    pub fn source(&self, atom: AtomId) -> &SuccessorSource {
+        &self.succ[atom.index()]
     }
 
-    /// The shared per-node successor lists of one atom.  Cloning the `Arc`
-    /// lets a caller iterate a list while holding `&mut` state of its own
-    /// (the Fig. 8 stream does this) without copying any nodes.
-    pub fn shared_lists(&self, atom: AtomId) -> &Arc<Vec<Vec<NodeId>>> {
-        &self.succ[atom.index()]
+    /// The successors `S_{u,b}` of `u` under atom `b`, in document order.
+    /// Lazy sources materialise (and memoise) the row on first pull.
+    pub fn successors(&self, atom: AtomId, u: NodeId) -> Vec<NodeId> {
+        self.succ[atom.index()].row_vec(u)
+    }
+
+    /// Does row `u` of `atom` contain a node satisfying `pred`?  Early-exits
+    /// on the first hit; lazy sources answer without materialising the row,
+    /// in time proportional to what the symbolic form touches — this is what
+    /// keeps the `MC` sweep of Prop. 10 subquadratic over deferred
+    /// complements.
+    pub fn row_any(&self, atom: AtomId, u: NodeId, pred: impl FnMut(NodeId) -> bool) -> bool {
+        self.succ[atom.index()].row_any(u, pred)
     }
 
     /// Does `u` have any successor under `atom`?
     pub fn has_successor(&self, atom: AtomId, u: NodeId) -> bool {
-        !self.successors(atom, u).is_empty()
+        self.succ[atom.index()].row_nonempty(u)
     }
 
     /// Total number of stored pairs (the size of the induced relational
-    /// database `db = {q_b(t) | b ∈ L}` of Section 6).
+    /// database `db = {q_b(t) | b ∈ L}` of Section 6).  Materialises every
+    /// row of lazy sources — a diagnostic, not a hot path.
     pub fn pair_count(&self) -> usize {
         self.succ
             .iter()
-            .map(|per_node| per_node.iter().map(Vec::len).sum::<usize>())
+            .map(|src| {
+                (0..self.domain)
+                    .map(|u| src.with_row(NodeId(u as u32), <[NodeId]>::len))
+                    .sum::<usize>()
+            })
             .sum()
     }
 }
@@ -157,33 +187,60 @@ impl PplBinAtoms {
 
     /// Compile each PPLbin atom through a [`MatrixStore`]: subterms already
     /// compiled by earlier queries over the same tree are reused, and the
-    /// successor lists themselves are shared with the store via `Arc`.
+    /// successor rows themselves are shared with the store via `Arc`.
+    /// Panics past the dense capacity budget; see
+    /// [`PplBinAtoms::try_compile_with_store`].
     pub fn compile_with_store(
         tree: &Tree,
         atoms: &[BinExpr],
         store: &mut MatrixStore,
     ) -> CompiledAtoms {
-        let lists: Vec<Arc<Vec<Vec<NodeId>>>> = atoms
+        Self::try_compile_with_store(tree, atoms, store)
+            .expect("dense capacity exceeded while compiling atoms")
+    }
+
+    /// Fallible form of [`PplBinAtoms::compile_with_store`].  Under the lazy
+    /// kernel mode the returned table holds on-demand row caches; under the
+    /// eager modes it holds materialised lists, and compilation fails
+    /// (instead of aborting) when a dense intermediate would exceed the
+    /// capacity budget.
+    pub fn try_compile_with_store(
+        tree: &Tree,
+        atoms: &[BinExpr],
+        store: &mut MatrixStore,
+    ) -> Result<CompiledAtoms, CapacityError> {
+        let sources: Vec<SuccessorSource> = atoms
             .iter()
-            .map(|b| store.successor_lists(tree, b))
-            .collect();
-        CompiledAtoms::from_successor_lists(tree.len(), lists)
+            .map(|b| store.successor_source(tree, b))
+            .collect::<Result<_, _>>()?;
+        Ok(CompiledAtoms::from_sources(tree.len(), sources))
     }
 
     /// Compile each PPLbin atom through a thread-safe [`SharedMatrixStore`]:
     /// the per-atom shard lock is held only while that atom compiles, and
-    /// the returned lists are shared with the store (and with any other
-    /// thread answering the same atoms) via `Arc`.
+    /// the returned rows are shared with the store (and with any other
+    /// thread answering the same atoms) via `Arc`.  Panics past the dense
+    /// capacity budget; see [`PplBinAtoms::try_compile_with_shared`].
     pub fn compile_with_shared(
         tree: &Tree,
         atoms: &[BinExpr],
         store: &SharedMatrixStore,
     ) -> CompiledAtoms {
-        let lists: Vec<Arc<Vec<Vec<NodeId>>>> = atoms
+        Self::try_compile_with_shared(tree, atoms, store)
+            .expect("dense capacity exceeded while compiling atoms")
+    }
+
+    /// Fallible form of [`PplBinAtoms::compile_with_shared`].
+    pub fn try_compile_with_shared(
+        tree: &Tree,
+        atoms: &[BinExpr],
+        store: &SharedMatrixStore,
+    ) -> Result<CompiledAtoms, CapacityError> {
+        let sources: Vec<SuccessorSource> = atoms
             .iter()
-            .map(|b| store.successor_lists(tree, b))
-            .collect();
-        CompiledAtoms::from_successor_lists(tree.len(), lists)
+            .map(|b| store.successor_source(tree, b))
+            .collect::<Result<_, _>>()?;
+        Ok(CompiledAtoms::from_sources(tree.len(), sources))
     }
 }
 

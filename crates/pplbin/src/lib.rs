@@ -42,12 +42,16 @@
 
 pub mod corexpath1;
 pub mod eval;
+pub mod lazy;
 pub mod matrix;
 pub mod relation;
 pub mod store;
 
 pub use corexpath1::{has_successor_set, succ_set, unary_from_root, NotCoreXPath1};
 pub use eval::{answer_binary, eval_binexpr, eval_relation, step_matrix, step_relation};
-pub use matrix::NodeMatrix;
+pub use lazy::{LazyRel, LazyRows};
+pub use matrix::{dense_guard, CapacityError, NodeMatrix, DENSE_BYTE_LIMIT};
 pub use relation::{KernelMode, KernelStats, Relation, SparseRows};
-pub use store::{CacheStats, ExprId, MatrixStore, SharedMatrixStore, DEFAULT_STORE_SHARDS};
+pub use store::{
+    CacheStats, ExprId, MatrixStore, SharedMatrixStore, SuccessorSource, DEFAULT_STORE_SHARDS,
+};

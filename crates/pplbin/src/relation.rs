@@ -34,7 +34,7 @@
 //! [`Dense`]: Relation::Dense
 //! [`compact`]: Relation::compact
 
-use crate::matrix::{NodeMatrix, PARALLEL_MIN_DIM};
+use crate::matrix::{dense_guard, CapacityError, NodeMatrix, PARALLEL_MIN_DIM};
 use std::fmt;
 use xpath_tree::{NodeId, NodeSet};
 
@@ -48,9 +48,18 @@ pub enum KernelMode {
     /// Structure-aware kernels, single-threaded.
     Adaptive,
     /// Structure-aware kernels, with the remaining large dense×dense
-    /// products row-blocked across scoped threads.
+    /// products handled by the blocked Four-Russians product across scoped
+    /// threads.
     #[default]
     AdaptiveThreaded,
+    /// Everything `AdaptiveThreaded` does, plus the store keeps the relation
+    /// *algebra* symbolic: complements (and expressions over them) are
+    /// deferred as [`LazyRel`] nodes whose rows densify on demand, and
+    /// successor lists materialise per row as the Fig. 8 answering phase
+    /// pulls them.  The mode that opens the 100k–1M-node bench band.
+    ///
+    /// [`LazyRel`]: crate::lazy::LazyRel
+    Lazy,
 }
 
 impl KernelMode {
@@ -60,6 +69,7 @@ impl KernelMode {
             "dense" => KernelMode::Dense,
             "adaptive" => KernelMode::Adaptive,
             "adaptive_threaded" | "adaptive-threaded" => KernelMode::AdaptiveThreaded,
+            "lazy" => KernelMode::Lazy,
             _ => return None,
         })
     }
@@ -70,7 +80,13 @@ impl KernelMode {
             KernelMode::Dense => "dense",
             KernelMode::Adaptive => "adaptive",
             KernelMode::AdaptiveThreaded => "adaptive_threaded",
+            KernelMode::Lazy => "lazy",
         }
+    }
+
+    /// Does this mode row-block large dense×dense products across threads?
+    pub(crate) fn threaded(self) -> bool {
+        matches!(self, KernelMode::AdaptiveThreaded | KernelMode::Lazy)
     }
 }
 
@@ -337,9 +353,10 @@ pub enum Relation {
 /// Maximum stored pairs for which the CSR representation is kept: the
 /// break-even against dense rows, where gathering a sparse row (one
 /// operation per set bit) costs the same as OR-ing a packed row (one
-/// operation per 64-bit word).
+/// operation per 64-bit word).  Saturating: near `usize::MAX` domains must
+/// report "keep sparse", not wrap around to a tiny limit and densify.
 fn sparse_limit(n: usize) -> usize {
-    n * n.div_ceil(64)
+    n.saturating_mul(n.div_ceil(64))
 }
 
 fn words_per_row(n: usize) -> usize {
@@ -506,6 +523,18 @@ impl Relation {
         }
     }
 
+    /// Capacity-checked [`Relation::to_matrix`]: refuses to densify a
+    /// symbolic operand whose bit matrix would exceed the
+    /// [`DENSE_BYTE_LIMIT`] (already-dense operands just clone).
+    ///
+    /// [`DENSE_BYTE_LIMIT`]: crate::matrix::DENSE_BYTE_LIMIT
+    pub fn try_to_matrix(&self) -> Result<NodeMatrix, CapacityError> {
+        if !matches!(self, Relation::Dense(_)) {
+            dense_guard(self.len())?;
+        }
+        Ok(self.to_matrix())
+    }
+
     /// Wrap a dense matrix and rediscover structure ([`Relation::compact`]).
     pub fn from_matrix(m: NodeMatrix) -> Relation {
         Relation::Dense(m).compact()
@@ -598,8 +627,22 @@ impl Relation {
     // -- kernels ------------------------------------------------------------
 
     /// Relation composition `self · other`, dispatching to the cheapest
-    /// kernel for the operand pair under `mode`.
+    /// kernel for the operand pair under `mode`.  Panics if a dense fallback
+    /// exceeds the capacity limit; the store's fallible compilation path
+    /// ([`Relation::try_product`]) reports that as an error instead.
     pub fn product(&self, other: &Relation, mode: KernelMode, stats: &mut KernelStats) -> Relation {
+        self.try_product(other, mode, stats)
+            .expect("dense capacity exceeded in eager kernel")
+    }
+
+    /// Fallible [`Relation::product`]: dense fallbacks over the capacity
+    /// limit return a [`CapacityError`] instead of aborting the process.
+    pub fn try_product(
+        &self,
+        other: &Relation,
+        mode: KernelMode,
+        stats: &mut KernelStats,
+    ) -> Result<Relation, CapacityError> {
         debug_assert_eq!(self.len(), other.len());
         let n = self.len();
         if mode == KernelMode::Dense {
@@ -608,13 +651,13 @@ impl Relation {
             // what the pre-adaptive store paid, not extra clones.
             let m = match (self, other) {
                 (Relation::Dense(a), Relation::Dense(b)) => a.product(b),
-                (Relation::Dense(a), b) => a.product(&b.to_matrix()),
-                (a, Relation::Dense(b)) => a.to_matrix().product(b),
-                (a, b) => a.to_matrix().product(&b.to_matrix()),
+                (Relation::Dense(a), b) => a.product(&b.try_to_matrix()?),
+                (a, Relation::Dense(b)) => a.try_to_matrix()?.product(b),
+                (a, b) => a.try_to_matrix()?.product(&b.try_to_matrix()?),
             };
-            return Relation::Dense(m);
+            return Ok(Relation::Dense(m));
         }
-        match (self, other) {
+        Ok(match (self, other) {
             (Relation::Identity(_), _) => {
                 stats.product_trivial += 1;
                 other.clone()
@@ -625,7 +668,7 @@ impl Relation {
             }
             (Relation::Full(_), b) => {
                 stats.product_trivial += 1;
-                full_times(n, b)
+                full_times(n, b)?
             }
             (a, Relation::Full(_)) => {
                 stats.product_trivial += 1;
@@ -636,11 +679,11 @@ impl Relation {
             // masked fills only if a row merges to more than one range.
             (Relation::Interval { rows, .. }, Relation::Interval { rows: b_rows, .. }) => {
                 stats.product_interval += 1;
-                product_into_intervals(n, SourceRows::Ranges(rows), b_rows)
+                product_into_intervals(n, SourceRows::Ranges(rows), b_rows)?
             }
             (Relation::Sparse(a), Relation::Interval { rows: b_rows, .. }) => {
                 stats.product_interval += 1;
-                product_into_intervals(n, SourceRows::Lists(a), b_rows)
+                product_into_intervals(n, SourceRows::Lists(a), b_rows)?
             }
             (Relation::Sparse(a), Relation::Sparse(b)) => {
                 stats.product_sparse += 1;
@@ -696,7 +739,7 @@ impl Relation {
                 Relation::Dense(out).compact()
             }
             (Relation::Dense(a), Relation::Dense(b)) => {
-                let m = if mode == KernelMode::AdaptiveThreaded && n >= PARALLEL_MIN_DIM {
+                let m = if mode.threaded() && n >= PARALLEL_MIN_DIM {
                     stats.product_dense_threaded += 1;
                     a.product_threaded(b)
                 } else {
@@ -705,18 +748,29 @@ impl Relation {
                 };
                 Relation::Dense(m).compact()
             }
-        }
+        })
     }
 
     /// Element-wise union.
     pub fn union(&self, other: &Relation, mode: KernelMode, stats: &mut KernelStats) -> Relation {
+        self.try_union(other, mode, stats)
+            .expect("dense capacity exceeded in eager kernel")
+    }
+
+    /// Fallible [`Relation::union`].
+    pub fn try_union(
+        &self,
+        other: &Relation,
+        mode: KernelMode,
+        stats: &mut KernelStats,
+    ) -> Result<Relation, CapacityError> {
         debug_assert_eq!(self.len(), other.len());
         let n = self.len();
         if mode != KernelMode::Dense {
             match (self, other) {
                 (Relation::Full(_), _) | (_, Relation::Full(_)) => {
                     stats.union_structured += 1;
-                    return Relation::Full(n);
+                    return Ok(Relation::Full(n));
                 }
                 _ => {}
             }
@@ -727,20 +781,20 @@ impl Relation {
             if let (Some(a), Some(b)) = (self.sparse_view(), other.sparse_view()) {
                 stats.union_structured += 1;
                 let rows = (0..n).map(|u| merge_sorted(a.row(u), b.row(u)));
-                return Relation::Sparse(SparseRows::from_rows(n, rows)).compact();
+                return Ok(Relation::Sparse(SparseRows::from_rows(n, rows)).compact());
             }
         }
         stats.union_dense += 1;
-        let mut m = self.to_matrix();
+        let mut m = self.try_to_matrix()?;
         match other {
             Relation::Dense(b) => m.union_with(b),
-            b => m.union_with(&b.to_matrix()),
+            b => m.union_with(&b.try_to_matrix()?),
         }
-        if mode == KernelMode::Dense {
+        Ok(if mode == KernelMode::Dense {
             Relation::Dense(m)
         } else {
             Relation::Dense(m).compact()
-        }
+        })
     }
 
     /// Element-wise intersection.
@@ -750,17 +804,28 @@ impl Relation {
         mode: KernelMode,
         stats: &mut KernelStats,
     ) -> Relation {
+        self.try_intersect(other, mode, stats)
+            .expect("dense capacity exceeded in eager kernel")
+    }
+
+    /// Fallible [`Relation::intersect`].
+    pub fn try_intersect(
+        &self,
+        other: &Relation,
+        mode: KernelMode,
+        stats: &mut KernelStats,
+    ) -> Result<Relation, CapacityError> {
         debug_assert_eq!(self.len(), other.len());
         let n = self.len();
         if mode != KernelMode::Dense {
             match (self, other) {
                 (Relation::Full(_), b) => {
                     stats.intersect_structured += 1;
-                    return b.clone();
+                    return Ok(b.clone());
                 }
                 (a, Relation::Full(_)) => {
                     stats.intersect_structured += 1;
-                    return a.clone();
+                    return Ok(a.clone());
                 }
                 (Relation::Identity(_), b) | (b, Relation::Identity(_)) => {
                     stats.intersect_structured += 1;
@@ -772,7 +837,7 @@ impl Relation {
                             Vec::new()
                         }
                     });
-                    return Relation::Sparse(SparseRows::from_rows(n, rows)).compact();
+                    return Ok(Relation::Sparse(SparseRows::from_rows(n, rows)).compact());
                 }
                 _ => {}
             }
@@ -795,12 +860,12 @@ impl Relation {
                         }
                     })
                     .collect();
-                return interval_or_simpler(n, rows);
+                return Ok(interval_or_simpler(n, rows));
             }
             if let (Some(a), Some(b)) = (self.sparse_view(), other.sparse_view()) {
                 stats.intersect_structured += 1;
                 let rows = (0..n).map(|u| intersect_sorted(a.row(u), b.row(u)));
-                return Relation::Sparse(SparseRows::from_rows(n, rows)).compact();
+                return Ok(Relation::Sparse(SparseRows::from_rows(n, rows)).compact());
             }
             if let (Relation::Sparse(a), Relation::Interval { rows: b, .. }) = (self, other) {
                 stats.intersect_structured += 1;
@@ -808,7 +873,7 @@ impl Relation {
                     let (lo, hi) = b[u];
                     a.row(u).iter().copied().filter(|c| (lo..hi).contains(c)).collect()
                 });
-                return Relation::Sparse(SparseRows::from_rows(n, rows)).compact();
+                return Ok(Relation::Sparse(SparseRows::from_rows(n, rows)).compact());
             }
             if let (Relation::Interval { rows: a, .. }, Relation::Sparse(b)) = (self, other) {
                 stats.intersect_structured += 1;
@@ -816,39 +881,51 @@ impl Relation {
                     let (lo, hi) = a[u];
                     b.row(u).iter().copied().filter(|c| (lo..hi).contains(c)).collect()
                 });
-                return Relation::Sparse(SparseRows::from_rows(n, rows)).compact();
+                return Ok(Relation::Sparse(SparseRows::from_rows(n, rows)).compact());
             }
         }
         stats.intersect_dense += 1;
-        let mut m = self.to_matrix();
+        let mut m = self.try_to_matrix()?;
         match other {
             Relation::Dense(b) => m.intersect_with(b),
-            b => m.intersect_with(&b.to_matrix()),
+            b => m.intersect_with(&b.try_to_matrix()?),
         }
-        if mode == KernelMode::Dense {
+        Ok(if mode == KernelMode::Dense {
             Relation::Dense(m)
         } else {
             Relation::Dense(m).compact()
-        }
+        })
     }
 
     /// Complement (`except`).  Almost always densifies — the complement of a
     /// sparse/interval relation is dense by construction — so the only
-    /// structured cases are the trivial poles.
+    /// structured cases are the trivial poles.  Under [`KernelMode::Lazy`]
+    /// the store never calls this on large domains: complements stay
+    /// symbolic as `LazyRel` nodes.
     pub fn complement(&self, mode: KernelMode, stats: &mut KernelStats) -> Relation {
+        self.try_complement(mode, stats)
+            .expect("dense capacity exceeded in eager kernel")
+    }
+
+    /// Fallible [`Relation::complement`].
+    pub fn try_complement(
+        &self,
+        mode: KernelMode,
+        stats: &mut KernelStats,
+    ) -> Result<Relation, CapacityError> {
         stats.complement_ops += 1;
         let n = self.len();
         if mode != KernelMode::Dense {
             if let Relation::Full(_) = self {
-                return Relation::empty(n);
+                return Ok(Relation::empty(n));
             }
             if self.is_relation_empty() {
-                return Relation::Full(n);
+                return Ok(Relation::Full(n));
             }
         }
-        let mut m = self.to_matrix();
+        let mut m = self.try_to_matrix()?;
         m.complement();
-        Relation::Dense(m)
+        Ok(Relation::Dense(m))
     }
 
     /// The `[M]` diagonal filter: `u ↦ (u, u)` for every non-empty row.
@@ -872,12 +949,22 @@ impl Relation {
 
     /// The inverse relation.
     pub fn transpose(&self, mode: KernelMode, stats: &mut KernelStats) -> Relation {
+        self.try_transpose(mode, stats)
+            .expect("dense capacity exceeded in eager kernel")
+    }
+
+    /// Fallible [`Relation::transpose`].
+    pub fn try_transpose(
+        &self,
+        mode: KernelMode,
+        stats: &mut KernelStats,
+    ) -> Result<Relation, CapacityError> {
         stats.transpose_ops += 1;
         let n = self.len();
         if mode == KernelMode::Dense {
-            return Relation::Dense(self.to_matrix().transpose());
+            return Ok(Relation::Dense(self.try_to_matrix()?.transpose()));
         }
-        match self {
+        Ok(match self {
             Relation::Identity(_) | Relation::Full(_) => self.clone(),
             Relation::Sparse(s) => Relation::Sparse(s.transpose()),
             Relation::Interval { rows, .. } => {
@@ -886,7 +973,7 @@ impl Relation {
                     .map(|&(lo, hi)| hi.saturating_sub(lo) as usize)
                     .sum();
                 if nnz > sparse_limit(n) {
-                    return Relation::Dense(self.to_matrix().transpose()).compact();
+                    return Ok(Relation::Dense(self.try_to_matrix()?.transpose()).compact());
                 }
                 // Out row v collects every u whose range covers v; visiting
                 // u in ascending order keeps each output row sorted.
@@ -915,29 +1002,58 @@ impl Relation {
                 })
             }
             Relation::Dense(m) => Relation::Dense(m.transpose()).compact(),
-        }
+        })
     }
 }
 
 /// `Full · B`: every row of the result is the column support of `B` (or the
 /// result is empty when `B` is).
-fn full_times(n: usize, b: &Relation) -> Relation {
+fn full_times(n: usize, b: &Relation) -> Result<Relation, CapacityError> {
     if b.is_relation_empty() {
-        return Relation::empty(n);
+        return Ok(Relation::empty(n));
     }
-    let bm = b.to_matrix();
+    // The column support needs only one packed row; collect it without
+    // materialising `b` (interval/sparse rows fill the scratch directly).
     let stride = words_per_row(n);
     let mut support = vec![0u64; stride];
-    for u in 0..n {
-        for (s, w) in support.iter_mut().zip(bm.row_words(NodeId(u as u32))) {
-            *s |= w;
+    match b {
+        Relation::Dense(bm) => {
+            for u in 0..n {
+                for (s, w) in support.iter_mut().zip(bm.row_words(NodeId(u as u32))) {
+                    *s |= w;
+                }
+            }
+        }
+        _ => {
+            for u in 0..n {
+                for v in b.successor_list(NodeId(u as u32)) {
+                    support[v.index() / 64] |= 1u64 << (v.index() % 64);
+                }
+            }
         }
     }
+    // All rows equal the support row: interval-shaped iff the support is one
+    // contiguous range, which `compact` will rediscover — but avoid the n²
+    // materialisation when the support is a single range.
+    let popcount: usize = support.iter().map(|w| w.count_ones() as usize).sum();
+    if popcount > 0 {
+        let first_word = support.iter().position(|&w| w != 0).expect("popcount > 0");
+        let last_word = support.iter().rposition(|&w| w != 0).expect("popcount > 0");
+        let lo = first_word * 64 + support[first_word].trailing_zeros() as usize;
+        let hi = last_word * 64 + 63 - support[last_word].leading_zeros() as usize + 1;
+        if hi - lo == popcount {
+            return Ok(interval_or_simpler(
+                n,
+                vec![(lo as u32, hi as u32); n],
+            ));
+        }
+    }
+    dense_guard(n)?;
     let mut out = NodeMatrix::empty(n);
     for u in 0..n {
         out.or_words_into_row(NodeId(u as u32), &support);
     }
-    Relation::Dense(out).compact()
+    Ok(Relation::Dense(out).compact())
 }
 
 /// `A · Full`: row `u` is full iff row `u` of `A` is non-empty.
@@ -983,7 +1099,11 @@ impl SourceRows<'_> {
 /// `b_rows` symbolically per output row.  While every row merges into a
 /// single range the result stays an `Interval`; the first row that does not
 /// switches to a dense accumulator filled by boundary masks.
-fn product_into_intervals(n: usize, a: SourceRows<'_>, b_rows: &[(u32, u32)]) -> Relation {
+fn product_into_intervals(
+    n: usize,
+    a: SourceRows<'_>,
+    b_rows: &[(u32, u32)],
+) -> Result<Relation, CapacityError> {
     let mut rows_out: Vec<(u32, u32)> = Vec::with_capacity(n);
     let mut dense_out: Option<NodeMatrix> = None;
     let mut scratch: Vec<(u32, u32)> = Vec::new();
@@ -1001,7 +1121,7 @@ fn product_into_intervals(n: usize, a: SourceRows<'_>, b_rows: &[(u32, u32)]) ->
             (None, 1) => rows_out.push(scratch[0]),
             (None, _) => {
                 // Materialise the interval prefix, then keep filling.
-                let mut m = NodeMatrix::empty(n);
+                let mut m = NodeMatrix::try_empty(n)?;
                 for (r, &(lo, hi)) in rows_out.iter().enumerate() {
                     m.fill_row_range(NodeId(r as u32), lo as usize, hi as usize);
                 }
@@ -1017,10 +1137,10 @@ fn product_into_intervals(n: usize, a: SourceRows<'_>, b_rows: &[(u32, u32)]) ->
             }
         }
     }
-    match dense_out {
+    Ok(match dense_out {
         Some(m) => Relation::Dense(m).compact(),
         None => interval_or_simpler(n, rows_out),
-    }
+    })
 }
 
 /// Sort by start and coalesce overlapping/adjacent ranges in place.
@@ -1072,7 +1192,11 @@ fn interval_or_simpler(n: usize, rows: Vec<(u32, u32)>) -> Relation {
 
 /// Per-row union of two interval relations: two ranges either coalesce into
 /// one (kept symbolic) or the whole result falls back to masked fills.
-fn union_interval_rows(n: usize, a: &[(u32, u32)], b: &[(u32, u32)]) -> Relation {
+fn union_interval_rows(
+    n: usize,
+    a: &[(u32, u32)],
+    b: &[(u32, u32)],
+) -> Result<Relation, CapacityError> {
     let mut rows_out: Vec<(u32, u32)> = Vec::with_capacity(n);
     for u in 0..n {
         let mut pair = vec![a[u], b[u]];
@@ -1083,7 +1207,7 @@ fn union_interval_rows(n: usize, a: &[(u32, u32)], b: &[(u32, u32)]) -> Relation
             1 => rows_out.push(pair[0]),
             _ => {
                 // Rare: disjoint ranges — materialise everything.
-                let mut m = NodeMatrix::empty(n);
+                let mut m = NodeMatrix::try_empty(n)?;
                 for (r, &(lo, hi)) in rows_out.iter().enumerate() {
                     m.fill_row_range(NodeId(r as u32), lo as usize, hi as usize);
                 }
@@ -1092,11 +1216,11 @@ fn union_interval_rows(n: usize, a: &[(u32, u32)], b: &[(u32, u32)]) -> Relation
                         m.fill_row_range(NodeId(r as u32), lo as usize, hi as usize);
                     }
                 }
-                return Relation::Dense(m).compact();
+                return Ok(Relation::Dense(m).compact());
             }
         }
     }
-    interval_or_simpler(n, rows_out)
+    Ok(interval_or_simpler(n, rows_out))
 }
 
 /// Merge two sorted, deduped column lists.

@@ -32,13 +32,75 @@
 //!   every cached entry point.
 
 use crate::eval::step_relation_in_mode;
-use crate::matrix::NodeMatrix;
+use crate::lazy::{LazyRel, LazyRows};
+use crate::matrix::{CapacityError, NodeMatrix};
 use crate::relation::{KernelMode, KernelStats, Relation};
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 use std::sync::{Arc, Mutex, MutexGuard};
 use xpath_ast::{BinExpr, NameTest};
 use xpath_tree::{Axis, NodeId, Tree};
+
+/// Where a consumer of Prop. 10 successor rows pulls them from: an eagerly
+/// materialised table (`lists[u]` for every `u`, the pre-lazy behaviour) or
+/// an on-demand [`LazyRows`] cache that computes rows the first time the
+/// answering phase asks for them.  Cloning is an `Arc` bump either way.
+#[derive(Debug, Clone)]
+pub enum SuccessorSource {
+    /// All `n` rows materialised up front (eager kernel modes).
+    Eager(Arc<Vec<Vec<NodeId>>>),
+    /// Rows computed and memoised on first pull ([`KernelMode::Lazy`]).
+    Lazy(Arc<LazyRows>),
+}
+
+impl SuccessorSource {
+    /// Domain size (number of rows).
+    pub fn len(&self) -> usize {
+        match self {
+            SuccessorSource::Eager(lists) => lists.len(),
+            SuccessorSource::Lazy(rows) => rows.len(),
+        }
+    }
+
+    /// True if the domain is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Run `f` over row `u` (sorted successor ids).  The lazy variant
+    /// materialises and memoises the row on first pull.
+    pub fn with_row<R>(&self, u: NodeId, f: impl FnOnce(&[NodeId]) -> R) -> R {
+        match self {
+            SuccessorSource::Eager(lists) => f(&lists[u.index()]),
+            SuccessorSource::Lazy(rows) => f(&rows.row(u)),
+        }
+    }
+
+    /// Row `u` as an owned vector.
+    pub fn row_vec(&self, u: NodeId) -> Vec<NodeId> {
+        self.with_row(u, <[NodeId]>::to_vec)
+    }
+
+    /// Non-emptiness of row `u`, without materialising it in the lazy case.
+    pub fn row_nonempty(&self, u: NodeId) -> bool {
+        match self {
+            SuccessorSource::Eager(lists) => !lists[u.index()].is_empty(),
+            SuccessorSource::Lazy(rows) => rows.row_nonempty(u),
+        }
+    }
+
+    /// Does row `u` contain a node satisfying `pred`?  Early-exits on the
+    /// first hit; the lazy variant answers from the symbolic form without
+    /// materialising the row (see [`LazyRel::row_any`]).
+    ///
+    /// [`LazyRel::row_any`]: crate::lazy::LazyRel::row_any
+    pub fn row_any(&self, u: NodeId, mut pred: impl FnMut(NodeId) -> bool) -> bool {
+        match self {
+            SuccessorSource::Eager(lists) => lists[u.index()].iter().any(|&v| pred(v)),
+            SuccessorSource::Lazy(rows) => rows.row_any(u, pred),
+        }
+    }
+}
 
 /// Identifier of a hash-consed PPLbin subterm inside a [`MatrixStore`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -115,13 +177,17 @@ pub struct MatrixStore {
     /// Shape of each interned id (indexed by `ExprId::index`).
     shapes: Vec<Shape>,
     /// Compiled relation of each interned id, if computed already — kept in
-    /// its adaptive representation so downstream compositions stay
-    /// structure-aware; materialised to [`NodeMatrix`] only at the public
-    /// boundary.
-    relations: Vec<Option<Relation>>,
+    /// its adaptive (and, under [`KernelMode::Lazy`], possibly symbolic)
+    /// representation so downstream compositions stay structure-aware;
+    /// materialised to [`NodeMatrix`] only at the public boundary.
+    relations: Vec<Option<Arc<LazyRel>>>,
     /// Cached Prop. 10 successor lists, shared with callers via `Arc` (so
     /// they can cross thread boundaries under a [`SharedMatrixStore`]).
     successors: HashMap<ExprId, Arc<Vec<Vec<NodeId>>>>,
+    /// On-demand row caches handed out as [`SuccessorSource::Lazy`] under
+    /// [`KernelMode::Lazy`], memoised per id so repeated answering over the
+    /// same atom shares materialised rows.
+    lazy_rows: HashMap<ExprId, Arc<LazyRows>>,
     /// Which kernels the store compiles with.
     mode: KernelMode,
     /// Per-kernel dispatch counters across all compilations.
@@ -183,15 +249,17 @@ impl MatrixStore {
     }
 
     /// Approximate heap occupancy of the cached state, in bytes: compiled
-    /// relations plus Prop. 10 successor lists (hash-consing table overhead
-    /// is ignored — it is dwarfed by the matrices it indexes).  The corpus
-    /// layer charges this against its session-pool memory budget.
+    /// relations (symbolic forms charge their eager leaves, not the n² they
+    /// defer), Prop. 10 successor lists, and exactly the lazy rows that have
+    /// materialised so far (hash-consing table overhead is ignored — it is
+    /// dwarfed by the matrices it indexes).  The corpus layer charges this
+    /// against its session-pool memory budget.
     pub fn approx_bytes(&self) -> usize {
         let relations: usize = self
             .relations
             .iter()
             .flatten()
-            .map(Relation::approx_bytes)
+            .map(|r| r.approx_bytes())
             .sum();
         let lists: usize = self
             .successors
@@ -203,7 +271,8 @@ impl MatrixStore {
                     .sum::<usize>()
             })
             .sum();
-        relations + lists
+        let lazy: usize = self.lazy_rows.values().map(|r| r.cached_bytes()).sum();
+        relations + lists + lazy
     }
 
     /// Drop every cached relation and counter (the hash-consing table is
@@ -213,6 +282,7 @@ impl MatrixStore {
         self.shapes.clear();
         self.relations.clear();
         self.successors.clear();
+        self.lazy_rows.clear();
         self.kernels = KernelStats::default();
         self.hits = 0;
         self.misses = 0;
@@ -277,45 +347,53 @@ impl MatrixStore {
     }
 
     /// Make sure the relation of `id` is compiled, reusing every already
-    /// compiled child.
-    fn ensure(&mut self, tree: &Tree, id: ExprId) {
+    /// compiled child.  Under the eager modes every node collapses to an
+    /// eager leaf through the capacity-guarded kernels (failing, not
+    /// aborting, past the dense budget); under [`KernelMode::Lazy`],
+    /// complements — and operators over them — stay symbolic.
+    fn try_ensure(&mut self, tree: &Tree, id: ExprId) -> Result<(), CapacityError> {
         if self.relations[id.index()].is_some() {
             self.hits += 1;
-            return;
+            return Ok(());
         }
         self.misses += 1;
         let mode = self.mode;
         let shape = self.shapes[id.index()].clone();
         let r = match shape {
-            Shape::Step(axis, test) => {
-                step_relation_in_mode(tree, axis, &test, mode, &mut self.kernels)
-            }
+            Shape::Step(axis, test) => LazyRel::eager(step_relation_in_mode(
+                tree,
+                axis,
+                &test,
+                mode,
+                &mut self.kernels,
+            )),
             Shape::Seq(a, b) => {
-                self.ensure(tree, a);
-                self.ensure(tree, b);
-                let ra = self.relations[a.index()].as_ref().expect("ensured");
-                let rb = self.relations[b.index()].as_ref().expect("ensured");
-                ra.product(rb, mode, &mut self.kernels)
+                self.try_ensure(tree, a)?;
+                self.try_ensure(tree, b)?;
+                let ra = Arc::clone(self.relations[a.index()].as_ref().expect("ensured"));
+                let rb = Arc::clone(self.relations[b.index()].as_ref().expect("ensured"));
+                LazyRel::product(&ra, &rb, mode, &mut self.kernels)?
             }
             Shape::Union(a, b) => {
-                self.ensure(tree, a);
-                self.ensure(tree, b);
-                let ra = self.relations[a.index()].as_ref().expect("ensured");
-                let rb = self.relations[b.index()].as_ref().expect("ensured");
-                ra.union(rb, mode, &mut self.kernels)
+                self.try_ensure(tree, a)?;
+                self.try_ensure(tree, b)?;
+                let ra = Arc::clone(self.relations[a.index()].as_ref().expect("ensured"));
+                let rb = Arc::clone(self.relations[b.index()].as_ref().expect("ensured"));
+                LazyRel::union(&ra, &rb, mode, &mut self.kernels)?
             }
             Shape::Except(p) => {
-                self.ensure(tree, p);
-                let rp = self.relations[p.index()].as_ref().expect("ensured");
-                rp.complement(mode, &mut self.kernels)
+                self.try_ensure(tree, p)?;
+                let rp = Arc::clone(self.relations[p.index()].as_ref().expect("ensured"));
+                LazyRel::complement(&rp, mode, &mut self.kernels)?
             }
             Shape::Test(p) => {
-                self.ensure(tree, p);
-                let rp = self.relations[p.index()].as_ref().expect("ensured");
-                rp.diagonal_filter(mode, &mut self.kernels)
+                self.try_ensure(tree, p)?;
+                let rp = Arc::clone(self.relations[p.index()].as_ref().expect("ensured"));
+                LazyRel::diagonal_filter(&rp, mode, &mut self.kernels)
             }
         };
         self.relations[id.index()] = Some(r);
+        Ok(())
     }
 
     /// Evaluate a PPLbin expression through the cache: equal subterms (from
@@ -327,33 +405,101 @@ impl MatrixStore {
     }
 
     /// Evaluate a PPLbin expression through the cache to its adaptive
-    /// [`Relation`] representation.
+    /// [`Relation`] representation, panicking past the dense capacity
+    /// budget (see [`MatrixStore::try_eval_relation`] for the fallible
+    /// form).
     pub fn eval_relation(&mut self, tree: &Tree, expr: &BinExpr) -> Relation {
+        self.try_eval_relation(tree, expr)
+            .expect("dense capacity exceeded while materialising a cached relation")
+    }
+
+    /// Evaluate a PPLbin expression through the cache to a concrete
+    /// [`Relation`], forcing any symbolic form through the capacity-guarded
+    /// kernels.  Fails (instead of aborting) when the result would exceed
+    /// the dense byte budget — at |t| = 1M an n×n bit matrix is ~125 GB.
+    pub fn try_eval_relation(
+        &mut self,
+        tree: &Tree,
+        expr: &BinExpr,
+    ) -> Result<Relation, CapacityError> {
         self.check_tree(tree);
         let id = self.intern(expr);
-        self.ensure(tree, id);
-        self.relations[id.index()].clone().expect("ensured")
+        self.try_ensure(tree, id)?;
+        let rel = Arc::clone(self.relations[id.index()].as_ref().expect("ensured"));
+        match rel.as_eager() {
+            Some(r) => Ok(r.clone()),
+            None => rel.force(self.mode, &mut self.kernels),
+        }
+    }
+
+    /// Evaluate a PPLbin expression to its (possibly symbolic) [`LazyRel`]
+    /// form without forcing anything dense.
+    pub fn try_eval_lazy(
+        &mut self,
+        tree: &Tree,
+        expr: &BinExpr,
+    ) -> Result<Arc<LazyRel>, CapacityError> {
+        self.check_tree(tree);
+        let id = self.intern(expr);
+        self.try_ensure(tree, id)?;
+        Ok(Arc::clone(self.relations[id.index()].as_ref().expect("ensured")))
     }
 
     /// The Prop. 10 oracle lists for `expr`: `lists[u] = {u' | (u,u') ∈
     /// q_expr(t)}` in document order, shared behind an `Arc` so repeated
-    /// callers pay one pointer clone.  Built straight from the adaptive
-    /// representation — interval and sparse relations never materialise
-    /// their bits.
+    /// callers pay one pointer clone.  Built row by row from the adaptive
+    /// (or symbolic) representation — interval, sparse and deferred
+    /// relations never materialise their bits.  Panics past the dense
+    /// capacity budget; see [`MatrixStore::try_successor_lists`].
     pub fn successor_lists(&mut self, tree: &Tree, expr: &BinExpr) -> Arc<Vec<Vec<NodeId>>> {
+        self.try_successor_lists(tree, expr)
+            .expect("dense capacity exceeded while compiling successor lists")
+    }
+
+    /// Fallible form of [`MatrixStore::successor_lists`].
+    pub fn try_successor_lists(
+        &mut self,
+        tree: &Tree,
+        expr: &BinExpr,
+    ) -> Result<Arc<Vec<Vec<NodeId>>>, CapacityError> {
         self.check_tree(tree);
         let id = self.intern(expr);
-        self.ensure(tree, id);
+        self.try_ensure(tree, id)?;
         if let Some(lists) = self.successors.get(&id) {
-            return Arc::clone(lists);
+            return Ok(Arc::clone(lists));
         }
         let r = self.relations[id.index()].as_ref().expect("ensured");
         let lists: Vec<Vec<NodeId>> = (0..self.domain)
-            .map(|u| r.successor_list(NodeId(u as u32)))
+            .map(|u| r.row(NodeId(u as u32)))
             .collect();
         let rc = Arc::new(lists);
         self.successors.insert(id, Arc::clone(&rc));
-        rc
+        Ok(rc)
+    }
+
+    /// The successor rows of `expr` in the form matching the kernel mode:
+    /// an eagerly materialised table under the eager modes, an on-demand
+    /// memoising [`LazyRows`] cache under [`KernelMode::Lazy`].  The Fig. 8
+    /// answering phase pulls rows through this handle so a lazy pipeline
+    /// only ever pays for the rows it visits.
+    pub fn successor_source(
+        &mut self,
+        tree: &Tree,
+        expr: &BinExpr,
+    ) -> Result<SuccessorSource, CapacityError> {
+        if !matches!(self.mode, KernelMode::Lazy) {
+            return Ok(SuccessorSource::Eager(self.try_successor_lists(tree, expr)?));
+        }
+        self.check_tree(tree);
+        let id = self.intern(expr);
+        self.try_ensure(tree, id)?;
+        if let Some(rows) = self.lazy_rows.get(&id) {
+            return Ok(SuccessorSource::Lazy(Arc::clone(rows)));
+        }
+        let rel = Arc::clone(self.relations[id.index()].as_ref().expect("ensured"));
+        let rows = Arc::new(LazyRows::new(rel));
+        self.lazy_rows.insert(id, Arc::clone(&rows));
+        Ok(SuccessorSource::Lazy(rows))
     }
 }
 
@@ -452,11 +598,42 @@ impl SharedMatrixStore {
         self.shard(expr).eval_relation(tree, expr)
     }
 
+    /// Fallible evaluation to a concrete [`Relation`] (see
+    /// [`MatrixStore::try_eval_relation`]).
+    pub fn try_eval_relation(
+        &self,
+        tree: &Tree,
+        expr: &BinExpr,
+    ) -> Result<Relation, CapacityError> {
+        self.shard(expr).try_eval_relation(tree, expr)
+    }
+
     /// The Prop. 10 successor lists of `expr`, shared behind an `Arc` (see
     /// [`MatrixStore::successor_lists`]).  The shard lock is held only while
     /// compiling; callers answer from the returned lists lock-free.
     pub fn successor_lists(&self, tree: &Tree, expr: &BinExpr) -> Arc<Vec<Vec<NodeId>>> {
         self.shard(expr).successor_lists(tree, expr)
+    }
+
+    /// Fallible form of [`SharedMatrixStore::successor_lists`].
+    pub fn try_successor_lists(
+        &self,
+        tree: &Tree,
+        expr: &BinExpr,
+    ) -> Result<Arc<Vec<Vec<NodeId>>>, CapacityError> {
+        self.shard(expr).try_successor_lists(tree, expr)
+    }
+
+    /// Mode-appropriate successor rows (see
+    /// [`MatrixStore::successor_source`]); the shard lock is held only while
+    /// compiling the symbolic form — lazy rows materialise lock-free behind
+    /// the returned handle.
+    pub fn successor_source(
+        &self,
+        tree: &Tree,
+        expr: &BinExpr,
+    ) -> Result<SuccessorSource, CapacityError> {
+        self.shard(expr).successor_source(tree, expr)
     }
 
     /// Is `expr` already compiled?  Pure inspection of the responsible

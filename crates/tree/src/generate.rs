@@ -211,6 +211,63 @@ pub fn restaurants(count: usize, attributes: &[&str], missing_every: usize) -> T
     b.finish().expect("restaurant guide is balanced")
 }
 
+/// A deterministic DBLP-style bibliography document of *exactly*
+/// `target_nodes` nodes: a `dblp` root over a stream of publication records
+/// (`article`, `inproceedings`, `phdthesis`), each carrying its natural
+/// attribute children (`author+`, `title`, `year`, and a venue element).
+///
+/// This is the document family behind the large-document experiments
+/// (E14): record kind and author counts are drawn from `seed`, so documents
+/// at different `target_nodes` share the same statistical shape — flat and
+/// wide like the real DBLP XML, with a label alphabet rich enough for
+/// complement-bearing (`except` / `not(...)`) queries to be selective.
+///
+/// After the last whole record, the document is padded with `www` leaf
+/// records so the node count is exact — benchmarks can report per-node
+/// figures without size slop.
+pub fn dblp(target_nodes: usize, seed: u64) -> Tree {
+    assert!(target_nodes >= 1, "a tree needs at least one node");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = TreeBuilder::new();
+    b.open("dblp");
+    let mut count = 1usize;
+    loop {
+        // Pick the next record and cost it before emitting: the record
+        // element itself, its authors, title + year, and one venue child.
+        let kind = rng.gen_range(0..6);
+        let authors: usize = match kind {
+            0..=2 => 1 + rng.gen_range(0..4usize), // article: 1–4 authors
+            3..=4 => 2 + rng.gen_range(0..5usize), // inproceedings: 2–6 authors
+            _ => 1,                                // phdthesis: exactly one
+        };
+        let record_nodes = 1 + authors + 3;
+        if count + record_nodes > target_nodes {
+            break;
+        }
+        let (record, venue) = match kind {
+            0..=2 => ("article", "journal"),
+            3..=4 => ("inproceedings", "booktitle"),
+            _ => ("phdthesis", "school"),
+        };
+        b.open(record);
+        for _ in 0..authors {
+            b.leaf("author");
+        }
+        b.leaf("title");
+        b.leaf("year");
+        b.leaf(venue);
+        b.close();
+        count += record_nodes;
+    }
+    // Exact-size padding: cheap leaf records, like DBLP's `www` entries.
+    while count < target_nodes {
+        b.leaf("www");
+        count += 1;
+    }
+    b.close();
+    b.finish().expect("dblp generator emits balanced trees")
+}
+
 /// The default attribute list used by the restaurant workload (11 columns).
 pub const RESTAURANT_ATTRIBUTES: [&str; 11] = [
     "name",
@@ -317,6 +374,29 @@ mod tests {
         // every 5th restaurant misses the last attribute (foodstyle)
         assert_eq!(t.nodes_with_label_str("foodstyle").len(), 8);
         t.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn dblp_has_exact_size_and_is_deterministic() {
+        for target in [1, 2, 9, 100, 4096] {
+            let t = dblp(target, 11);
+            assert_eq!(t.len(), target, "target {target}");
+            t.check_invariants().unwrap();
+            assert_eq!(t.label_str(t.root()), "dblp");
+        }
+        let a = dblp(500, 7);
+        let b = dblp(500, 7);
+        assert_eq!(a.to_terms(), b.to_terms());
+        let c = dblp(500, 8);
+        assert_ne!(a.to_terms(), c.to_terms());
+        // Big enough documents contain every record kind.
+        let big = dblp(2000, 3);
+        for label in ["article", "inproceedings", "phdthesis", "author", "title"] {
+            assert!(
+                !big.nodes_with_label_str(label).is_empty(),
+                "missing {label}"
+            );
+        }
     }
 
     #[test]

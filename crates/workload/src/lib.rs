@@ -17,6 +17,6 @@ pub mod suites;
 
 pub use sat::{encode_sat_query, encode_sat_tree, random_3sat, SatInstance};
 pub use suites::{
-    bibliography_pairs_query, chain_query, corpus_documents, planner_mix_suite, pplbin_suite,
-    restaurant_query, tree_sweep,
+    bibliography_pairs_query, chain_query, corpus_documents, dblp_suite, planner_mix_suite,
+    pplbin_suite, restaurant_query, tree_sweep,
 };

@@ -149,6 +149,48 @@ pub fn planner_mix_suite() -> Vec<(String, Vec<String>)> {
     ]
 }
 
+/// The E14 large-document suite over the DBLP-style documents of
+/// [`xpath_tree::generate::dblp`]: queries a bibliography service would
+/// actually run, weighted towards the complement-bearing forms
+/// (`except` / `not(...)`) whose eager compilation densifies an
+/// `|t| × |t|` matrix — the regime the lazy kernels exist for.
+///
+/// Returned as `(source, output_variables)` pairs, all PPL.
+pub fn dblp_suite() -> Vec<(String, Vec<String>)> {
+    vec![
+        // Plain navigation — the eager-friendly baseline.
+        (
+            "descendant::article[child::author[. is $a]]/child::title[. is $t]".to_string(),
+            vec!["a".into(), "t".into()],
+        ),
+        // Journal-less records: a complement over a selective step.
+        (
+            "descendant::inproceedings[not(child::journal)][. is $x]".to_string(),
+            vec!["x".into()],
+        ),
+        // `except` on the descendant axis — eagerly a dense |t|×|t| product.
+        (
+            "(descendant::* except descendant::article)[child::author[. is $x]]".to_string(),
+            vec!["x".into()],
+        ),
+        // Doubly-negated filter: records that are *not* missing a year.
+        (
+            "descendant::article[not(not(child::year))]/child::title[. is $t]".to_string(),
+            vec!["t".into()],
+        ),
+        // Venue lookup under a complement — mixes both regimes.
+        (
+            "(descendant::* except descendant::www)[child::booktitle[. is $v]]".to_string(),
+            vec!["v".into()],
+        ),
+        // Arity-0 satisfiability with a complement.
+        (
+            "descendant::phdthesis[not(child::journal)]".to_string(),
+            vec![],
+        ),
+    ]
+}
+
 /// The E13 multi-document corpus suite: `docs` named random trees in three
 /// size bands (`base`, `2·base`, `3·base` nodes, cycling) over the
 /// `l0…l2` generator alphabet, so the E10/E12 query suites apply unchanged.
@@ -177,7 +219,8 @@ pub fn corpus_documents(docs: usize, base_size: usize, seed: u64) -> Vec<(String
 /// Convenience re-export of the document generators most benches need.
 pub mod documents {
     pub use xpath_tree::generate::{
-        bibliography, restaurants, random_tree, TreeGenConfig, TreeShape, RESTAURANT_ATTRIBUTES,
+        bibliography, dblp, restaurants, random_tree, TreeGenConfig, TreeShape,
+        RESTAURANT_ATTRIBUTES,
     };
 }
 
@@ -262,6 +305,36 @@ mod tests {
             has_zero_ary |= vars.is_empty();
         }
         assert!(has_union && has_dense && has_zero_ary);
+    }
+
+    #[test]
+    fn dblp_suite_is_ppl_and_answers_on_dblp_documents() {
+        use xpath_ast::{parse_path, Var};
+        use xpath_naive::answer_nary;
+        use xpath_tree::generate::dblp;
+        // Small document: the reference engine is naive (polynomial of high
+        // degree on `except` queries), and selectivity is all we check here.
+        let doc = dblp(90, 0xD8_1F);
+        let suite = dblp_suite();
+        assert!(suite.len() >= 5);
+        let mut complements = 0;
+        let mut nonempty = 0;
+        for (src, vars) in &suite {
+            let q = parse_path(src).unwrap_or_else(|e| panic!("{src}: {e}"));
+            assert!(check_ppl(&q).is_ok(), "{src} must be PPL");
+            if src.contains("except") || src.contains("not(") {
+                complements += 1;
+            }
+            let vars: Vec<Var> = vars.iter().map(|v| Var::new(v)).collect();
+            let ans = answer_nary(&doc, &q, &vars).unwrap();
+            if !ans.is_empty() {
+                nonempty += 1;
+            }
+        }
+        // The suite must stress the lazy regime, not just plain steps…
+        assert!(complements >= 4, "only {complements} complement queries");
+        // …and actually select something on the documents it is meant for.
+        assert!(nonempty >= 4, "only {nonempty} non-empty answers");
     }
 
     #[test]

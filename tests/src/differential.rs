@@ -955,6 +955,132 @@ pub fn run_kernel_mode_fuzz(seed: u64, cases: usize, max_tree_size: usize, alpha
     total
 }
 
+// ---------------------------------------------------------------------------
+// Lazy-vs-eager differential fuzzing (deferred relation algebra)
+// ---------------------------------------------------------------------------
+
+/// Statistics of one lazy-vs-eager fuzz run.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct LazyFuzzReport {
+    /// Variable-free relation cases checked row-for-row.
+    pub relation_cases: usize,
+    /// Full PPL query cases checked tuple-for-tuple.
+    pub query_cases: usize,
+    /// Total (u, v) pairs across all relation cases.
+    pub total_pairs: usize,
+    /// Total answer tuples across all query cases.
+    pub total_tuples: usize,
+    /// Complement nodes the lazy stores actually deferred (the fuzz must
+    /// exercise the symbolic path, not collapse everything eagerly).
+    pub deferred_complements: u64,
+}
+
+/// Fuzz the lazy relation algebra against the eager kernels.
+///
+/// Two layers are compared per seed:
+///
+/// 1. **Relations** — random variable-free PPLbin expressions compiled
+///    through a `KernelMode::Lazy` [`MatrixStore`] must agree with the dense
+///    baseline both when *forced* to an eager relation and when read
+///    row-by-row through [`SuccessorSource`] (the per-row path the Fig. 8
+///    stream actually uses), including `row_nonempty` and early-exit
+///    `row_any` answers.
+/// 2. **Queries** — random PPL queries answered end-to-end through a lazy
+///    store must match the naive specification engine and an eager
+///    (adaptive) store, tuple for tuple.
+///
+/// [`MatrixStore`]: xpath_pplbin::MatrixStore
+/// [`SuccessorSource`]: xpath_pplbin::SuccessorSource
+pub fn run_lazy_fuzz(seed: u64, cases: usize, max_tree_size: usize, alphabet: usize) -> LazyFuzzReport {
+    use xpath_ast::binexpr::from_variable_free_path;
+    use xpath_hcl::answer_hcl_pplbin_with_store;
+    use xpath_pplbin::{eval_relation, KernelMode, KernelStats, MatrixStore};
+
+    let mut gen = QueryGen::new(seed, alphabet);
+    let mut arity_rng = StdRng::seed_from_u64(seed ^ 0x1A2);
+    let mut report = LazyFuzzReport::default();
+
+    for case in 0..cases {
+        // Layer 1: relation semantics, row for row.
+        let tree = gen.gen_tree(max_tree_size);
+        let n = tree.len();
+        let path = gen.gen_varfree_path(3);
+        let bin = from_variable_free_path(&path)
+            .unwrap_or_else(|e| panic!("variable-free path {path} did not lower: {e:?}"));
+        let ctx = || format!("case {case}\n  query: {path}\n  tree : {}", tree.to_terms());
+
+        let mut stats = KernelStats::default();
+        let dense = eval_relation(&tree, &bin, KernelMode::Dense, &mut stats).to_matrix();
+
+        let mut store = MatrixStore::with_mode(n, KernelMode::Lazy);
+        let forced = store
+            .try_eval_relation(&tree, &bin)
+            .unwrap_or_else(|e| panic!("lazy force failed: {e}\n{}", ctx()))
+            .to_matrix();
+        assert_eq!(forced, dense, "forced lazy relation disagrees with dense\n{}", ctx());
+
+        let source = store
+            .successor_source(&tree, &bin)
+            .unwrap_or_else(|e| panic!("successor_source failed: {e}\n{}", ctx()));
+        for u in 0..n {
+            let uid = NodeId(u as u32);
+            let row = source.row_vec(uid);
+            let expected: Vec<NodeId> = dense.successors(uid).collect();
+            assert_eq!(row, expected, "row {u} disagrees with dense\n{}", ctx());
+            assert_eq!(
+                source.row_nonempty(uid),
+                !expected.is_empty(),
+                "row_nonempty({u}) disagrees\n{}",
+                ctx()
+            );
+            // Early-exit predicate search must see exactly the same row.
+            if let Some(&witness) = expected.first() {
+                assert!(
+                    source.row_any(uid, |v| v == witness),
+                    "row_any missed {witness:?} in row {u}\n{}",
+                    ctx()
+                );
+            }
+            assert!(
+                !source.row_any(uid, |_| false),
+                "row_any fabricated a witness in row {u}\n{}",
+                ctx()
+            );
+            report.total_pairs += expected.len();
+        }
+        report.deferred_complements += store.kernel_stats().complement_ops;
+        report.relation_cases += 1;
+
+        // Layer 2: end-to-end answers over the same tree.
+        let arity = arity_rng.gen_range(0..=2usize);
+        let (query, outputs) = gen.gen_query(arity);
+        let qctx = || {
+            format!(
+                "case {case}\n  query : {query}\n  output: {outputs:?}\n  tree  : {}",
+                tree.to_terms()
+            )
+        };
+        let naive = answer_nary(&tree, &query, &outputs)
+            .unwrap_or_else(|e| panic!("naive failed: {e}\n{}", qctx()));
+        let hcl = ppl_to_hcl(&query).unwrap_or_else(|e| panic!("{e}\n{}", qctx()));
+
+        let mut lazy_store = MatrixStore::with_mode(n, KernelMode::Lazy);
+        let lazy = answer_hcl_pplbin_with_store(&tree, &hcl, &outputs, &mut lazy_store)
+            .unwrap_or_else(|e| panic!("lazy store answering failed: {e}\n{}", qctx()));
+        assert_eq!(lazy, naive, "lazy store disagrees with the naive engine\n{}", qctx());
+
+        let mut eager_store = MatrixStore::with_mode(n, KernelMode::Adaptive);
+        let eager = answer_hcl_pplbin_with_store(&tree, &hcl, &outputs, &mut eager_store)
+            .unwrap_or_else(|e| panic!("eager store answering failed: {e}\n{}", qctx()));
+        assert_eq!(lazy, eager, "lazy and eager stores disagree\n{}", qctx());
+
+        report.deferred_complements += lazy_store.kernel_stats().complement_ops;
+        report.total_tuples += naive.len();
+        report.query_cases += 1;
+    }
+    report
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -7,7 +7,8 @@
 //! seeds are fixed, so failures reproduce deterministically.
 
 use xpath_tests::differential::{
-    run_batch_fuzz, run_fo_fuzz, run_kernel_mode_fuzz, run_planner_fuzz, run_ppl_fuzz, FuzzConfig,
+    run_batch_fuzz, run_fo_fuzz, run_kernel_mode_fuzz, run_lazy_fuzz, run_planner_fuzz,
+    run_ppl_fuzz, FuzzConfig,
 };
 
 #[test]
@@ -131,4 +132,21 @@ fn fuzz_relation_kernel_modes_agree_with_dense_baseline() {
     // is involved.
     let pairs = run_kernel_mode_fuzz(0xADA_F7ED, 120, 40, 3);
     assert!(pairs > 1_000, "kernel fuzz vacuously empty ({pairs} pairs)");
+}
+
+#[test]
+fn fuzz_lazy_algebra_agrees_with_eager_kernels() {
+    // Random variable-free relations read row-by-row through a lazy store
+    // (forced, per-row, `row_nonempty`, early-exit `row_any`) plus full PPL
+    // queries answered end-to-end must all agree with the dense baseline,
+    // the naive engine, and an eager adaptive store, tuple for tuple.
+    let report = run_lazy_fuzz(0x1A2_F7ED, 80, 32, 3);
+    assert_eq!(report.relation_cases, 80);
+    assert_eq!(report.query_cases, 80);
+    assert!(report.total_pairs > 1_000, "relation fuzz vacuously empty: {report:?}");
+    assert!(report.total_tuples > 50, "query fuzz vacuously empty: {report:?}");
+    assert!(
+        report.deferred_complements > 10,
+        "the symbolic complement path was barely exercised: {report:?}"
+    );
 }
