@@ -24,6 +24,10 @@
 //!   large-document sweep (DBLP-style trees at |t| ∈ {10k, 100k}, lazy
 //!   relation algebra vs the eager adaptive kernels) and write the result to
 //!   `<path>` (default `BENCH_6.json`).
+//! * `--bench-daemon [--smoke] [--out <path>]` — run the E15 daemon-serving
+//!   sweep (sustained pipelined QPS of a live `pplxd` at 1/64/1024
+//!   concurrent connections, epoll event loop vs thread-per-client;
+//!   Linux-only) and write the result to `<path>` (default `BENCH_7.json`).
 //! * `--check <path>` — parse an emitted JSON file and validate the schema
 //!   (exit non-zero on any missing key), so CI notices when the harness or
 //!   the trajectory file rots.
@@ -77,10 +81,12 @@ fn run_harness_mode(args: &[String]) -> i32 {
     const USAGE: &str =
         "usage: experiments [--bench [--smoke] [--out <path>]] \
          [--bench-corpus [--smoke] [--out <path>]] \
-         [--bench-lazy [--smoke] [--out <path>]] [--check <path>]";
+         [--bench-lazy [--smoke] [--out <path>]] \
+         [--bench-daemon [--smoke] [--out <path>]] [--check <path>]";
     let mut bench = false;
     let mut bench_corpus = false;
     let mut bench_lazy = false;
+    let mut bench_daemon = false;
     let mut smoke = false;
     let mut out: Option<String> = None;
     let mut check: Option<String> = None;
@@ -90,6 +96,7 @@ fn run_harness_mode(args: &[String]) -> i32 {
             "--bench" => bench = true,
             "--bench-corpus" => bench_corpus = true,
             "--bench-lazy" => bench_lazy = true,
+            "--bench-daemon" => bench_daemon = true,
             "--smoke" => smoke = true,
             "--out" => {
                 i += 1;
@@ -118,16 +125,54 @@ fn run_harness_mode(args: &[String]) -> i32 {
         }
         i += 1;
     }
-    if !bench && !bench_corpus && !bench_lazy && check.is_none() {
+    if !bench && !bench_corpus && !bench_lazy && !bench_daemon && check.is_none() {
         eprintln!("{USAGE}");
         return 2;
     }
-    if (bench as usize) + (bench_corpus as usize) + (bench_lazy as usize) > 1 {
+    if (bench as usize) + (bench_corpus as usize) + (bench_lazy as usize) + (bench_daemon as usize)
+        > 1
+    {
         eprintln!(
-            "--bench, --bench-corpus and --bench-lazy write different documents; \
-             run them separately"
+            "--bench, --bench-corpus, --bench-lazy and --bench-daemon write different \
+             documents; run them separately"
         );
         return 2;
+    }
+
+    if bench_daemon {
+        let cfg = if smoke {
+            xpath_bench::DaemonBenchConfig::smoke()
+        } else {
+            xpath_bench::DaemonBenchConfig::full()
+        };
+        let path = out.clone().unwrap_or_else(|| "BENCH_7.json".to_string());
+        eprintln!(
+            "running daemon-serving sweep (E15, {} mode): {:?} connections x{} pipelined, \
+             ~{} requests/cell, {} workers, {} runs/cell, epoll vs threads",
+            if smoke { "smoke" } else { "full" },
+            cfg.connections,
+            cfg.pipeline,
+            cfg.total_requests,
+            cfg.workers,
+            cfg.runs,
+        );
+        let doc = xpath_bench::run_daemon_bench(&cfg);
+        let text = doc.render();
+        if let Err(e) = std::fs::write(&path, &text) {
+            eprintln!("cannot write {path}: {e}");
+            return 1;
+        }
+        if let Some(summary) = doc.get("summary") {
+            let f = |key| summary.get(key).and_then(xpath_bench::Json::as_f64).unwrap_or(0.0);
+            eprintln!(
+                "wrote {path}: epoll {} qps vs threads {} qps at {} connections \
+                 (speedup x{})",
+                f("daemon_epoll_pin_qps"),
+                f("daemon_threads_pin_qps"),
+                f("daemon_pin_conns"),
+                f("daemon_speedup"),
+            );
+        }
     }
 
     if bench_lazy {

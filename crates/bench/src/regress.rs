@@ -256,6 +256,55 @@ pub const LAZY_MODES: [(KernelMode, &str); 2] = [
     (KernelMode::AdaptiveThreaded, "kernel_adaptive_threaded"),
 ];
 
+/// Sweep dimensions of the E15 daemon-serving experiment (Linux only: the
+/// epoll arm needs `pplxd --io epoll`).
+#[derive(Debug, Clone)]
+pub struct DaemonBenchConfig {
+    /// Concurrent client connections per cell.
+    pub connections: Vec<usize>,
+    /// Pipelined requests per window: each client writes this many request
+    /// lines in one flush before reading the window's responses.
+    pub pipeline: usize,
+    /// Target total requests per cell; each connection sends
+    /// `max(pipeline, total_requests / connections)` requests.
+    pub total_requests: usize,
+    /// Timed runs per cell (median recorded).
+    pub runs: usize,
+    /// Worker threads of the daemon under test (both io modes).
+    pub workers: usize,
+}
+
+impl DaemonBenchConfig {
+    /// The full sweep used to produce `BENCH_7.json`: 1 / 64 / 1024
+    /// concurrent pipelined connections per io mode.
+    pub fn full() -> DaemonBenchConfig {
+        DaemonBenchConfig {
+            connections: vec![1, 64, 1024],
+            pipeline: 32,
+            total_requests: 16384,
+            runs: 5,
+            workers: 4,
+        }
+    }
+
+    /// Tiny sizes for CI smoke validation.
+    pub fn smoke() -> DaemonBenchConfig {
+        DaemonBenchConfig {
+            connections: vec![1, 8],
+            pipeline: 8,
+            total_requests: 512,
+            runs: 2,
+            workers: 2,
+        }
+    }
+}
+
+/// The io modes swept by E15, with their row names.
+pub const DAEMON_MODES: [(&str, &str); 2] = [
+    ("epoll", "daemon_epoll"),
+    ("threads", "daemon_threads"),
+];
+
 /// The filter bodies of the E10 suite: variable-free compositions of
 /// `except`-complemented relations.  Each complement is *dense* (≈`|t|²`
 /// pairs), so the `/` between them is a genuinely cubic `|t|³/64` Boolean
@@ -1130,6 +1179,218 @@ pub fn run_lazy_bench(cfg: &LazyBenchConfig) -> Json {
     ])
 }
 
+/// Run the E15 daemon-serving sweep: sustained request throughput of a live
+/// `pplxd` daemon under 1/64/1024 concurrent pipelined connections, epoll
+/// event loop vs thread-per-client, same corpus and worker pool on both
+/// sides.  Each client writes [`DaemonBenchConfig::pipeline`]-request
+/// windows in one flush (mostly `STATS` with a `QUERY` against a preloaded
+/// document mixed in) and reads the window's responses back in order.
+/// Returns a standalone `BENCH_7.json`-shaped document whose summary
+/// carries the CI-pinned claim: `daemon_speedup` (epoll QPS over
+/// thread-per-client QPS at the 64-connection pin).
+///
+/// Linux only: the epoll arm is `--io epoll`, which exists nowhere else.
+pub fn run_daemon_bench(cfg: &DaemonBenchConfig) -> Json {
+    use std::io::{BufRead, BufReader, BufWriter, Write};
+    use std::net::TcpStream;
+    use xpath_corpus::server::{bind, serve_with_options, IoMode, ServeOptions};
+    use xpath_corpus::Corpus;
+
+    if !cfg!(target_os = "linux") {
+        panic!("the E15 daemon sweep compares --io epoll against --io threads and is Linux-only");
+    }
+
+    // The preloaded document every QUERY in the mix runs against; small on
+    // purpose — E15 measures protocol and multiplexing overhead, not query
+    // evaluation (E10–E14 own that).
+    const DOC_SHAPE: &str = "r(a(b,c),a(b),c(a(b)))";
+    const DOC_NODES: usize = 9;
+    let request_line = |i: usize| -> &'static str {
+        // 1-in-8 QUERY keeps the worker pool honest without the cell
+        // degenerating into a query benchmark.
+        if i % 8 == 7 {
+            "QUERY bench descendant::b"
+        } else {
+            "STATS"
+        }
+    };
+    let read_response = |reader: &mut BufReader<TcpStream>| {
+        let mut status = String::new();
+        assert!(
+            reader.read_line(&mut status).expect("daemon response") > 0,
+            "daemon closed the connection mid-bench"
+        );
+        assert!(status.starts_with("OK "), "daemon answered {status:?}");
+        let payload: usize = status[3..].trim().parse().expect("payload count");
+        let mut line = String::new();
+        for _ in 0..payload {
+            line.clear();
+            assert!(reader.read_line(&mut line).expect("payload line") > 0);
+        }
+    };
+
+    let round2 = |x: f64| (x * 100.0).round() / 100.0;
+    let mut rows: Vec<Json> = Vec::new();
+    // qps per (mode name, connections) cell, for the summary pins.
+    let mut cells: Vec<(&str, usize, f64)> = Vec::new();
+
+    for (mode_name, engine) in DAEMON_MODES {
+        let io: IoMode = mode_name.parse().expect("swept io mode exists");
+        for &conns in &cfg.connections {
+            let per_conn = (cfg.total_requests / conns.max(1)).max(cfg.pipeline);
+            let window = cfg.pipeline.min(per_conn);
+            let total = per_conn * conns;
+
+            let (listener, addr) = bind("127.0.0.1:0").expect("bench daemon binds");
+            let corpus = std::sync::Arc::new(Corpus::new());
+            let options = ServeOptions {
+                io,
+                workers: cfg.workers,
+                ..ServeOptions::default()
+            };
+            let server =
+                std::thread::spawn(move || serve_with_options(listener, corpus, &options));
+
+            // Preload the queried document before any timing.
+            let control = TcpStream::connect(addr).expect("bench control connection");
+            let mut control_reader = BufReader::new(control.try_clone().unwrap());
+            let mut control_writer = BufWriter::new(control);
+            writeln!(control_writer, "LOADTERMS bench {DOC_SHAPE}").unwrap();
+            control_writer.flush().unwrap();
+            read_response(&mut control_reader);
+
+            // Sustained throughput: connections are established and client
+            // threads parked on a barrier before the clock starts, so the
+            // cell measures pipelined request traffic, not thread-spawn and
+            // connect setup.  Client threads are capped at 64, each
+            // multiplexing a slice of the connections — the generator must
+            // not itself become the scheduler load it is measuring on the
+            // daemon side.
+            let client_threads = conns.min(64);
+            let mut durations: Vec<Duration> = Vec::with_capacity(cfg.runs);
+            for _ in 0..cfg.runs {
+                let barrier = std::sync::Arc::new(std::sync::Barrier::new(client_threads + 1));
+                let clients: Vec<_> = (0..client_threads)
+                    .map(|k| {
+                        let barrier = std::sync::Arc::clone(&barrier);
+                        // Thread k owns connections k, k+threads, k+2*threads, …
+                        let owned = (conns - k).div_ceil(client_threads);
+                        std::thread::spawn(move || {
+                            let mut sockets: Vec<_> = (0..owned)
+                                .map(|_| {
+                                    let stream =
+                                        TcpStream::connect(addr).expect("bench client connects");
+                                    stream.set_nodelay(true).unwrap();
+                                    let reader = BufReader::new(stream.try_clone().unwrap());
+                                    (reader, BufWriter::new(stream))
+                                })
+                                .collect();
+                            barrier.wait();
+                            let mut sent = 0usize;
+                            while sent < per_conn {
+                                let burst = window.min(per_conn - sent);
+                                for (_, writer) in sockets.iter_mut() {
+                                    for i in 0..burst {
+                                        writeln!(writer, "{}", request_line(sent + i)).unwrap();
+                                    }
+                                    writer.flush().unwrap();
+                                }
+                                for (reader, _) in sockets.iter_mut() {
+                                    for _ in 0..burst {
+                                        read_response(reader);
+                                    }
+                                }
+                                sent += burst;
+                            }
+                        })
+                    })
+                    .collect();
+                barrier.wait();
+                let start = std::time::Instant::now();
+                for client in clients {
+                    client.join().expect("bench client must not panic");
+                }
+                durations.push(start.elapsed());
+            }
+            durations.sort_unstable();
+            let t = durations[durations.len() / 2];
+            let qps = total as f64 / t.as_secs_f64().max(1e-9);
+
+            writeln!(control_writer, "SHUTDOWN").unwrap();
+            control_writer.flush().unwrap();
+            read_response(&mut control_reader);
+            server
+                .join()
+                .expect("daemon thread must not panic")
+                .expect("daemon shuts down cleanly");
+
+            rows.push(Json::Obj(vec![
+                ("experiment".to_string(), Json::Str("daemon_serving".into())),
+                ("engine".to_string(), Json::Str(engine.into())),
+                ("tree_size".to_string(), Json::Num(DOC_NODES as f64)),
+                ("workload_queries".to_string(), Json::Num(total as f64)),
+                ("workload_repeats".to_string(), Json::Num(window as f64)),
+                ("median_us".to_string(), Json::Num(us(t))),
+                ("connections".to_string(), Json::Num(conns as f64)),
+                ("workers".to_string(), Json::Num(cfg.workers as f64)),
+                ("qps".to_string(), Json::Num(round2(qps))),
+            ]));
+            cells.push((engine, conns, qps));
+        }
+    }
+
+    // The pin lives at the largest swept cell (>= 64 connections in the
+    // full sweep): the event loop's claim is scalability with connection
+    // count, and the architectural gap is widest where thread-per-client
+    // pays for one scheduler entity per connection.
+    let pin_conns = cfg
+        .connections
+        .iter()
+        .copied()
+        .filter(|&c| c >= 64)
+        .max()
+        .or_else(|| cfg.connections.iter().copied().max())
+        .expect("at least one connection count");
+    let qps_at = |engine: &str| {
+        cells
+            .iter()
+            .find(|(e, c, _)| *e == engine && *c == pin_conns)
+            .map(|&(_, _, qps)| qps)
+            .expect("pin cell was swept")
+    };
+    let epoll_qps = qps_at("daemon_epoll");
+    let threads_qps = qps_at("daemon_threads");
+
+    Json::Obj(vec![
+        ("schema".to_string(), Json::Str(SCHEMA.into())),
+        ("experiment_doc".to_string(), Json::Str("EXPERIMENTS.md".into())),
+        (
+            "connections".to_string(),
+            Json::Arr(cfg.connections.iter().map(|&c| Json::Num(c as f64)).collect()),
+        ),
+        ("pipeline".to_string(), Json::Num(cfg.pipeline as f64)),
+        ("workers".to_string(), Json::Num(cfg.workers as f64)),
+        ("runs_per_cell".to_string(), Json::Num(cfg.runs as f64)),
+        ("results".to_string(), Json::Arr(rows)),
+        (
+            "summary".to_string(),
+            Json::Obj(vec![
+                ("daemon_pin_conns".to_string(), Json::Num(pin_conns as f64)),
+                ("daemon_epoll_pin_qps".to_string(), Json::Num(round2(epoll_qps))),
+                (
+                    "daemon_threads_pin_qps".to_string(),
+                    Json::Num(round2(threads_qps)),
+                ),
+                // The CI-pinned claim of BENCH_7.json.
+                (
+                    "daemon_speedup".to_string(),
+                    Json::Num(round2(epoll_qps / threads_qps.max(1e-9))),
+                ),
+            ]),
+        ),
+    ])
+}
+
 /// Validate an emitted `BENCH_*.json` document: it must parse, carry the
 /// schema marker, and every result row must have the expected keys.  Used by
 /// `experiments --check` (and so by CI) to keep the harness honest.
@@ -1179,9 +1440,19 @@ pub fn validate_bench_json(text: &str) -> Result<(), String> {
         .iter()
         .filter(|r| experiment_of(r).as_deref() == Some("lazy_large_documents"))
         .collect();
-    if !has_e10 && corpus_rows.is_empty() && lazy_rows.is_empty() {
+    let daemon_rows: Vec<&Json> = results
+        .iter()
+        .filter(|r| experiment_of(r).as_deref() == Some("daemon_serving"))
+        .collect();
+    if has_e10 as usize
+        + (!corpus_rows.is_empty()) as usize
+        + (!lazy_rows.is_empty()) as usize
+        + (!daemon_rows.is_empty()) as usize
+        == 0
+    {
         return Err(
-            "no repeated_query_workload, corpus_serving or lazy_large_documents rows in \"results\""
+            "no repeated_query_workload, corpus_serving, lazy_large_documents or \
+             daemon_serving rows in \"results\""
                 .into(),
         );
     }
@@ -1271,6 +1542,41 @@ pub fn validate_bench_json(text: &str) -> Result<(), String> {
                 .and_then(Json::as_f64)
                 .ok_or(format!("summary.{key} missing or not a number"))?;
             if !value.is_finite() || value < 0.0 {
+                return Err(format!("summary.{key} = {value} is not valid"));
+            }
+        }
+    }
+    // E15 daemon documents must sweep both io modes, tag every row with its
+    // connection count and throughput, and summarise the epoll-vs-threads
+    // QPS pin.
+    if !daemon_rows.is_empty() {
+        for (_, required) in DAEMON_MODES {
+            if !engines_seen.iter().any(|e| e == required) {
+                return Err(format!("daemon rows present but no {required:?} rows"));
+            }
+        }
+        for (i, row) in daemon_rows.iter().enumerate() {
+            for key in ["connections", "workers", "qps"] {
+                let value = row
+                    .get(key)
+                    .and_then(Json::as_f64)
+                    .ok_or(format!("daemon row {i} is missing \"{key}\""))?;
+                if !value.is_finite() || value <= 0.0 {
+                    return Err(format!("daemon row {i} has invalid {key} = {value}"));
+                }
+            }
+        }
+        for key in [
+            "daemon_pin_conns",
+            "daemon_epoll_pin_qps",
+            "daemon_threads_pin_qps",
+            "daemon_speedup",
+        ] {
+            let value = summary
+                .get(key)
+                .and_then(Json::as_f64)
+                .ok_or(format!("summary.{key} missing or not a number"))?;
+            if !value.is_finite() || value <= 0.0 {
                 return Err(format!("summary.{key} = {value} is not valid"));
             }
         }
@@ -1680,6 +1986,71 @@ mod tests {
         );
         let err = validate_bench_json(&doc).unwrap_err();
         assert!(err.contains("store_bytes"), "{err}");
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn smoke_daemon_bench_emits_a_valid_document() {
+        let doc = run_daemon_bench(&DaemonBenchConfig::smoke());
+        let text = doc.render();
+        validate_bench_json(&text).unwrap();
+        let parsed = Json::parse(&text).unwrap();
+        let rows = parsed.get("results").unwrap().as_arr().unwrap();
+        // Both io modes at every swept connection count.
+        assert_eq!(
+            rows.len(),
+            DAEMON_MODES.len() * DaemonBenchConfig::smoke().connections.len()
+        );
+        for (_, name) in DAEMON_MODES {
+            assert!(
+                rows.iter().any(|r| r.get("engine").and_then(Json::as_str) == Some(name)),
+                "missing {name} rows"
+            );
+        }
+        for row in rows {
+            assert!(row.get("qps").and_then(Json::as_f64).unwrap() > 0.0);
+            assert!(row.get("connections").and_then(Json::as_f64).unwrap() >= 1.0);
+        }
+        let summary = parsed.get("summary").unwrap();
+        assert_eq!(summary.get("daemon_pin_conns").and_then(Json::as_f64), Some(8.0));
+        assert!(summary.get("daemon_speedup").and_then(Json::as_f64).unwrap() > 0.0);
+    }
+
+    #[test]
+    fn validator_rejects_daemon_documents_without_summary_keys() {
+        let row = |engine: &str| {
+            format!(
+                "{{\"experiment\": \"daemon_serving\", \"engine\": \"{engine}\", \
+                 \"tree_size\": 1, \"workload_queries\": 1, \"workload_repeats\": 1, \
+                 \"connections\": 1, \"workers\": 1, \"qps\": 1, \"median_us\": 1.0}}"
+            )
+        };
+        let doc = format!(
+            "{{\"schema\": \"{SCHEMA}\", \"results\": [{}, {}], \
+             \"summary\": {{\"daemon_pin_conns\": 1}}}}",
+            row("daemon_epoll"),
+            row("daemon_threads"),
+        );
+        let err = validate_bench_json(&doc).unwrap_err();
+        assert!(err.contains("daemon_"), "{err}");
+        // A daemon document without the threads baseline is rejected.
+        let doc = format!(
+            "{{\"schema\": \"{SCHEMA}\", \"results\": [{}], \
+             \"summary\": {{\"daemon_pin_conns\": 1}}}}",
+            row("daemon_epoll"),
+        );
+        let err = validate_bench_json(&doc).unwrap_err();
+        assert!(err.contains("daemon_threads"), "{err}");
+        // A daemon row without a throughput column is rejected.
+        let doc = format!(
+            "{{\"schema\": \"{SCHEMA}\", \"results\": [{}, {}], \
+             \"summary\": {{\"daemon_pin_conns\": 1, \"daemon_epoll_pin_qps\": 1, \
+             \"daemon_threads_pin_qps\": 1, \"daemon_speedup\": 1}}}}",
+            row("daemon_epoll").replace("\"qps\": 1, ", ""),
+            row("daemon_threads"),
+        );
+        let err = validate_bench_json(&doc).unwrap_err();
+        assert!(err.contains("qps"), "{err}");
     }
 
     #[test]

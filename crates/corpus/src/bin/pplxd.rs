@@ -1,24 +1,30 @@
 //! `pplxd` — the corpus query daemon.
 //!
 //! Serves a shared [`Corpus`] over a line-based TCP protocol (see
-//! `xpath_corpus::server` for the wire format), one connection-handler
-//! thread per client.  `pplx --connect host:port` is the matching client.
+//! `xpath_corpus::server` for the wire format).  On Linux the default is
+//! an epoll event loop with request pipelining and per-connection
+//! backpressure; `--io threads` selects the portable one-thread-per-client
+//! fallback.  `pplx --connect host:port` is the matching client.
 //!
 //! ```text
 //! USAGE:
 //!     pplxd [--bind ADDR] [--port N] [--budget BYTES] [--threads N]
 //!           [--engine ppl|acq|hcl|naive|auto] [--preload DIR]
-//!           [--max-line BYTES]
+//!           [--max-line BYTES] [--io threads|epoll]
 //!
 //! OPTIONS:
 //!     --bind ADDR      interface to bind (default 127.0.0.1)
 //!     --port N         TCP port; 0 picks an ephemeral port (default 7878)
 //!     --budget BYTES   memory budget of the session pool (default unbounded)
-//!     --threads N      fan-out worker threads for QUERYALL (default 4)
+//!     --threads N      worker threads: QUERYALL fan-out, and command
+//!                      execution under --io epoll (default 4)
 //!     --engine E       force one engine for every plan (default auto)
 //!     --preload DIR    ingest every *.xml under DIR before serving
 //!     --max-line BYTES cap on one request line (default 16 MiB); overlong
 //!                      lines answer `ERR line too long`
+//!     --io MODE        connection multiplexing: `epoll` (event loop,
+//!                      Linux-only, default on Linux) or `threads`
+//!                      (thread per client, default elsewhere)
 //! ```
 //!
 //! On startup the daemon prints `pplxd listening on <addr>` to stdout (the
@@ -26,11 +32,12 @@
 
 use std::process::ExitCode;
 use std::sync::Arc;
-use xpath_corpus::server::{bind, serve_with_limit, DEFAULT_MAX_LINE};
+use xpath_corpus::server::{bind, serve_with_options, IoMode, ServeOptions, DEFAULT_MAX_LINE};
 use xpath_corpus::{Corpus, CorpusConfig};
 
 const USAGE: &str = "usage: pplxd [--bind ADDR] [--port N] [--budget BYTES] \
-[--threads N] [--engine ppl|acq|hcl|naive|auto] [--preload DIR] [--max-line BYTES]";
+[--threads N] [--engine ppl|acq|hcl|naive|auto] [--preload DIR] [--max-line BYTES] \
+[--io threads|epoll]";
 
 #[derive(Debug)]
 struct Options {
@@ -41,6 +48,7 @@ struct Options {
     engine: Option<ppl_xpath::Engine>,
     preload: Option<String>,
     max_line: usize,
+    io: IoMode,
 }
 
 fn parse_args(args: &[String]) -> Result<Options, String> {
@@ -52,6 +60,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         engine: None,
         preload: None,
         max_line: DEFAULT_MAX_LINE,
+        io: IoMode::default(),
     };
     let mut i = 0;
     let value = |i: &mut usize, flag: &str| -> Result<String, String> {
@@ -91,6 +100,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                 }
             }
             "--preload" => options.preload = Some(value(&mut i, "--preload")?),
+            "--io" => options.io = value(&mut i, "--io")?.parse()?,
             "--max-line" => {
                 let n: usize = value(&mut i, "--max-line")?
                     .parse()
@@ -146,7 +156,12 @@ fn main() -> ExitCode {
     use std::io::Write;
     let _ = std::io::stdout().flush();
 
-    match serve_with_limit(listener, corpus, options.max_line) {
+    let serve_options = ServeOptions {
+        max_line: options.max_line,
+        io: options.io,
+        workers: options.threads,
+    };
+    match serve_with_options(listener, corpus, &serve_options) {
         Ok(()) => {
             println!("pplxd shut down");
             ExitCode::SUCCESS
@@ -176,6 +191,10 @@ mod tests {
         assert!(defaults.engine.is_none());
         assert!(defaults.preload.is_none());
         assert_eq!(defaults.max_line, DEFAULT_MAX_LINE);
+        assert_eq!(defaults.io, IoMode::default());
+        if cfg!(target_os = "linux") {
+            assert_eq!(defaults.io, IoMode::Epoll);
+        }
 
         let options = parse_args(&args(&[
             "--bind", "0.0.0.0", "--port", "0", "--budget", "1048576", "--threads", "0",
@@ -201,5 +220,9 @@ mod tests {
         );
         assert!(parse_args(&args(&["--engine", "zzz"])).unwrap_err().contains("unknown engine"));
         assert!(parse_args(&args(&["--wat"])).unwrap_err().contains("unknown argument"));
+
+        assert_eq!(parse_args(&args(&["--io", "threads"])).unwrap().io, IoMode::Threads);
+        assert_eq!(parse_args(&args(&["--io", "epoll"])).unwrap().io, IoMode::Epoll);
+        assert!(parse_args(&args(&["--io", "fibers"])).unwrap_err().contains("unknown io mode"));
     }
 }

@@ -28,10 +28,13 @@
 //!   bounded work queue ([`queue::BoundedQueue`]), returning per-document
 //!   answers tagged by document name.
 //!
-//! The [`server`] module speaks a line-based TCP protocol over the corpus
-//! (`LOAD` / `QUERY` / `QUERYALL` / `STATS` / `EVICT` / `QUIT` /
-//! `SHUTDOWN`); the `pplxd` binary is a thin wrapper around it, and
-//! `pplx --connect host:port` is the matching client.
+//! The [`protocol`] module is the sans-IO half of the `pplxd` wire
+//! protocol (`LOAD` / `QUERY` / `QUERYALL` / `STATS` / `EVICT` / `QUIT` /
+//! `SHUTDOWN`); the [`server`] module serves it over TCP — a portable
+//! thread-per-client loop or, on Linux, the [`reactor`] epoll event loop
+//! with request pipelining and backpressure.  The `pplxd` binary is a thin
+//! wrapper around it, and `pplx --connect host:port` is the matching
+//! client.
 //!
 //! ```
 //! use xpath_corpus::Corpus;
@@ -47,7 +50,10 @@
 //! assert_eq!(per_doc[1].answers.len(), 2);
 //! ```
 
+pub mod protocol;
 pub mod queue;
+#[cfg(target_os = "linux")]
+pub mod reactor;
 pub mod server;
 
 use ppl_xpath::document::DocumentError;
@@ -684,9 +690,39 @@ impl Corpus {
     where
         F: Fn(&str) -> bool,
     {
+        let mut out = Vec::new();
+        for (_, result) in self.answer_where_detailed(pred, query, vars) {
+            out.push(result?);
+        }
+        Ok(out)
+    }
+
+    /// Like [`Corpus::answer_all`], but a failing document does not abort
+    /// the fan-out: every document reports its own `Result`, tagged by
+    /// name, in name order.  The `pplxd` `QUERYALL` command uses this so
+    /// healthy documents still answer next to a sick one.
+    pub fn answer_all_detailed(
+        &self,
+        query: &str,
+        vars: &[&str],
+    ) -> Vec<(String, Result<DocAnswer, CorpusError>)> {
+        self.answer_where_detailed(|_| true, query, vars)
+    }
+
+    /// [`Corpus::answer_all_detailed`] restricted to documents whose name
+    /// satisfies `pred`.
+    pub fn answer_where_detailed<F>(
+        &self,
+        pred: F,
+        query: &str,
+        vars: &[&str],
+    ) -> Vec<(String, Result<DocAnswer, CorpusError>)>
+    where
+        F: Fn(&str) -> bool,
+    {
         let names: Vec<String> = self.names().into_iter().filter(|n| pred(n)).collect();
         if names.is_empty() {
-            return Ok(Vec::new());
+            return Vec::new();
         }
         let slots: Vec<Mutex<Option<Result<DocAnswer, CorpusError>>>> =
             names.iter().map(|_| Mutex::new(None)).collect();
@@ -731,15 +767,17 @@ impl Corpus {
             }
             work.close();
         });
-        let mut out = Vec::with_capacity(names.len());
-        for slot in slots {
-            out.push(
-                slot.into_inner()
+        names
+            .into_iter()
+            .zip(slots)
+            .map(|(name, slot)| {
+                let result = slot
+                    .into_inner()
                     .unwrap_or_else(|poisoned| poisoned.into_inner())
-                    .expect("every queued document gets a result")?,
-            );
-        }
-        Ok(out)
+                    .expect("every queued document gets a result");
+                (name, result)
+            })
+            .collect()
     }
 }
 

@@ -1,4 +1,4 @@
-//! The `pplxd` wire protocol and serving loop.
+//! The `pplxd` TCP serving layer.
 //!
 //! `pplxd` speaks a line-based protocol over TCP.  Every request is one
 //! line; every response is a status line followed by zero or more payload
@@ -22,81 +22,123 @@
 //! ```
 //!
 //! The status line is `OK <n>` (with exactly `n` payload lines following)
-//! or `ERR <message>` (no payload).  Commands:
+//! or `ERR <message>` (no payload).  The command set, parsing and
+//! execution live in [`crate::protocol`] (sans-IO); this module owns the
+//! sockets.  Two IO modes exist, selected by [`ServeOptions::io`] (`pplxd
+//! --io threads|epoll`):
 //!
-//! | command                              | effect                                      |
-//! |--------------------------------------|---------------------------------------------|
-//! | `LOAD <name> <xml>`                  | ingest an XML document (one line)           |
-//! | `LOADTERMS <name> <terms>`           | ingest a term-syntax document               |
-//! | `QUERY <name> <expr> [-> v1,v2]`     | answer over one document                    |
-//! | `QUERYALL <expr> [-> v1,v2]`         | fan out over every document                 |
-//! | `STATS`                              | pool / plan-cache counters                  |
-//! | `EVICT [<name>]`                     | drop one session, or all of them            |
-//! | `QUIT`                               | close this connection                       |
-//! | `SHUTDOWN`                           | stop the whole daemon                       |
+//! * [`IoMode::Threads`] — one blocking handler thread per client; one
+//!   response is written (and flushed) per request.  Portable.
+//! * [`IoMode::Epoll`] — the [`crate::reactor`] event loop (Linux only):
+//!   nonblocking sockets, request pipelining with in-order responses, and
+//!   per-connection backpressure.
 //!
-//! [`serve`] runs the accept loop with one handler thread per client over
-//! one shared [`Corpus`]; the `pplxd` binary wraps it, and `pplx --connect`
+//! In both modes transient `accept()` failures (ECONNABORTED, EINTR, and —
+//! after a short sleep — EMFILE/ENFILE) are retried instead of killing the
+//! daemon; only genuinely fatal listener errors stop the accept loop.
+//!
+//! [`serve`] runs the thread-per-client loop over one shared [`Corpus`];
+//! the `pplxd` binary wraps [`serve_with_options`], and `pplx --connect`
 //! is the matching client.
 
-use crate::{Corpus, CorpusError};
+pub use crate::protocol::{execute_command, parse_command, Command, DEFAULT_MAX_LINE};
+
+use crate::protocol::render_response;
+use crate::Corpus;
 use std::io::{BufRead, BufReader, BufWriter, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use xpath_tree::Tree;
+use std::time::Duration;
 
-/// A parsed protocol command.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum Command {
-    /// `LOAD <name> <xml>` — ingest an XML document.
-    Load {
-        /// Document name.
-        name: String,
-        /// The document, as one line of XML.
-        xml: String,
-    },
-    /// `LOADTERMS <name> <terms>` — ingest a term-syntax document.
-    LoadTerms {
-        /// Document name.
-        name: String,
-        /// The document in compact term syntax.
-        terms: String,
-    },
-    /// `QUERY <name> <expr> [-> vars]` — answer over one document.
-    Query {
-        /// Target document.
-        name: String,
-        /// Core XPath 2.0 source.
-        query: String,
-        /// Output variables.
-        vars: Vec<String>,
-    },
-    /// `QUERYALL <expr> [-> vars]` — answer over every document.
-    QueryAll {
-        /// Core XPath 2.0 source.
-        query: String,
-        /// Output variables.
-        vars: Vec<String>,
-    },
-    /// `STATS` — report the corpus counters.
-    Stats,
-    /// `EVICT [<name>]` — drop one session (or all sessions).
-    Evict(Option<String>),
-    /// `QUIT` — close this connection.
-    Quit,
-    /// `SHUTDOWN` — stop the daemon.
-    Shutdown,
+/// How the daemon multiplexes client connections.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IoMode {
+    /// One blocking handler thread per client (portable fallback).
+    Threads,
+    /// Nonblocking epoll event loop with pipelining and backpressure
+    /// (Linux only).
+    Epoll,
 }
 
-/// Default cap on one request line, in bytes (16 MiB).
-///
-/// `LOAD` carries a whole XML document on one line, so the cap is generous —
-/// but without *some* bound a malicious (or just confused) client can feed
-/// an endless newline-free stream and grow the handler's line buffer until
-/// the daemon is OOM-killed.  Configurable per server via
-/// [`serve_with_limit`] (`pplxd --max-line`).
-pub const DEFAULT_MAX_LINE: usize = 16 << 20;
+impl Default for IoMode {
+    /// Epoll on Linux, threads elsewhere.
+    fn default() -> IoMode {
+        if cfg!(target_os = "linux") {
+            IoMode::Epoll
+        } else {
+            IoMode::Threads
+        }
+    }
+}
+
+impl std::str::FromStr for IoMode {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<IoMode, String> {
+        match s {
+            "threads" => Ok(IoMode::Threads),
+            "epoll" => Ok(IoMode::Epoll),
+            other => Err(format!("unknown io mode '{other}' (expected threads|epoll)")),
+        }
+    }
+}
+
+/// Serving knobs of [`serve_with_options`].
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Cap on one request line, in bytes (`pplxd --max-line`).
+    pub max_line: usize,
+    /// Connection multiplexing strategy (`pplxd --io`).
+    pub io: IoMode,
+    /// Worker threads executing commands in [`IoMode::Epoll`] (the
+    /// threads mode spawns per client instead).
+    pub workers: usize,
+}
+
+impl Default for ServeOptions {
+    fn default() -> ServeOptions {
+        ServeOptions {
+            max_line: DEFAULT_MAX_LINE,
+            io: IoMode::default(),
+            workers: 4,
+        }
+    }
+}
+
+/// What to do about one failed `accept()`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum AcceptDisposition {
+    /// Transient, per-connection: retry immediately (ECONNABORTED, EINTR,
+    /// ECONNRESET, or a spurious wakeup of a nonblocking listener).
+    Retry,
+    /// Resource exhaustion (EMFILE/ENFILE): back off briefly, then retry —
+    /// existing clients closing will free descriptors.
+    RetryAfterSleep,
+    /// The listener itself is broken: stop serving.
+    Fatal,
+}
+
+/// Classify one `accept()` error.  A transient condition — the peer gave
+/// up while queued, a signal interrupted the call, the process briefly ran
+/// out of file descriptors — must not kill a daemon with live clients.
+pub(crate) fn classify_accept_error(e: &std::io::Error) -> AcceptDisposition {
+    use std::io::ErrorKind;
+    match e.kind() {
+        ErrorKind::ConnectionAborted
+        | ErrorKind::ConnectionReset
+        | ErrorKind::Interrupted
+        | ErrorKind::WouldBlock => AcceptDisposition::Retry,
+        _ => match e.raw_os_error() {
+            // ENFILE (23) / EMFILE (24): out of file descriptors.
+            Some(23) | Some(24) => AcceptDisposition::RetryAfterSleep,
+            _ => AcceptDisposition::Fatal,
+        },
+    }
+}
+
+/// How long the accept loop sleeps after EMFILE/ENFILE before retrying.
+pub(crate) const ACCEPT_BACKOFF: Duration = Duration::from_millis(10);
 
 /// Outcome of one bounded request-line read.
 enum LineRead {
@@ -164,185 +206,11 @@ fn read_request_line<R: BufRead>(reader: &mut R, max_len: usize) -> std::io::Res
     Ok(LineRead::Line(String::from_utf8_lossy(&buf).into_owned()))
 }
 
-/// Split an optional ` -> v1,v2` variable suffix off a query expression.
-fn split_vars(expr: &str) -> (String, Vec<String>) {
-    match expr.rsplit_once("->") {
-        Some((query, vars)) => (
-            query.trim().to_string(),
-            vars.split(',')
-                .map(|s| s.trim().trim_start_matches('$').to_string())
-                .filter(|s| !s.is_empty())
-                .collect(),
-        ),
-        None => (expr.trim().to_string(), Vec::new()),
-    }
-}
-
-/// Parse one request line into a [`Command`].
-pub fn parse_command(line: &str) -> Result<Command, String> {
-    let line = line.trim();
-    let (verb, rest) = match line.split_once(char::is_whitespace) {
-        Some((verb, rest)) => (verb, rest.trim()),
-        None => (line, ""),
-    };
-    let two_args = |rest: &str, usage: &str| -> Result<(String, String), String> {
-        rest.split_once(char::is_whitespace)
-            .map(|(a, b)| (a.to_string(), b.trim().to_string()))
-            .filter(|(a, b)| !a.is_empty() && !b.is_empty())
-            .ok_or_else(|| format!("usage: {usage}"))
-    };
-    match verb.to_ascii_uppercase().as_str() {
-        "LOAD" => {
-            let (name, xml) = two_args(rest, "LOAD <name> <xml>")?;
-            Ok(Command::Load { name, xml })
-        }
-        "LOADTERMS" => {
-            let (name, terms) = two_args(rest, "LOADTERMS <name> <terms>")?;
-            Ok(Command::LoadTerms { name, terms })
-        }
-        "QUERY" => {
-            let (name, expr) = two_args(rest, "QUERY <name> <expr> [-> vars]")?;
-            let (query, vars) = split_vars(&expr);
-            Ok(Command::Query { name, query, vars })
-        }
-        "QUERYALL" => {
-            if rest.is_empty() {
-                return Err("usage: QUERYALL <expr> [-> vars]".into());
-            }
-            let (query, vars) = split_vars(rest);
-            Ok(Command::QueryAll { query, vars })
-        }
-        "STATS" => Ok(Command::Stats),
-        "EVICT" => Ok(Command::Evict(if rest.is_empty() {
-            None
-        } else {
-            Some(rest.to_string())
-        })),
-        "QUIT" => Ok(Command::Quit),
-        "SHUTDOWN" => Ok(Command::Shutdown),
-        other => Err(format!("unknown command '{other}'")),
-    }
-}
-
-/// Render one answer tuple as `label#preorder,label#preorder,…`.
-fn render_tuple(tree: &Tree, tuple: &[xpath_tree::NodeId]) -> String {
-    tuple
-        .iter()
-        .map(|&n| format!("{}#{}", tree.label_str(n), tree.preorder(n)))
-        .collect::<Vec<_>>()
-        .join(",")
-}
-
-fn corpus_err(e: &CorpusError) -> String {
-    e.to_string().replace('\n', " | ")
-}
-
-/// Payload lines of one `QUERY` answer: a header plus one line per tuple
-/// (or a `satisfiable=` header for arity-0 queries).
-fn answer_lines(tree: &Tree, vars: &[String], answers: &ppl_xpath::AnswerSet) -> Vec<String> {
-    let mut lines = Vec::with_capacity(answers.len() + 1);
-    if vars.is_empty() {
-        lines.push(format!("satisfiable={}", !answers.is_empty()));
-        return lines;
-    }
-    lines.push(format!("vars={} tuples={}", vars.join(","), answers.len()));
-    for tuple in answers.tuples() {
-        lines.push(render_tuple(tree, tuple));
-    }
-    lines
-}
-
-/// Execute one command against the corpus.  Returns the payload lines, or
-/// an error message for an `ERR` response.  `Quit`/`Shutdown` are handled
-/// by the connection loop, not here.
-pub fn execute_command(corpus: &Corpus, command: &Command) -> Result<Vec<String>, String> {
-    match command {
-        Command::Load { name, xml } => {
-            let nodes = corpus.insert_xml(name, xml).map_err(|e| corpus_err(&e))?;
-            Ok(vec![format!(
-                "loaded {name} nodes={nodes} documents={}",
-                corpus.len()
-            )])
-        }
-        Command::LoadTerms { name, terms } => {
-            let nodes = corpus.insert_terms(name, terms).map_err(|e| corpus_err(&e))?;
-            Ok(vec![format!(
-                "loaded {name} nodes={nodes} documents={}",
-                corpus.len()
-            )])
-        }
-        Command::Query { name, query, vars } => {
-            let var_refs: Vec<&str> = vars.iter().map(String::as_str).collect();
-            // answer_tagged carries the tree snapshot the node ids index —
-            // looking the document up again here would race with a
-            // concurrent LOAD replacing it.
-            let doc = corpus
-                .answer_tagged(name, query, &var_refs)
-                .map_err(|e| corpus_err(&e))?;
-            Ok(answer_lines(&doc.tree, vars, &doc.answers))
-        }
-        Command::QueryAll { query, vars } => {
-            let var_refs: Vec<&str> = vars.iter().map(String::as_str).collect();
-            let per_doc = corpus
-                .answer_all(query, &var_refs)
-                .map_err(|e| corpus_err(&e))?;
-            let mut lines = Vec::new();
-            for doc in &per_doc {
-                if vars.is_empty() {
-                    lines.push(format!(
-                        "doc={} satisfiable={}",
-                        doc.name,
-                        !doc.answers.is_empty()
-                    ));
-                    continue;
-                }
-                lines.push(format!("doc={} tuples={}", doc.name, doc.answers.len()));
-                for tuple in doc.answers.tuples() {
-                    lines.push(render_tuple(&doc.tree, tuple));
-                }
-            }
-            Ok(lines)
-        }
-        Command::Stats => {
-            let stats = corpus.stats();
-            Ok(vec![
-                format!("documents={}", stats.documents),
-                format!("live_sessions={}", stats.live_sessions),
-                format!("pool_bytes={}", stats.pool_bytes),
-                format!(
-                    "memory_budget={}",
-                    corpus
-                        .config()
-                        .memory_budget
-                        .map_or("unbounded".to_string(), |b| b.to_string())
-                ),
-                format!("admissions={}", stats.admissions),
-                format!("rebuilds={}", stats.rebuilds),
-                format!("cache_evictions={}", stats.cache_evictions),
-                format!("session_evictions={}", stats.session_evictions),
-                format!("plan_hits={}", stats.plan_hits),
-                format!("plan_misses={}", stats.plan_misses),
-            ])
-        }
-        Command::Evict(Some(name)) => Ok(vec![format!(
-            "evicted={}",
-            corpus.evict(name)
-        )]),
-        Command::Evict(None) => Ok(vec![format!("evicted={}", corpus.evict_all())]),
-        Command::Quit | Command::Shutdown => Ok(vec!["bye".to_string()]),
-    }
-}
-
-fn write_response<W: Write>(writer: &mut W, result: Result<Vec<String>, String>) -> std::io::Result<()> {
-    match result {
-        Ok(lines) => {
-            writeln!(writer, "OK {}", lines.len())?;
-            for line in lines {
-                writeln!(writer, "{line}")?;
-            }
-        }
-        Err(message) => writeln!(writer, "ERR {}", message.replace('\n', " | "))?,
-    }
+fn write_response<W: Write>(
+    writer: &mut W,
+    result: Result<Vec<String>, String>,
+) -> std::io::Result<()> {
+    writer.write_all(&render_response(&result))?;
     writer.flush()
 }
 
@@ -391,24 +259,35 @@ fn handle_client(stream: TcpStream, corpus: &Corpus, max_line: usize) -> bool {
     false
 }
 
-/// Run the daemon accept loop: one handler thread per client over the
-/// shared corpus, until a client sends `SHUTDOWN`.  Returns once the accept
-/// loop has stopped and every handler thread has finished.  Request lines
-/// are capped at [`DEFAULT_MAX_LINE`] bytes; use [`serve_with_limit`] for a
-/// different cap.
-pub fn serve(listener: TcpListener, corpus: Arc<Corpus>) -> std::io::Result<()> {
-    serve_with_limit(listener, corpus, DEFAULT_MAX_LINE)
+/// The accept source of the thread-per-client loop.  Production code uses
+/// the blanket [`TcpListener`] impl; tests inject scripted errors and
+/// pre-connected streams to pin the accept loop's retry and shutdown
+/// behavior.
+trait Acceptor {
+    /// Accept one client connection.
+    fn accept_client(&self) -> std::io::Result<TcpStream>;
+    /// The address the shutdown handler connects to, to wake the accept
+    /// loop.
+    fn wake_addr(&self) -> std::io::Result<SocketAddr>;
 }
 
-/// [`serve`] with an explicit request-line cap in bytes (`pplxd
-/// --max-line`).  Overlong lines are answered with `ERR line too long …`
-/// and the connection keeps serving subsequent requests.
-pub fn serve_with_limit(
-    listener: TcpListener,
+impl Acceptor for TcpListener {
+    fn accept_client(&self) -> std::io::Result<TcpStream> {
+        self.accept().map(|(stream, _)| stream)
+    }
+
+    fn wake_addr(&self) -> std::io::Result<SocketAddr> {
+        self.local_addr()
+    }
+}
+
+/// The thread-per-client accept loop, generic over its accept source.
+fn serve_threads<A: Acceptor + Sync>(
+    acceptor: A,
     corpus: Arc<Corpus>,
     max_line: usize,
 ) -> std::io::Result<()> {
-    let mut addr = listener.local_addr()?;
+    let mut addr = acceptor.wake_addr()?;
     // The shutdown handler wakes the accept loop by connecting to the
     // listener; a wildcard bind address (0.0.0.0 / ::) is not connectable
     // on every platform, so target the loopback equivalent instead.
@@ -423,10 +302,27 @@ pub fn serve_with_limit(
     let shutdown = AtomicBool::new(false);
     std::thread::scope(|scope| -> std::io::Result<()> {
         loop {
-            let (stream, _) = listener.accept()?;
+            let mut stream = match acceptor.accept_client() {
+                Ok(stream) => stream,
+                Err(e) => match classify_accept_error(&e) {
+                    AcceptDisposition::Retry => continue,
+                    AcceptDisposition::RetryAfterSleep => {
+                        std::thread::sleep(ACCEPT_BACKOFF);
+                        continue;
+                    }
+                    AcceptDisposition::Fatal => return Err(e),
+                },
+            };
             if shutdown.load(Ordering::SeqCst) {
-                return Ok(()); // woken by the shutdown handler below
+                // A real client racing the shutdown wake must get an
+                // answer, not a silent drop.  (The wake connection itself
+                // also lands here; nobody reads its answer.)
+                let _ = stream.write_all(b"ERR shutting down\n");
+                return Ok(());
             }
+            // Responses are small and latency-bound: without TCP_NODELAY a
+            // pipelined client stalls on Nagle + delayed-ACK round trips.
+            let _ = stream.set_nodelay(true);
             let corpus = Arc::clone(&corpus);
             let shutdown = &shutdown;
             scope.spawn(move || {
@@ -438,6 +334,54 @@ pub fn serve_with_limit(
             });
         }
     })
+}
+
+/// Run the daemon accept loop with one handler thread per client over the
+/// shared corpus, until a client sends `SHUTDOWN`.  Returns once the accept
+/// loop has stopped and every handler thread has finished.  Request lines
+/// are capped at [`DEFAULT_MAX_LINE`] bytes; use [`serve_with_limit`] for a
+/// different cap, or [`serve_with_options`] for the epoll event loop.
+pub fn serve(listener: TcpListener, corpus: Arc<Corpus>) -> std::io::Result<()> {
+    serve_with_limit(listener, corpus, DEFAULT_MAX_LINE)
+}
+
+/// [`serve`] with an explicit request-line cap in bytes (`pplxd
+/// --max-line`).  Overlong lines are answered with `ERR line too long …`
+/// and the connection keeps serving subsequent requests.
+pub fn serve_with_limit(
+    listener: TcpListener,
+    corpus: Arc<Corpus>,
+    max_line: usize,
+) -> std::io::Result<()> {
+    serve_threads(listener, corpus, max_line)
+}
+
+/// Serve with explicit [`ServeOptions`]: the thread-per-client loop or, on
+/// Linux, the epoll reactor with pipelining and backpressure.  Requesting
+/// [`IoMode::Epoll`] elsewhere fails with `Unsupported`.
+pub fn serve_with_options(
+    listener: TcpListener,
+    corpus: Arc<Corpus>,
+    options: &ServeOptions,
+) -> std::io::Result<()> {
+    match options.io {
+        IoMode::Threads => serve_threads(listener, corpus, options.max_line),
+        #[cfg(target_os = "linux")]
+        IoMode::Epoll => crate::reactor::serve_epoll(
+            listener,
+            corpus,
+            options.max_line.max(1),
+            options.workers.max(1),
+        ),
+        #[cfg(not(target_os = "linux"))]
+        IoMode::Epoll => {
+            let _ = (listener, corpus);
+            Err(std::io::Error::new(
+                std::io::ErrorKind::Unsupported,
+                "epoll io mode requires linux; use --io threads",
+            ))
+        }
+    }
 }
 
 /// Bind a listener on `addr` (port 0 picks an ephemeral port) and return it
@@ -452,6 +396,8 @@ pub fn bind(addr: &str) -> std::io::Result<(TcpListener, SocketAddr)> {
 mod tests {
     use super::*;
     use crate::CorpusConfig;
+    use std::collections::VecDeque;
+    use std::sync::Mutex;
 
     #[test]
     fn bounded_line_reads_cap_memory_and_stay_in_sync() {
@@ -725,6 +671,175 @@ mod tests {
         let (status, payload) = request("SHUTDOWN");
         assert_eq!(status, "OK 1");
         assert_eq!(payload[0], "bye");
+        server.join().unwrap().unwrap();
+    }
+
+    /// Make a connected (client, server) TCP stream pair.
+    fn stream_pair() -> (TcpStream, TcpStream) {
+        let helper = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = helper.local_addr().unwrap();
+        let client = TcpStream::connect(addr).unwrap();
+        let (server, _) = helper.accept().unwrap();
+        (client, server)
+    }
+
+    /// An accept source that yields scripted results first, then delegates
+    /// to a real listener.
+    struct FlakyAcceptor {
+        inner: TcpListener,
+        script: Mutex<VecDeque<std::io::Error>>,
+    }
+
+    impl Acceptor for FlakyAcceptor {
+        fn accept_client(&self) -> std::io::Result<TcpStream> {
+            if let Some(e) = self.script.lock().unwrap().pop_front() {
+                return Err(e);
+            }
+            self.inner.accept().map(|(stream, _)| stream)
+        }
+
+        fn wake_addr(&self) -> std::io::Result<SocketAddr> {
+            self.inner.local_addr()
+        }
+    }
+
+    #[test]
+    fn accept_error_classification() {
+        use std::io::{Error, ErrorKind};
+        assert_eq!(
+            classify_accept_error(&Error::from(ErrorKind::ConnectionAborted)),
+            AcceptDisposition::Retry
+        );
+        assert_eq!(
+            classify_accept_error(&Error::from(ErrorKind::Interrupted)),
+            AcceptDisposition::Retry
+        );
+        assert_eq!(
+            classify_accept_error(&Error::from_raw_os_error(24)), // EMFILE
+            AcceptDisposition::RetryAfterSleep
+        );
+        assert_eq!(
+            classify_accept_error(&Error::from_raw_os_error(23)), // ENFILE
+            AcceptDisposition::RetryAfterSleep
+        );
+        assert_eq!(
+            classify_accept_error(&Error::other("boom")),
+            AcceptDisposition::Fatal
+        );
+    }
+
+    /// Regression: transient accept() errors (ECONNABORTED, EINTR, EMFILE)
+    /// used to propagate out of the accept loop and kill the daemon.  With
+    /// a script of transient failures ahead of a real client, the daemon
+    /// must retry past all of them and serve the client.
+    #[test]
+    fn transient_accept_errors_do_not_kill_the_daemon() {
+        use std::io::{Error, ErrorKind};
+        let inner = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = inner.local_addr().unwrap();
+        let acceptor = FlakyAcceptor {
+            inner,
+            script: Mutex::new(VecDeque::from([
+                Error::from(ErrorKind::ConnectionAborted),
+                Error::from(ErrorKind::Interrupted),
+                Error::from_raw_os_error(24), // EMFILE
+            ])),
+        };
+        let corpus = Arc::new(Corpus::new());
+        let server = std::thread::spawn(move || serve_threads(acceptor, corpus, 1024));
+
+        let stream = TcpStream::connect(addr).unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut writer = BufWriter::new(stream);
+        writeln!(writer, "LOADTERMS d a(b)").unwrap();
+        writer.flush().unwrap();
+        let mut status = String::new();
+        reader.read_line(&mut status).unwrap();
+        assert_eq!(status.trim(), "OK 1", "daemon must survive transient accept errors");
+        writeln!(writer, "SHUTDOWN").unwrap();
+        writer.flush().unwrap();
+        server.join().unwrap().unwrap();
+    }
+
+    /// A genuinely fatal accept() error still stops the daemon.
+    #[test]
+    fn fatal_accept_errors_stop_the_daemon() {
+        use std::io::Error;
+        let acceptor = FlakyAcceptor {
+            inner: TcpListener::bind("127.0.0.1:0").unwrap(),
+            script: Mutex::new(VecDeque::from([Error::other("listener exploded")])),
+        };
+        let corpus = Arc::new(Corpus::new());
+        let err = serve_threads(acceptor, corpus, 1024).unwrap_err();
+        assert!(err.to_string().contains("listener exploded"));
+    }
+
+    /// An accept source reproducing the shutdown race deterministically:
+    /// accept #1 returns a client that immediately sends SHUTDOWN; accept
+    /// #2 blocks until the shutdown wake arrives — so the flag is already
+    /// set — then returns a real "late" client.
+    struct ShutdownRaceAcceptor {
+        first: Mutex<Option<TcpStream>>,
+        late: Mutex<Option<TcpStream>>,
+        wake: TcpListener,
+    }
+
+    impl Acceptor for ShutdownRaceAcceptor {
+        fn accept_client(&self) -> std::io::Result<TcpStream> {
+            if let Some(stream) = self.first.lock().unwrap().take() {
+                return Ok(stream);
+            }
+            // Block until the shutdown handler's wake connection arrives;
+            // by then the shutdown flag is guaranteed set.
+            let _ = self.wake.accept()?;
+            Ok(self
+                .late
+                .lock()
+                .unwrap()
+                .take()
+                .expect("exactly two real accepts"))
+        }
+
+        fn wake_addr(&self) -> std::io::Result<SocketAddr> {
+            self.wake.local_addr()
+        }
+    }
+
+    /// Regression: a client accepted just after the SHUTDOWN flag was set
+    /// used to be dropped silently.  It must be answered with
+    /// `ERR shutting down` and closed cleanly.
+    #[test]
+    fn client_racing_shutdown_gets_an_answer() {
+        let (shutter_client, shutter_server) = stream_pair();
+        let (late_client, late_server) = stream_pair();
+        {
+            let mut w = BufWriter::new(shutter_client.try_clone().unwrap());
+            writeln!(w, "SHUTDOWN").unwrap();
+            w.flush().unwrap();
+        }
+        let acceptor = ShutdownRaceAcceptor {
+            first: Mutex::new(Some(shutter_server)),
+            late: Mutex::new(Some(late_server)),
+            wake: TcpListener::bind("127.0.0.1:0").unwrap(),
+        };
+        let corpus = Arc::new(Corpus::new());
+        let server = std::thread::spawn(move || serve_threads(acceptor, corpus, 1024));
+
+        // The shutting-down client gets its goodbye…
+        let mut reader = BufReader::new(shutter_client);
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        assert_eq!(line.trim(), "OK 1");
+
+        // …and the late client is answered, not silently dropped.
+        let mut late_reader = BufReader::new(late_client);
+        let mut line = String::new();
+        late_reader.read_line(&mut line).unwrap();
+        assert_eq!(line.trim(), "ERR shutting down");
+        // Clean close: EOF follows.
+        let mut rest = String::new();
+        assert_eq!(late_reader.read_line(&mut rest).unwrap(), 0);
+
         server.join().unwrap().unwrap();
     }
 }

@@ -278,7 +278,7 @@ impl LazyRel {
     /// mostly-full node set) this is `O(|inner row|)`, not `O(n)`.
     pub fn row_any(&self, u: NodeId, pred: &mut dyn FnMut(NodeId) -> bool) -> bool {
         match self {
-            LazyRel::Eager(r) => r.successor_list(u).into_iter().any(|v| pred(v)),
+            LazyRel::Eager(r) => r.successor_list(u).into_iter().any(&mut *pred),
             LazyRel::Complement(a) => {
                 let inner = a.row(u);
                 let n = a.len() as u32;
