@@ -28,6 +28,11 @@
 //!   sweep (sustained pipelined QPS of a live `pplxd` at 1/64/1024
 //!   concurrent connections, epoll event loop vs thread-per-client;
 //!   Linux-only) and write the result to `<path>` (default `BENCH_7.json`).
+//! * `--bench-router [--smoke] [--out <path>]` — run the E16 sharded-router
+//!   sweep (a router over N backend daemons vs one daemon under the same
+//!   pipelined QUERY load, plus a mid-bench shard kill measuring the
+//!   post-recovery failure rate) and write the result to `<path>` (default
+//!   `BENCH_8.json`).
 //! * `--check <path>` — parse an emitted JSON file and validate the schema
 //!   (exit non-zero on any missing key), so CI notices when the harness or
 //!   the trajectory file rots.
@@ -82,11 +87,13 @@ fn run_harness_mode(args: &[String]) -> i32 {
         "usage: experiments [--bench [--smoke] [--out <path>]] \
          [--bench-corpus [--smoke] [--out <path>]] \
          [--bench-lazy [--smoke] [--out <path>]] \
-         [--bench-daemon [--smoke] [--out <path>]] [--check <path>]";
+         [--bench-daemon [--smoke] [--out <path>]] \
+         [--bench-router [--smoke] [--out <path>]] [--check <path>]";
     let mut bench = false;
     let mut bench_corpus = false;
     let mut bench_lazy = false;
     let mut bench_daemon = false;
+    let mut bench_router = false;
     let mut smoke = false;
     let mut out: Option<String> = None;
     let mut check: Option<String> = None;
@@ -97,6 +104,7 @@ fn run_harness_mode(args: &[String]) -> i32 {
             "--bench-corpus" => bench_corpus = true,
             "--bench-lazy" => bench_lazy = true,
             "--bench-daemon" => bench_daemon = true,
+            "--bench-router" => bench_router = true,
             "--smoke" => smoke = true,
             "--out" => {
                 i += 1;
@@ -125,18 +133,62 @@ fn run_harness_mode(args: &[String]) -> i32 {
         }
         i += 1;
     }
-    if !bench && !bench_corpus && !bench_lazy && !bench_daemon && check.is_none() {
+    if !bench && !bench_corpus && !bench_lazy && !bench_daemon && !bench_router && check.is_none() {
         eprintln!("{USAGE}");
         return 2;
     }
-    if (bench as usize) + (bench_corpus as usize) + (bench_lazy as usize) + (bench_daemon as usize)
+    if (bench as usize)
+        + (bench_corpus as usize)
+        + (bench_lazy as usize)
+        + (bench_daemon as usize)
+        + (bench_router as usize)
         > 1
     {
         eprintln!(
-            "--bench, --bench-corpus, --bench-lazy and --bench-daemon write different \
-             documents; run them separately"
+            "--bench, --bench-corpus, --bench-lazy, --bench-daemon and --bench-router write \
+             different documents; run them separately"
         );
         return 2;
+    }
+
+    if bench_router {
+        let cfg = if smoke {
+            xpath_bench::RouterBenchConfig::smoke()
+        } else {
+            xpath_bench::RouterBenchConfig::full()
+        };
+        let path = out.clone().unwrap_or_else(|| "BENCH_8.json".to_string());
+        eprintln!(
+            "running sharded-router sweep (E16, {} mode): {} shards (replication {}), \
+             {} connections x{} pipelined, ~{} requests/phase, {} docs, {} runs/cell, \
+             plus a mid-bench shard kill",
+            if smoke { "smoke" } else { "full" },
+            cfg.shards,
+            cfg.replication,
+            cfg.connections,
+            cfg.pipeline,
+            cfg.total_requests,
+            cfg.docs,
+            cfg.runs,
+        );
+        let doc = xpath_bench::run_router_bench(&cfg);
+        let text = doc.render();
+        if let Err(e) = std::fs::write(&path, &text) {
+            eprintln!("cannot write {path}: {e}");
+            return 1;
+        }
+        if let Some(summary) = doc.get("summary") {
+            let f = |key| summary.get(key).and_then(xpath_bench::Json::as_f64).unwrap_or(0.0);
+            eprintln!(
+                "wrote {path}: router over {} shards {} qps vs single daemon {} qps \
+                 (efficiency x{}); shard-kill failure rate {} after recovery",
+                f("router_shards"),
+                f("router_qps"),
+                f("single_daemon_qps"),
+                f("router_efficiency"),
+                f("router_kill_failure_rate"),
+            );
+        }
     }
 
     if bench_daemon {

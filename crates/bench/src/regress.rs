@@ -305,6 +305,59 @@ pub const DAEMON_MODES: [(&str, &str); 2] = [
     ("threads", "daemon_threads"),
 ];
 
+/// Sweep dimensions of the E16 sharded-router experiment.
+#[derive(Debug, Clone)]
+pub struct RouterBenchConfig {
+    /// Backend daemons behind the router.
+    pub shards: usize,
+    /// Copies of each document across the shards.
+    pub replication: usize,
+    /// Concurrent client connections driving the front door (router or
+    /// single daemon — both phases use the same traffic).
+    pub connections: usize,
+    /// Pipelined requests per window in the throughput phases.
+    pub pipeline: usize,
+    /// Target total requests per phase.
+    pub total_requests: usize,
+    /// Timed runs per throughput phase (median recorded).
+    pub runs: usize,
+    /// Preloaded documents the QUERY traffic rotates over.
+    pub docs: usize,
+}
+
+impl RouterBenchConfig {
+    /// The full sweep used to produce `BENCH_8.json`: a 4-shard router
+    /// versus one daemon under 64 pipelined connections.
+    pub fn full() -> RouterBenchConfig {
+        RouterBenchConfig {
+            shards: 4,
+            replication: 2,
+            connections: 64,
+            pipeline: 16,
+            total_requests: 16384,
+            runs: 3,
+            docs: 16,
+        }
+    }
+
+    /// Tiny sizes for CI smoke validation.
+    pub fn smoke() -> RouterBenchConfig {
+        RouterBenchConfig {
+            shards: 2,
+            replication: 2,
+            connections: 4,
+            pipeline: 4,
+            total_requests: 512,
+            runs: 2,
+            docs: 4,
+        }
+    }
+}
+
+/// The arms of the E16 sweep, as row names: the router fleet, the
+/// single-daemon baseline, and the mid-bench shard-kill phase.
+pub const ROUTER_MODES: [&str; 3] = ["router", "single_daemon", "router_kill"];
+
 /// The filter bodies of the E10 suite: variable-free compositions of
 /// `except`-complemented relations.  Each complement is *dense* (≈`|t|²`
 /// pairs), so the `/` between them is a genuinely cubic `|t|³/64` Boolean
@@ -1391,6 +1444,371 @@ pub fn run_daemon_bench(cfg: &DaemonBenchConfig) -> Json {
     ])
 }
 
+/// Run the E16 sharded-router sweep: the same pipelined QUERY traffic is
+/// driven against (a) one `pplxd` daemon and (b) a router fronting
+/// [`RouterBenchConfig::shards`] backend daemons, giving the
+/// `router_efficiency` pin — the extra network hop must not cost more than
+/// a bounded fraction of single-daemon QPS.  A third phase re-runs the
+/// workload and kills one shard a quarter of the way in (a permanent
+/// `FaultAction::KillConn` on every request to it — the in-process
+/// equivalent of `kill -9`), asserting the fleet degrades instead of
+/// failing: requests issued after the router has had a probe interval to
+/// react must almost all succeed (`router_kill_failure_rate` pin).
+///
+/// Returns a standalone `BENCH_8.json`-shaped document.
+pub fn run_router_bench(cfg: &RouterBenchConfig) -> Json {
+    use std::io::{BufRead, BufReader, BufWriter, Write};
+    use std::net::{SocketAddr, TcpStream};
+    use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+    use std::sync::{Arc, Barrier, Mutex};
+    use xpath_corpus::router::{FaultAction, Router, RouterConfig};
+    use xpath_corpus::server::{bind, serve_with_options, IoMode, ServeOptions};
+    use xpath_corpus::Corpus;
+
+    // Every document is the same medium tree: 72 subtrees of 5 nodes.  Big
+    // enough that answering and rendering cost real backend work per
+    // request (the router's relay overhead amortises), small enough that
+    // E16 measures serving architecture, not query evaluation.
+    let doc_shape = format!("r({})", vec!["a(b,b,c(b))"; 72].join(","));
+    const DOC_NODES: usize = 361;
+    let doc_name = |k: usize| format!("bench_d{k}");
+    let docs = cfg.docs.max(1);
+    let request_line = move |i: usize| format!(
+        "QUERY bench_d{} descendant::b[. is $x] -> x",
+        i % docs
+    );
+
+    let read_response = |reader: &mut BufReader<TcpStream>| -> bool {
+        let mut status = String::new();
+        assert!(
+            reader.read_line(&mut status).expect("front-door response") > 0,
+            "front door closed the connection mid-bench"
+        );
+        let ok = status.starts_with("OK ");
+        let payload: usize = if ok {
+            status[3..].trim().parse().expect("payload count")
+        } else {
+            assert!(status.starts_with("ERR "), "malformed response {status:?}");
+            0
+        };
+        let mut line = String::new();
+        for _ in 0..payload {
+            line.clear();
+            assert!(reader.read_line(&mut line).expect("payload line") > 0);
+        }
+        ok
+    };
+
+    let spawn_backend = || {
+        let (listener, addr) = bind("127.0.0.1:0").expect("bench backend binds");
+        let corpus = Arc::new(Corpus::new());
+        let options = ServeOptions {
+            io: IoMode::Threads,
+            ..ServeOptions::default()
+        };
+        let handle = std::thread::spawn(move || serve_with_options(listener, corpus, &options));
+        (addr, handle)
+    };
+
+    // One scripted control request against a front door.
+    let control_request = |addr: SocketAddr, line: &str| {
+        let stream = TcpStream::connect(addr).expect("bench control connection");
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut writer = BufWriter::new(stream);
+        writeln!(writer, "{line}").unwrap();
+        writer.flush().unwrap();
+        assert!(read_response(&mut reader), "control request {line:?} failed");
+    };
+
+    let preload = |addr: SocketAddr| {
+        let stream = TcpStream::connect(addr).expect("bench control connection");
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut writer = BufWriter::new(stream);
+        for k in 0..docs {
+            writeln!(writer, "LOADTERMS {} {doc_shape}", doc_name(k)).unwrap();
+            writer.flush().unwrap();
+            assert!(read_response(&mut reader), "preload of {} failed", doc_name(k));
+        }
+    };
+
+    // Pipelined sustained-throughput phase against one front door, E15
+    // style: connections up and threads parked on a barrier before the
+    // clock starts.  Returns the median wall time over `cfg.runs`.
+    let per_conn = (cfg.total_requests / cfg.connections.max(1)).max(cfg.pipeline);
+    let window = cfg.pipeline.min(per_conn);
+    let total = per_conn * cfg.connections;
+    let timed_phase = |addr: SocketAddr| -> Duration {
+        let client_threads = cfg.connections.min(64);
+        let mut durations: Vec<Duration> = Vec::with_capacity(cfg.runs);
+        for _ in 0..cfg.runs {
+            let barrier = Arc::new(Barrier::new(client_threads + 1));
+            let clients: Vec<_> = (0..client_threads)
+                .map(|k| {
+                    let barrier = Arc::clone(&barrier);
+                    let owned = (cfg.connections - k).div_ceil(client_threads);
+                    std::thread::spawn(move || {
+                        let mut sockets: Vec<_> = (0..owned)
+                            .map(|_| {
+                                let stream =
+                                    TcpStream::connect(addr).expect("bench client connects");
+                                stream.set_nodelay(true).unwrap();
+                                let reader = BufReader::new(stream.try_clone().unwrap());
+                                (reader, BufWriter::new(stream))
+                            })
+                            .collect();
+                        barrier.wait();
+                        let mut sent = 0usize;
+                        while sent < per_conn {
+                            let burst = window.min(per_conn - sent);
+                            for (_, writer) in sockets.iter_mut() {
+                                for i in 0..burst {
+                                    writeln!(writer, "{}", request_line(sent + i)).unwrap();
+                                }
+                                writer.flush().unwrap();
+                            }
+                            for (reader, _) in sockets.iter_mut() {
+                                for _ in 0..burst {
+                                    assert!(
+                                        read_response(reader),
+                                        "healthy-fleet request must not fail"
+                                    );
+                                }
+                            }
+                            sent += burst;
+                        }
+                    })
+                })
+                .collect();
+            barrier.wait();
+            let start = std::time::Instant::now();
+            for client in clients {
+                client.join().expect("bench client must not panic");
+            }
+            durations.push(start.elapsed());
+        }
+        durations.sort_unstable();
+        durations[durations.len() / 2]
+    };
+
+    let round2 = |x: f64| (x * 100.0).round() / 100.0;
+    let round4 = |x: f64| (x * 10000.0).round() / 10000.0;
+
+    // ---- Phase 1: single-daemon baseline. -------------------------------
+    let (addr, server) = spawn_backend();
+    preload(addr);
+    let single_t = timed_phase(addr);
+    control_request(addr, "SHUTDOWN");
+    server.join().unwrap().expect("baseline daemon shuts down");
+    let single_qps = total as f64 / single_t.as_secs_f64().max(1e-9);
+
+    // A router fleet: backends, a Router over them, and a serving thread.
+    let probe_interval = Duration::from_millis(100);
+    let spawn_fleet = || {
+        let backends: Vec<_> = (0..cfg.shards.max(1)).map(|_| spawn_backend()).collect();
+        let router = Arc::new(Router::new(RouterConfig {
+            backends: backends.iter().map(|(a, _)| a.to_string()).collect(),
+            replication: cfg.replication,
+            shard_timeout: Duration::from_secs(2),
+            connect_timeout: Duration::from_millis(500),
+            fail_threshold: 2,
+            probe_interval,
+            ..RouterConfig::default()
+        }));
+        let (listener, addr) = bind("127.0.0.1:0").expect("bench router binds");
+        let serving = Arc::clone(&router);
+        let handle =
+            std::thread::spawn(move || xpath_corpus::router::serve_router(listener, serving));
+        (backends, router, addr, handle)
+    };
+    let teardown_fleet =
+        |backends: Vec<(SocketAddr, std::thread::JoinHandle<std::io::Result<()>>)>,
+         addr: SocketAddr,
+         handle: std::thread::JoinHandle<std::io::Result<()>>| {
+            // SHUTDOWN fans out to every shard; the router then stops.
+            control_request(addr, "SHUTDOWN");
+            handle.join().unwrap().expect("router shuts down");
+            for (_, backend) in backends {
+                backend.join().unwrap().expect("backend shuts down");
+            }
+        };
+
+    // ---- Phase 2: the router, healthy. ----------------------------------
+    let (backends, _router, router_addr, router_handle) = spawn_fleet();
+    preload(router_addr);
+    let router_t = timed_phase(router_addr);
+    teardown_fleet(backends, router_addr, router_handle);
+    let router_qps = total as f64 / router_t.as_secs_f64().max(1e-9);
+
+    // ---- Phase 3: kill one shard mid-bench. -----------------------------
+    // Unpipelined so every response attributes to one request, with a
+    // timestamp: failures are only *counted* once the router has had a full
+    // probe interval to notice the corpse — transient errors during the
+    // transition are reported separately, not pinned.
+    let (backends, router, router_addr, router_handle) = spawn_fleet();
+    preload(router_addr);
+    let dead = Arc::new(AtomicBool::new(false));
+    {
+        let dead = Arc::clone(&dead);
+        router.set_fault_hook(Arc::new(move |shard, _command| {
+            if shard == 0 && dead.load(Ordering::Relaxed) {
+                FaultAction::KillConn
+            } else {
+                FaultAction::None
+            }
+        }));
+    }
+    let completed = Arc::new(AtomicUsize::new(0));
+    let killed_at: Arc<Mutex<Option<std::time::Instant>>> = Arc::new(Mutex::new(None));
+    let kill_after = total / 4;
+    let recovery_gate = probe_interval * 2;
+    let client_threads = cfg.connections.min(64);
+    let barrier = Arc::new(Barrier::new(client_threads + 1));
+    let clients: Vec<_> = (0..client_threads)
+        .map(|k| {
+            let barrier = Arc::clone(&barrier);
+            let dead = Arc::clone(&dead);
+            let completed = Arc::clone(&completed);
+            let killed_at = Arc::clone(&killed_at);
+            let owned = (cfg.connections - k).div_ceil(client_threads);
+            std::thread::spawn(move || {
+                let mut sockets: Vec<_> = (0..owned)
+                    .map(|_| {
+                        let stream = TcpStream::connect(router_addr).expect("kill-phase connect");
+                        stream.set_nodelay(true).unwrap();
+                        let reader = BufReader::new(stream.try_clone().unwrap());
+                        (reader, BufWriter::new(stream))
+                    })
+                    .collect();
+                barrier.wait();
+                // (failed, after_recovery) counters for this thread.
+                let mut failed = 0usize;
+                let mut failed_after = 0usize;
+                let mut after = 0usize;
+                for i in 0..per_conn {
+                    for (reader, writer) in sockets.iter_mut() {
+                        let started = std::time::Instant::now();
+                        writeln!(writer, "{}", request_line(i)).unwrap();
+                        writer.flush().unwrap();
+                        let ok = read_response(reader);
+                        let recovered = killed_at
+                            .lock()
+                            .unwrap()
+                            .map(|at| started >= at + recovery_gate)
+                            .unwrap_or(false);
+                        if recovered {
+                            after += 1;
+                        }
+                        if !ok {
+                            failed += 1;
+                            if recovered {
+                                failed_after += 1;
+                            }
+                        }
+                        let n = completed.fetch_add(1, Ordering::Relaxed) + 1;
+                        if n >= kill_after && !dead.swap(true, Ordering::Relaxed) {
+                            *killed_at.lock().unwrap() = Some(std::time::Instant::now());
+                        }
+                    }
+                }
+                (failed, failed_after, after)
+            })
+        })
+        .collect();
+    barrier.wait();
+    let kill_start = std::time::Instant::now();
+    let mut kill_failed = 0usize;
+    let mut kill_failed_after = 0usize;
+    let mut kill_after_recovery = 0usize;
+    for client in clients {
+        let (failed, failed_after, after) = client.join().expect("kill-phase client");
+        kill_failed += failed;
+        kill_failed_after += failed_after;
+        kill_after_recovery += after;
+    }
+    let kill_t = kill_start.elapsed();
+    assert!(
+        kill_after_recovery > 0,
+        "the kill phase must issue requests after the recovery gate"
+    );
+    // Let the teardown SHUTDOWN reach shard 0 again (it is not actually
+    // dead — only every router request to it was killed).
+    dead.store(false, Ordering::Relaxed);
+    teardown_fleet(backends, router_addr, router_handle);
+    let kill_qps = total as f64 / kill_t.as_secs_f64().max(1e-9);
+    let failure_rate = kill_failed_after as f64 / kill_after_recovery as f64;
+
+    let row = |engine: &str, shards: usize, t: Duration, qps: f64| {
+        Json::Obj(vec![
+            ("experiment".to_string(), Json::Str("router_serving".into())),
+            ("engine".to_string(), Json::Str(engine.into())),
+            ("tree_size".to_string(), Json::Num(DOC_NODES as f64)),
+            ("workload_queries".to_string(), Json::Num(total as f64)),
+            ("workload_repeats".to_string(), Json::Num(window as f64)),
+            ("median_us".to_string(), Json::Num(us(t))),
+            ("connections".to_string(), Json::Num(cfg.connections as f64)),
+            ("shards".to_string(), Json::Num(shards as f64)),
+            ("replication".to_string(), Json::Num(cfg.replication as f64)),
+            ("docs".to_string(), Json::Num(docs as f64)),
+            ("qps".to_string(), Json::Num(round2(qps))),
+        ])
+    };
+    let mut kill_row = row("router_kill", cfg.shards, kill_t, kill_qps);
+    if let Json::Obj(fields) = &mut kill_row {
+        fields.push(("failed_requests".to_string(), Json::Num(kill_failed as f64)));
+        fields.push((
+            "requests_after_recovery".to_string(),
+            Json::Num(kill_after_recovery as f64),
+        ));
+        fields.push((
+            "failed_after_recovery".to_string(),
+            Json::Num(kill_failed_after as f64),
+        ));
+        fields.push(("failure_rate".to_string(), Json::Num(round4(failure_rate))));
+    }
+
+    Json::Obj(vec![
+        ("schema".to_string(), Json::Str(SCHEMA.into())),
+        ("experiment_doc".to_string(), Json::Str("EXPERIMENTS.md".into())),
+        ("shards".to_string(), Json::Num(cfg.shards as f64)),
+        ("replication".to_string(), Json::Num(cfg.replication as f64)),
+        ("connections".to_string(), Json::Num(cfg.connections as f64)),
+        ("pipeline".to_string(), Json::Num(cfg.pipeline as f64)),
+        ("runs_per_cell".to_string(), Json::Num(cfg.runs as f64)),
+        (
+            "results".to_string(),
+            Json::Arr(vec![
+                row("single_daemon", 1, single_t, single_qps),
+                row("router", cfg.shards, router_t, router_qps),
+                kill_row,
+            ]),
+        ),
+        (
+            "summary".to_string(),
+            Json::Obj(vec![
+                ("router_shards".to_string(), Json::Num(cfg.shards as f64)),
+                ("router_qps".to_string(), Json::Num(round2(router_qps))),
+                ("single_daemon_qps".to_string(), Json::Num(round2(single_qps))),
+                // CI pin 1: the fleet keeps a bounded fraction of
+                // single-daemon throughput despite the extra hop.
+                (
+                    "router_efficiency".to_string(),
+                    Json::Num(round4(router_qps / single_qps.max(1e-9))),
+                ),
+                // CI pin 2: almost no failures once the router has had a
+                // probe interval to absorb the shard kill.
+                (
+                    "router_kill_failure_rate".to_string(),
+                    Json::Num(round4(failure_rate)),
+                ),
+                (
+                    "router_kill_failed_total".to_string(),
+                    Json::Num(kill_failed as f64),
+                ),
+            ]),
+        ),
+    ])
+}
+
 /// Validate an emitted `BENCH_*.json` document: it must parse, carry the
 /// schema marker, and every result row must have the expected keys.  Used by
 /// `experiments --check` (and so by CI) to keep the harness honest.
@@ -1444,15 +1862,20 @@ pub fn validate_bench_json(text: &str) -> Result<(), String> {
         .iter()
         .filter(|r| experiment_of(r).as_deref() == Some("daemon_serving"))
         .collect();
+    let router_rows: Vec<&Json> = results
+        .iter()
+        .filter(|r| experiment_of(r).as_deref() == Some("router_serving"))
+        .collect();
     if has_e10 as usize
         + (!corpus_rows.is_empty()) as usize
         + (!lazy_rows.is_empty()) as usize
         + (!daemon_rows.is_empty()) as usize
+        + (!router_rows.is_empty()) as usize
         == 0
     {
         return Err(
-            "no repeated_query_workload, corpus_serving, lazy_large_documents or \
-             daemon_serving rows in \"results\""
+            "no repeated_query_workload, corpus_serving, lazy_large_documents, \
+             daemon_serving or router_serving rows in \"results\""
                 .into(),
         );
     }
@@ -1577,6 +2000,58 @@ pub fn validate_bench_json(text: &str) -> Result<(), String> {
                 .and_then(Json::as_f64)
                 .ok_or(format!("summary.{key} missing or not a number"))?;
             if !value.is_finite() || value <= 0.0 {
+                return Err(format!("summary.{key} = {value} is not valid"));
+            }
+        }
+    }
+    // E16 router documents must carry the single-daemon baseline, the
+    // healthy router row and the shard-kill row, tag every row with its
+    // shard count and throughput, and summarise the efficiency and
+    // failure-rate pins.
+    if !router_rows.is_empty() {
+        for required in ROUTER_MODES {
+            if !engines_seen.iter().any(|e| e == required) {
+                return Err(format!("router rows present but no {required:?} rows"));
+            }
+        }
+        for (i, row) in router_rows.iter().enumerate() {
+            for key in ["connections", "shards", "qps"] {
+                let value = row
+                    .get(key)
+                    .and_then(Json::as_f64)
+                    .ok_or(format!("router row {i} is missing \"{key}\""))?;
+                if !value.is_finite() || value <= 0.0 {
+                    return Err(format!("router row {i} has invalid {key} = {value}"));
+                }
+            }
+            if row.get("engine").and_then(Json::as_str) == Some("router_kill") {
+                for key in ["failed_requests", "requests_after_recovery", "failure_rate"] {
+                    let value = row
+                        .get(key)
+                        .and_then(Json::as_f64)
+                        .ok_or(format!("router kill row is missing \"{key}\""))?;
+                    if !value.is_finite() || value < 0.0 {
+                        return Err(format!("router kill row has invalid {key} = {value}"));
+                    }
+                }
+            }
+        }
+        for key in [
+            "router_shards",
+            "router_qps",
+            "single_daemon_qps",
+            "router_efficiency",
+            "router_kill_failure_rate",
+        ] {
+            let value = summary
+                .get(key)
+                .and_then(Json::as_f64)
+                .ok_or(format!("summary.{key} missing or not a number"))?;
+            // The kill failure rate is legitimately 0.0; everything else
+            // must be strictly positive.
+            let floor_ok =
+                value >= 0.0 && (key == "router_kill_failure_rate" || value > 0.0);
+            if !value.is_finite() || !floor_ok {
                 return Err(format!("summary.{key} = {value} is not valid"));
             }
         }
@@ -2051,6 +2526,83 @@ mod tests {
         );
         let err = validate_bench_json(&doc).unwrap_err();
         assert!(err.contains("qps"), "{err}");
+    }
+
+    #[test]
+    fn smoke_router_bench_emits_a_valid_document() {
+        let doc = run_router_bench(&RouterBenchConfig::smoke());
+        let text = doc.render();
+        validate_bench_json(&text).unwrap();
+        let parsed = Json::parse(&text).unwrap();
+        let rows = parsed.get("results").unwrap().as_arr().unwrap();
+        assert_eq!(rows.len(), ROUTER_MODES.len());
+        for name in ROUTER_MODES {
+            assert!(
+                rows.iter().any(|r| r.get("engine").and_then(Json::as_str) == Some(name)),
+                "missing {name} row"
+            );
+        }
+        for row in rows {
+            assert!(row.get("qps").and_then(Json::as_f64).unwrap() > 0.0);
+            assert!(row.get("shards").and_then(Json::as_f64).unwrap() >= 1.0);
+        }
+        let kill = rows
+            .iter()
+            .find(|r| r.get("engine").and_then(Json::as_str) == Some("router_kill"))
+            .unwrap();
+        assert!(kill.get("requests_after_recovery").and_then(Json::as_f64).unwrap() > 0.0);
+        let summary = parsed.get("summary").unwrap();
+        assert!(summary.get("router_efficiency").and_then(Json::as_f64).unwrap() > 0.0);
+        assert!(summary.get("router_kill_failure_rate").and_then(Json::as_f64).unwrap() >= 0.0);
+    }
+
+    #[test]
+    fn validator_rejects_router_documents_without_summary_keys() {
+        let row = |engine: &str| {
+            format!(
+                "{{\"experiment\": \"router_serving\", \"engine\": \"{engine}\", \
+                 \"tree_size\": 1, \"workload_queries\": 1, \"workload_repeats\": 1, \
+                 \"connections\": 1, \"shards\": 1, \"qps\": 1, \"median_us\": 1.0, \
+                 \"failed_requests\": 0, \"requests_after_recovery\": 1, \
+                 \"failure_rate\": 0}}"
+            )
+        };
+        let rows = format!("{}, {}, {}", row("router"), row("single_daemon"), row("router_kill"));
+        let doc = format!(
+            "{{\"schema\": \"{SCHEMA}\", \"results\": [{rows}], \
+             \"summary\": {{\"router_shards\": 1}}}}"
+        );
+        let err = validate_bench_json(&doc).unwrap_err();
+        assert!(err.contains("router_"), "{err}");
+        // A router document without the kill phase is rejected.
+        let doc = format!(
+            "{{\"schema\": \"{SCHEMA}\", \"results\": [{}, {}], \
+             \"summary\": {{\"router_shards\": 1}}}}",
+            row("router"),
+            row("single_daemon"),
+        );
+        let err = validate_bench_json(&doc).unwrap_err();
+        assert!(err.contains("router_kill"), "{err}");
+        // A kill row without its failure accounting is rejected.
+        let doc = format!(
+            "{{\"schema\": \"{SCHEMA}\", \"results\": [{}, {}, {}], \
+             \"summary\": {{\"router_shards\": 1, \"router_qps\": 1, \
+             \"single_daemon_qps\": 1, \"router_efficiency\": 1, \
+             \"router_kill_failure_rate\": 0}}}}",
+            row("router"),
+            row("single_daemon"),
+            row("router_kill").replace("\"failure_rate\": 0", "\"unrelated\": 0"),
+        );
+        let err = validate_bench_json(&doc).unwrap_err();
+        assert!(err.contains("failure_rate"), "{err}");
+        // A full summary with all five keys passes.
+        let doc = format!(
+            "{{\"schema\": \"{SCHEMA}\", \"results\": [{rows}], \
+             \"summary\": {{\"router_shards\": 1, \"router_qps\": 1, \
+             \"single_daemon_qps\": 1, \"router_efficiency\": 1, \
+             \"router_kill_failure_rate\": 0}}}}"
+        );
+        validate_bench_json(&doc).unwrap();
     }
 
     #[test]

@@ -44,10 +44,15 @@
 //! timing against the adaptive default).
 
 use ppl_xpath::{Document, Engine, KernelMode, Planner, QueryPlan};
-use std::io::{BufRead, BufReader, BufWriter, Read, Write};
-use std::net::TcpStream;
+use std::io::Read;
 use std::process::ExitCode;
+use std::time::Duration;
 use xpath_ast::{parse_path, Var};
+use xpath_wire::{ClientConfig, ShardClient, WireError};
+
+/// Default `--connect` deadline: connect plus each complete response must
+/// land within this window or the client exits 5 instead of hanging.
+const DEFAULT_REMOTE_TIMEOUT: Duration = Duration::from_secs(10);
 
 /// A classified CLI failure.  Each class maps to its own exit code (see
 /// [`HELP`]) so scripts and the CI daemon smoke test can distinguish a
@@ -94,6 +99,9 @@ struct Options {
     stats: bool,
     kernels: KernelMode,
     threads: usize,
+    /// `--connect` deadline for connect and each complete response
+    /// (`None`: `--timeout 0`, block indefinitely).
+    timeout: Option<Duration>,
     /// Non-fatal diagnostics emitted to stderr before running (e.g. the
     /// `--threads 0` clamp).
     warnings: Vec<String>,
@@ -143,7 +151,7 @@ const USAGE: &str = "usage: pplx (--query <XPATH> | --batch <file>) [--vars a,b,
 [--engine ppl|acq|hcl|naive|auto] [--threads N] [--format table|csv] \
 [--explain] [--stats] [--kernels dense|adaptive|adaptive_threaded|lazy]\n\
        pplx --connect <host:port> [--load <name>] [--doc <name>] [--query <XPATH>] \
-[--vars a,b,...] [--stats] [--evict <name>] [--shutdown]\n\
+[--vars a,b,...] [--stats] [--evict <name>] [--shutdown] [--timeout SECS]\n\
        pplx --help";
 
 /// Full `--help` text (printed to stdout, exit 0).
@@ -153,6 +161,10 @@ Local modes answer queries in-process; --connect drives a running pplxd\n\
 corpus daemon over its line protocol (LOAD/QUERY/QUERYALL/STATS/EVICT).\n\
 With --connect, --query targets the --doc document, or every loaded\n\
 document when --doc is omitted; --load NAME sends the --file/--stdin XML.\n\
+--timeout SECS (default 10, fractions allowed, 0 disables) bounds the\n\
+connect and each complete response; a hung daemon exits 5 instead of\n\
+blocking forever.  A refused connect is retried a few times with growing\n\
+backoff to ride out daemon-startup races.\n\
 \n\
 EXIT CODES:\n\
     0  success\n\
@@ -179,6 +191,8 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     let mut doc = None;
     let mut evict = None;
     let mut shutdown = false;
+    let mut timeout = Some(DEFAULT_REMOTE_TIMEOUT);
+    let mut timeout_flag = false;
     // Local-only flags actually given (vs. defaulted), so remote mode can
     // reject them instead of silently ignoring an override.
     let mut engine_flag = false;
@@ -203,6 +217,21 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             "--doc" => doc = Some(value(&mut i, "--doc")?),
             "--evict" => evict = Some(value(&mut i, "--evict")?),
             "--shutdown" => shutdown = true,
+            "--timeout" => {
+                timeout_flag = true;
+                let secs = value(&mut i, "--timeout")?;
+                let secs: f64 = secs
+                    .parse()
+                    .map_err(|_| format!("--timeout expects seconds, got '{secs}'"))?;
+                if !secs.is_finite() || secs < 0.0 {
+                    return Err(format!("--timeout expects a non-negative number, got '{secs}'"));
+                }
+                timeout = if secs == 0.0 {
+                    None
+                } else {
+                    Some(Duration::from_secs_f64(secs))
+                };
+            }
             "--kernels" => {
                 kernels_flag = true;
                 let name = value(&mut i, "--kernels")?;
@@ -312,6 +341,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             ("--doc", doc.is_some()),
             ("--evict", evict.is_some()),
             ("--shutdown", shutdown),
+            ("--timeout", timeout_flag),
         ] {
             if present {
                 return Err(format!("{flag} only applies with --connect\n{USAGE}"));
@@ -344,6 +374,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         stats,
         kernels,
         threads,
+        timeout,
         warnings,
     })
 }
@@ -513,46 +544,47 @@ fn run_batch(options: &Options, doc: &Document, path: &str) -> Result<String, Cl
     Ok(out)
 }
 
-/// Drive a running `pplxd` daemon over its line protocol.  Each action
-/// sends one request; `OK` payload lines are echoed to the output, an `ERR`
-/// response becomes a query error (exit 4).
+/// Drive a running `pplxd` daemon (or router) over its line protocol.
+/// Each action sends one request; `OK` payload lines are echoed to the
+/// output, an `ERR` response becomes a query error (exit 4).
+///
+/// The connection rides on [`ShardClient`]: `--timeout` bounds the connect
+/// and each complete response, a refused connect is retried with growing
+/// backoff (daemon-startup race), and any wire failure — timeout, refused,
+/// garbage — maps to an I/O error (exit 5) naming the deadline so a hung
+/// daemon produces a diagnosis instead of a hung client.
 fn run_remote(options: &Options, remote: &RemoteActions) -> Result<String, CliError> {
-    let stream = TcpStream::connect(&remote.addr)
-        .map_err(|e| CliError::Io(format!("cannot connect to {}: {e}", remote.addr)))?;
-    let mut reader = BufReader::new(
-        stream
-            .try_clone()
-            .map_err(|e| CliError::Io(format!("cannot clone connection: {e}")))?,
+    let mut client = ShardClient::new(
+        remote.addr.clone(),
+        ClientConfig {
+            connect_timeout: options.timeout,
+            read_timeout: options.timeout,
+            ..ClientConfig::default()
+        },
     );
-    let mut writer = BufWriter::new(stream);
     let mut out = String::new();
 
     let mut request = |line: String, out: &mut String| -> Result<(), CliError> {
-        writeln!(writer, "{line}").map_err(|e| CliError::Io(format!("send failed: {e}")))?;
-        writer
-            .flush()
-            .map_err(|e| CliError::Io(format!("send failed: {e}")))?;
-        let mut status = String::new();
-        reader
-            .read_line(&mut status)
-            .map_err(|e| CliError::Io(format!("receive failed: {e}")))?;
-        let status = status.trim_end();
-        if let Some(message) = status.strip_prefix("ERR ") {
-            return Err(CliError::Query(format!("daemon: {message}")));
+        match client.request(&line) {
+            Ok(Ok(payload)) => {
+                for line in payload {
+                    out.push_str(&line);
+                    out.push('\n');
+                }
+                Ok(())
+            }
+            Ok(Err(message)) => Err(CliError::Query(format!("daemon: {message}"))),
+            Err(WireError::Timeout) => Err(CliError::Io(format!(
+                "no response from {} within {:.1}s (--timeout); the daemon may be hung",
+                remote.addr,
+                options.timeout.unwrap_or_default().as_secs_f64(),
+            ))),
+            Err(WireError::Protocol(detail)) => Err(CliError::Io(format!(
+                "malformed daemon response from {}: {detail}",
+                remote.addr
+            ))),
+            Err(e) => Err(CliError::Io(format!("cannot reach {}: {e}", remote.addr))),
         }
-        let count: usize = status
-            .strip_prefix("OK ")
-            .and_then(|n| n.parse().ok())
-            .ok_or_else(|| CliError::Io(format!("malformed daemon response '{status}'")))?;
-        for _ in 0..count {
-            let mut payload = String::new();
-            reader
-                .read_line(&mut payload)
-                .map_err(|e| CliError::Io(format!("receive failed: {e}")))?;
-            out.push_str(payload.trim_end());
-            out.push('\n');
-        }
-        Ok(())
     };
 
     if let Some(name) = &remote.load {
@@ -586,10 +618,9 @@ fn run_remote(options: &Options, remote: &RemoteActions) -> Result<String, CliEr
     }
     if remote.shutdown {
         request("SHUTDOWN".to_string(), &mut out)?;
-    } else {
+    } else if client.is_connected() {
         // Best-effort courtesy QUIT; the daemon also handles disconnects.
-        let _ = writeln!(writer, "QUIT");
-        let _ = writer.flush();
+        let _ = client.request("QUIT");
     }
     Ok(out)
 }
@@ -824,6 +855,79 @@ mod tests {
         assert!(parse_args(&args(&["--connect", "h:1", "--stats", "--file", "d.xml"]))
             .unwrap_err()
             .contains("--load"));
+    }
+
+    #[test]
+    fn parse_timeout_flag() {
+        // Default: 10s deadline on remote actions.
+        let opts = parse_args(&args(&["--connect", "h:1", "--stats"])).unwrap();
+        assert_eq!(opts.timeout, Some(DEFAULT_REMOTE_TIMEOUT));
+        // Fractions are allowed (tests and impatient scripts); 0 disables.
+        let opts =
+            parse_args(&args(&["--connect", "h:1", "--stats", "--timeout", "0.25"])).unwrap();
+        assert_eq!(opts.timeout, Some(Duration::from_millis(250)));
+        let opts = parse_args(&args(&["--connect", "h:1", "--stats", "--timeout", "0"])).unwrap();
+        assert_eq!(opts.timeout, None);
+        // Garbage and negatives are usage errors.
+        assert!(parse_args(&args(&["--connect", "h:1", "--stats", "--timeout", "soon"]))
+            .unwrap_err()
+            .contains("seconds"));
+        assert!(parse_args(&args(&["--connect", "h:1", "--stats", "--timeout", "-1"]))
+            .unwrap_err()
+            .contains("non-negative"));
+        // --timeout is a remote knob: local modes reject it.
+        assert!(parse_args(&args(&["--query", "child::a", "--terms", "r(a)", "--timeout", "2"]))
+            .unwrap_err()
+            .contains("--connect"));
+    }
+
+    /// A daemon that accepts but never answers must cost `--timeout`, not
+    /// forever, and the failure must classify as I/O (exit 5).
+    #[test]
+    fn remote_timeout_against_a_hung_daemon_is_an_io_error() {
+        use std::net::TcpListener;
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let (done_tx, done_rx) = std::sync::mpsc::channel::<()>();
+        let server = std::thread::spawn(move || {
+            let (stream, _) = listener.accept().unwrap();
+            let _ = done_rx.recv(); // hold the connection open, silent
+            drop(stream);
+        });
+        let opts = parse_args(&args(&[
+            "--connect", &addr, "--stats", "--timeout", "0.3",
+        ]))
+        .unwrap();
+        let start = std::time::Instant::now();
+        let err = run(&opts).unwrap_err();
+        assert!(matches!(err, CliError::Io(_)), "{err:?}");
+        assert!(err.message().contains("--timeout"), "{err:?}");
+        assert!(
+            start.elapsed() < Duration::from_secs(5),
+            "a hung daemon must not hang the client"
+        );
+        drop(done_tx);
+        server.join().unwrap();
+    }
+
+    /// A connect refused outright (after the bounded startup-race retries)
+    /// classifies as I/O, quickly.
+    #[test]
+    fn remote_refused_connect_is_an_io_error() {
+        // Bind-then-drop reserves a port that refuses connections.
+        let addr = {
+            let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap().to_string()
+        };
+        let opts = parse_args(&args(&[
+            "--connect", &addr, "--stats", "--timeout", "0.5",
+        ]))
+        .unwrap();
+        let start = std::time::Instant::now();
+        let err = run(&opts).unwrap_err();
+        assert!(matches!(err, CliError::Io(_)), "{err:?}");
+        assert!(err.message().contains("cannot reach"), "{err:?}");
+        assert!(start.elapsed() < Duration::from_secs(5));
     }
 
     #[test]

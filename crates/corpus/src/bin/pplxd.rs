@@ -10,7 +10,8 @@
 //! USAGE:
 //!     pplxd [--bind ADDR] [--port N] [--budget BYTES] [--threads N]
 //!           [--engine ppl|acq|hcl|naive|auto] [--preload DIR]
-//!           [--max-line BYTES] [--io threads|epoll]
+//!           [--max-line BYTES] [--io threads|epoll] [--idle-timeout SECS]
+//!           [--route ADDR,ADDR,...] [--replicas N] [--shard-timeout MS]
 //!
 //! OPTIONS:
 //!     --bind ADDR      interface to bind (default 127.0.0.1)
@@ -25,6 +26,14 @@
 //!     --io MODE        connection multiplexing: `epoll` (event loop,
 //!                      Linux-only, default on Linux) or `threads`
 //!                      (thread per client, default elsewhere)
+//!     --idle-timeout SECS  drop connections silent for SECS seconds
+//!                      (default 60; 0 disables)
+//!     --route ADDRS    run as a router over comma-separated backend
+//!                      daemons instead of serving documents locally
+//!     --replicas N     copies of each document across shards (router
+//!                      mode, default 2, clamped to the shard count)
+//!     --shard-timeout MS  per-shard deadline for routed requests
+//!                      (router mode, default 5000)
 //! ```
 //!
 //! On startup the daemon prints `pplxd listening on <addr>` to stdout (the
@@ -32,12 +41,14 @@
 
 use std::process::ExitCode;
 use std::sync::Arc;
+use xpath_corpus::router::{serve_router, Router, RouterConfig};
 use xpath_corpus::server::{bind, serve_with_options, IoMode, ServeOptions, DEFAULT_MAX_LINE};
 use xpath_corpus::{Corpus, CorpusConfig};
 
 const USAGE: &str = "usage: pplxd [--bind ADDR] [--port N] [--budget BYTES] \
 [--threads N] [--engine ppl|acq|hcl|naive|auto] [--preload DIR] [--max-line BYTES] \
-[--io threads|epoll]";
+[--io threads|epoll] [--idle-timeout SECS] [--route ADDR,ADDR,...] [--replicas N] \
+[--shard-timeout MS]";
 
 #[derive(Debug)]
 struct Options {
@@ -49,6 +60,10 @@ struct Options {
     preload: Option<String>,
     max_line: usize,
     io: IoMode,
+    idle_timeout: Option<std::time::Duration>,
+    route: Option<Vec<String>>,
+    replicas: usize,
+    shard_timeout: std::time::Duration,
 }
 
 fn parse_args(args: &[String]) -> Result<Options, String> {
@@ -61,6 +76,10 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         preload: None,
         max_line: DEFAULT_MAX_LINE,
         io: IoMode::default(),
+        idle_timeout: Some(xpath_corpus::server::DEFAULT_IDLE_TIMEOUT),
+        route: None,
+        replicas: 2,
+        shard_timeout: std::time::Duration::from_millis(5000),
     };
     let mut i = 0;
     let value = |i: &mut usize, flag: &str| -> Result<String, String> {
@@ -107,6 +126,40 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                     .map_err(|_| "--max-line expects a byte count".to_string())?;
                 options.max_line = n.max(1);
             }
+            "--idle-timeout" => {
+                let secs: u64 = value(&mut i, "--idle-timeout")?
+                    .parse()
+                    .map_err(|_| "--idle-timeout expects seconds (0 disables)".to_string())?;
+                options.idle_timeout = if secs == 0 {
+                    None
+                } else {
+                    Some(std::time::Duration::from_secs(secs))
+                };
+            }
+            "--route" => {
+                let list = value(&mut i, "--route")?;
+                let backends: Vec<String> = list
+                    .split(',')
+                    .map(|s| s.trim().to_string())
+                    .filter(|s| !s.is_empty())
+                    .collect();
+                if backends.is_empty() {
+                    return Err("--route expects a comma-separated list of host:port".to_string());
+                }
+                options.route = Some(backends);
+            }
+            "--replicas" => {
+                let n: usize = value(&mut i, "--replicas")?
+                    .parse()
+                    .map_err(|_| "--replicas expects a number".to_string())?;
+                options.replicas = n.max(1);
+            }
+            "--shard-timeout" => {
+                let ms: u64 = value(&mut i, "--shard-timeout")?
+                    .parse()
+                    .map_err(|_| "--shard-timeout expects milliseconds".to_string())?;
+                options.shard_timeout = std::time::Duration::from_millis(ms.max(1));
+            }
             "--help" | "-h" => return Err(USAGE.to_string()),
             other => return Err(format!("unknown argument '{other}'\n{USAGE}")),
         }
@@ -124,6 +177,46 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+
+    if let Some(backends) = &options.route {
+        if options.preload.is_some() || options.budget.is_some() || options.engine.is_some() {
+            eprintln!("pplxd: --preload/--budget/--engine apply to backends, not the router");
+            return ExitCode::from(2);
+        }
+        let address = format!("{}:{}", options.bind, options.port);
+        let (listener, local) = match bind(&address) {
+            Ok(bound) => bound,
+            Err(e) => {
+                eprintln!("pplxd cannot bind {address}: {e}");
+                return ExitCode::from(5);
+            }
+        };
+        let config = RouterConfig {
+            backends: backends.clone(),
+            replication: options.replicas,
+            shard_timeout: options.shard_timeout,
+            max_line: options.max_line,
+            idle_timeout: options.idle_timeout,
+            ..RouterConfig::default()
+        };
+        let router = Arc::new(Router::new(config));
+        println!(
+            "pplxd routing on {local} over {} shard(s)",
+            backends.len()
+        );
+        use std::io::Write;
+        let _ = std::io::stdout().flush();
+        return match serve_router(listener, router) {
+            Ok(()) => {
+                println!("pplxd shut down");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("pplxd router error: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
 
     let corpus = Arc::new(Corpus::with_config(CorpusConfig {
         memory_budget: options.budget,
@@ -160,6 +253,7 @@ fn main() -> ExitCode {
         max_line: options.max_line,
         io: options.io,
         workers: options.threads,
+        idle_timeout: options.idle_timeout,
     };
     match serve_with_options(listener, corpus, &serve_options) {
         Ok(()) => {
@@ -224,5 +318,48 @@ mod tests {
         assert_eq!(parse_args(&args(&["--io", "threads"])).unwrap().io, IoMode::Threads);
         assert_eq!(parse_args(&args(&["--io", "epoll"])).unwrap().io, IoMode::Epoll);
         assert!(parse_args(&args(&["--io", "fibers"])).unwrap_err().contains("unknown io mode"));
+    }
+
+    #[test]
+    fn parse_idle_timeout_and_router_flags() {
+        let defaults = parse_args(&[]).unwrap();
+        assert_eq!(
+            defaults.idle_timeout,
+            Some(xpath_corpus::server::DEFAULT_IDLE_TIMEOUT)
+        );
+        assert!(defaults.route.is_none());
+        assert_eq!(defaults.replicas, 2);
+        assert_eq!(defaults.shard_timeout, std::time::Duration::from_millis(5000));
+
+        let options = parse_args(&args(&["--idle-timeout", "7"])).unwrap();
+        assert_eq!(options.idle_timeout, Some(std::time::Duration::from_secs(7)));
+        let options = parse_args(&args(&["--idle-timeout", "0"])).unwrap();
+        assert_eq!(options.idle_timeout, None, "--idle-timeout 0 disables");
+        assert!(parse_args(&args(&["--idle-timeout", "soon"])).is_err());
+
+        let options = parse_args(&args(&[
+            "--route",
+            " 127.0.0.1:7001, 127.0.0.1:7002 ,127.0.0.1:7003",
+            "--replicas",
+            "3",
+            "--shard-timeout",
+            "250",
+        ]))
+        .unwrap();
+        assert_eq!(
+            options.route.as_deref(),
+            Some(&["127.0.0.1:7001".to_string(), "127.0.0.1:7002".to_string(),
+                   "127.0.0.1:7003".to_string()][..])
+        );
+        assert_eq!(options.replicas, 3);
+        assert_eq!(options.shard_timeout, std::time::Duration::from_millis(250));
+
+        assert!(parse_args(&args(&["--route", " , "])).is_err());
+        assert_eq!(parse_args(&args(&["--replicas", "0"])).unwrap().replicas, 1);
+        assert_eq!(
+            parse_args(&args(&["--shard-timeout", "0"])).unwrap().shard_timeout,
+            std::time::Duration::from_millis(1),
+            "--shard-timeout 0 clamps to 1ms"
+        );
     }
 }

@@ -54,6 +54,7 @@ pub mod protocol;
 pub mod queue;
 #[cfg(target_os = "linux")]
 pub mod reactor;
+pub mod router;
 pub mod server;
 
 use ppl_xpath::document::DocumentError;

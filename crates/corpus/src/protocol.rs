@@ -36,6 +36,11 @@ use crate::{Corpus, CorpusError};
 use std::collections::VecDeque;
 use xpath_tree::Tree;
 
+// The wire encoding itself (status-line framing) lives in `xpath_wire`,
+// shared with the router and the `pplx --connect` client; re-exported here
+// so the serving loops keep one import path for the whole protocol.
+pub use xpath_wire::{parse_status, render_response};
+
 /// A parsed protocol command.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Command {
@@ -287,27 +292,6 @@ pub fn execute_command(corpus: &Corpus, command: &Command) -> Result<Vec<String>
         Command::Evict(None) => Ok(vec![format!("evicted={}", corpus.evict_all())]),
         Command::Quit | Command::Shutdown => Ok(vec!["bye".to_string()]),
     }
-}
-
-/// Serialise one command result into wire bytes: `OK <n>` plus `n` payload
-/// lines, or a single `ERR <message>` line.
-pub fn render_response(result: &Result<Vec<String>, String>) -> Vec<u8> {
-    let mut out = Vec::new();
-    match result {
-        Ok(lines) => {
-            out.extend_from_slice(format!("OK {}\n", lines.len()).as_bytes());
-            for line in lines {
-                out.extend_from_slice(line.as_bytes());
-                out.push(b'\n');
-            }
-        }
-        Err(message) => {
-            out.extend_from_slice(b"ERR ");
-            out.extend_from_slice(message.replace('\n', " | ").as_bytes());
-            out.push(b'\n');
-        }
-    }
-    out
 }
 
 /// What [`Conn::feed`] asks the IO driver to do.
@@ -702,6 +686,140 @@ mod tests {
         let n = conn.pending_output().len();
         conn.advance_output(n);
         assert!(conn.wants_read());
+    }
+
+    /// An oversized line fed one byte at a time must report `ERR` exactly
+    /// once, discard the whole tail across every subsequent feed, and
+    /// resynchronise at the next newline.
+    #[test]
+    fn oversized_line_discard_survives_byte_at_a_time_feeds() {
+        let mut conn = Conn::with_limits(8, DEFAULT_HIGH_WATER, DEFAULT_MAX_PIPELINE);
+        let mut events = Vec::new();
+        for byte in b"0123456789abcdefghij" {
+            events.extend(conn.feed(&[*byte]));
+        }
+        assert!(events.is_empty());
+        assert_eq!(
+            conn.pending_output(),
+            b"ERR line too long (max 8 bytes)\n",
+            "the flood must be reported once, not once per feed"
+        );
+        // The newline ends the discard; the next request parses normally.
+        events.extend(conn.feed(b"\n"));
+        for byte in b"STATS\n" {
+            events.extend(conn.feed(&[*byte]));
+        }
+        assert_eq!(exec_seqs(&events), vec![1]);
+        conn.complete(1, Ok(vec![]));
+        assert_eq!(
+            conn.pending_output(),
+            b"ERR line too long (max 8 bytes)\nOK 0\n" as &[u8]
+        );
+    }
+
+    /// The cap counts the line body, not its newline: a request of exactly
+    /// `max_line` bytes is served, one byte more is rejected — in one feed
+    /// or split at every boundary.
+    #[test]
+    fn line_exactly_at_the_cap_is_served_not_rejected() {
+        // "EVICT ab" is exactly 8 bytes.
+        for split in 0..=8 {
+            let mut conn = Conn::with_limits(8, DEFAULT_HIGH_WATER, DEFAULT_MAX_PIPELINE);
+            let wire = b"EVICT ab\n";
+            let mut events = conn.feed(&wire[..split]);
+            events.extend(conn.feed(&wire[split..]));
+            assert_eq!(exec_seqs(&events), vec![0], "split at {split}");
+            assert!(
+                matches!(
+                    &events[0],
+                    ConnEvent::Execute { command: Command::Evict(Some(name)), .. } if name == "ab"
+                ),
+                "split at {split}: {events:?}"
+            );
+        }
+        // One byte over the cap errs inline and stays in sync.
+        let mut conn = Conn::with_limits(8, DEFAULT_HIGH_WATER, DEFAULT_MAX_PIPELINE);
+        let events = conn.feed(b"EVICT abc\nSTATS\n");
+        assert_eq!(exec_seqs(&events), vec![1]);
+        assert!(String::from_utf8_lossy(conn.pending_output()).starts_with("ERR line too long"));
+    }
+
+    /// CRLF terminates like LF (the CR is trimmed); a lone CR is *not* a
+    /// terminator — the line stays pending until a real newline arrives.
+    #[test]
+    fn crlf_and_cr_only_terminators() {
+        let mut conn = Conn::new(1024);
+        let events = conn.feed(b"STATS\r\n");
+        assert_eq!(exec_seqs(&events), vec![0]);
+        assert!(matches!(
+            &events[0],
+            ConnEvent::Execute { command: Command::Stats, .. }
+        ));
+
+        // CR without LF: nothing parses yet, nothing is answered.
+        let mut conn = Conn::new(1024);
+        assert!(conn.feed(b"EVICT ab\r").is_empty());
+        assert_eq!(conn.in_flight(), 0);
+        assert!(!conn.has_output());
+        // The newline completes the request; the stray CR trims away.
+        let events = conn.feed(b"\n");
+        assert!(
+            matches!(
+                &events[0],
+                ConnEvent::Execute { command: Command::Evict(Some(name)), .. } if name == "ab"
+            ),
+            "{events:?}"
+        );
+    }
+
+    /// Output exactly at the high-water mark trips backpressure; draining a
+    /// single byte releases it.
+    #[test]
+    fn high_water_boundary_is_inclusive() {
+        let mut conn = Conn::with_limits(1024, 8, DEFAULT_MAX_PIPELINE);
+        let events = conn.feed(b"STATS\n");
+        assert_eq!(exec_seqs(&events), vec![0]);
+        // "OK 1\nxx\n" is exactly 8 bytes of pending output.
+        conn.complete(0, Ok(vec!["xx".into()]));
+        assert_eq!(conn.pending_output().len(), 8);
+        assert!(!conn.wants_read(), "at the mark counts as over it");
+        conn.advance_output(1);
+        assert!(conn.wants_read(), "7 pending bytes are under the mark");
+    }
+
+    /// Feeding past the pipeline cap (the driver may hold already-read
+    /// bytes when backpressure trips) must not desync the slot queue:
+    /// every request still answers, in order, and reads resume once the
+    /// queue drains.  Bogus completions — unknown or duplicate sequence
+    /// numbers — are ignored without disturbing the queue.
+    #[test]
+    fn pipeline_overflow_recovers_without_slot_desync() {
+        let mut conn = Conn::with_limits(1024, 4096, 2);
+        let events = conn.feed(b"EVICT a\nEVICT b\nEVICT c\nEVICT d\n");
+        assert_eq!(exec_seqs(&events), vec![0, 1, 2, 3]);
+        assert_eq!(conn.in_flight(), 4, "already-fed bytes all parse");
+        assert!(!conn.wants_read(), "over the cap of 2");
+
+        // Completions for slots that do not exist (never issued) or that
+        // already completed must be ignored.
+        conn.complete(99, Ok(vec!["phantom".into()]));
+        conn.complete(3, Ok(vec!["evicted=false".into()]));
+        conn.complete(3, Ok(vec!["duplicate".into()]));
+        assert!(!conn.has_output(), "head of queue is still pending");
+
+        conn.complete(1, Err("boom".into()));
+        conn.complete(0, Ok(vec!["evicted=true".into()]));
+        conn.complete(2, Ok(vec!["evicted=true".into()]));
+        assert_eq!(
+            String::from_utf8_lossy(conn.pending_output()),
+            "OK 1\nevicted=true\nERR boom\nOK 1\nevicted=true\nOK 1\nevicted=false\n",
+            "responses must release in request order with no phantom bytes"
+        );
+        assert_eq!(conn.in_flight(), 0);
+        assert!(conn.wants_read(), "drained queue resumes reading");
+        // The connection is still in protocol sync for the next request.
+        let events = conn.feed(b"STATS\n");
+        assert_eq!(exec_seqs(&events), vec![4]);
     }
 
     #[test]

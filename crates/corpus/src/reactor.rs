@@ -119,12 +119,13 @@ impl Epoll {
         self.ctl(sys::EPOLL_CTL_DEL, fd, 0, 0)
     }
 
-    /// Wait for readiness; retries EINTR.  Returns the number of events
-    /// filled into `events`.
-    fn wait(&self, events: &mut [sys::EpollEvent]) -> io::Result<usize> {
+    /// Wait for readiness for at most `timeout_ms` (`-1`: forever); retries
+    /// EINTR.  Returns the number of events filled into `events` — zero on
+    /// timeout.
+    fn wait(&self, events: &mut [sys::EpollEvent], timeout_ms: i32) -> io::Result<usize> {
         loop {
             let n = unsafe {
-                sys::epoll_wait(self.fd, events.as_mut_ptr(), events.len() as i32, -1)
+                sys::epoll_wait(self.fd, events.as_mut_ptr(), events.len() as i32, timeout_ms)
             };
             if n >= 0 {
                 return Ok(n as usize);
@@ -216,6 +217,10 @@ struct Client {
     backlog: Vec<(u64, Command)>,
     /// A dispatched batch has not completed yet.
     executing: bool,
+    /// Last observed progress — bytes read, a completion applied, or
+    /// response bytes flushed.  Connections quiet past the idle window
+    /// (and with nothing in flight) are dropped.
+    last_activity: std::time::Instant,
 }
 
 impl Client {
@@ -226,7 +231,17 @@ impl Client {
             interest: sys::EPOLLIN | sys::EPOLLRDHUP,
             backlog: Vec::new(),
             executing: false,
+            last_activity: std::time::Instant::now(),
         }
+    }
+
+    /// Is this connection idle (no progress, nothing in flight) past the
+    /// `idle` window?  A connection with an executing batch or in-flight
+    /// pipeline slots is *working*, however long that takes.
+    fn idle_expired(&self, now: std::time::Instant, idle: std::time::Duration) -> bool {
+        !self.executing
+            && self.conn.in_flight() == 0
+            && now.duration_since(self.last_activity) >= idle
     }
 
     /// Hand the whole backlog to the worker pool as one batch, unless one
@@ -259,13 +274,16 @@ impl Client {
 
 /// Serve the corpus over `listener` with the epoll reactor: `workers`
 /// command-execution threads behind a bounded queue, pipelined in-order
-/// responses, per-connection backpressure.  Returns after a client sends
-/// `SHUTDOWN` and every in-flight request has been answered and flushed.
+/// responses, per-connection backpressure.  Connections with no progress
+/// for `idle_timeout` (and nothing in flight) are answered `ERR idle
+/// timeout` and dropped.  Returns after a client sends `SHUTDOWN` and
+/// every in-flight request has been answered and flushed.
 pub fn serve_epoll(
     listener: TcpListener,
     corpus: Arc<Corpus>,
     max_line: usize,
     workers: usize,
+    idle_timeout: Option<std::time::Duration>,
 ) -> io::Result<()> {
     listener.set_nonblocking(true)?;
     let epoll = Epoll::new()?;
@@ -319,7 +337,27 @@ pub fn serve_epoll(
 
         let mut events = [sys::EpollEvent { events: 0, data: 0 }; EVENT_BATCH];
         'reactor: loop {
-            let ready = match epoll.wait(&mut events) {
+            // Sleep until IO, a completion wakeup, or the nearest idle
+            // deadline — whichever comes first.  With no idle timeout (or
+            // no clients) the wait is unbounded, as before.
+            let timeout_ms = match idle_timeout {
+                Some(idle) if !clients.is_empty() => {
+                    let now = std::time::Instant::now();
+                    let nearest = clients
+                        .values()
+                        .map(|c| {
+                            (c.last_activity + idle).saturating_duration_since(now)
+                        })
+                        .min()
+                        .unwrap_or_default();
+                    // +1 rounds up so a wakeup lands past the deadline, and
+                    // the 10ms floor keeps a herd of nearly-expired idlers
+                    // from degenerating into a busy loop.
+                    (nearest.as_millis() as i64 + 1).clamp(10, i32::MAX as i64) as i32
+                }
+                _ => -1,
+            };
+            let ready = match epoll.wait(&mut events, timeout_ms) {
                 Ok(n) => n,
                 Err(e) => {
                     outcome = Err(e);
@@ -395,6 +433,7 @@ pub fn serve_epoll(
                                     break;
                                 }
                                 Ok(n) => {
+                                    client.last_activity = std::time::Instant::now();
                                     parsed.extend(client.conn.feed(&buf[..n]));
                                     if !client.conn.wants_read() {
                                         break; // backpressure: leave the rest in the kernel
@@ -446,8 +485,33 @@ pub fn serve_epoll(
                         client.conn.complete(seq, result);
                     }
                     client.executing = false;
+                    client.last_activity = std::time::Instant::now();
                     client.dispatch_ready(completion.conn_id, &work);
                     touched.insert(completion.conn_id);
+                }
+            }
+
+            // Idle sweep: quiet connections with nothing in flight are told
+            // why and dropped.  Never triggered by slow *work* — an
+            // executing batch or occupied pipeline slot counts as activity.
+            if let Some(idle) = idle_timeout {
+                let now = std::time::Instant::now();
+                let expired: Vec<u64> = clients
+                    .iter()
+                    .filter(|(_, c)| c.idle_expired(now, idle))
+                    .map(|(&id, _)| id)
+                    .collect();
+                for id in expired {
+                    if let Some(mut client) = clients.remove(&id) {
+                        // Best effort: the kernel buffer almost always has
+                        // room for one line; a blocked peer just misses the
+                        // explanation.
+                        let _ = client
+                            .stream
+                            .write(b"ERR idle timeout, closing connection\n");
+                        epoll.delete(client.stream.as_raw_fd()).ok();
+                        touched.remove(&id);
+                    }
                 }
             }
 
@@ -472,7 +536,10 @@ pub fn serve_epoll(
                             dead = true;
                             break;
                         }
-                        Ok(n) => client.conn.advance_output(n),
+                        Ok(n) => {
+                            client.conn.advance_output(n);
+                            client.last_activity = std::time::Instant::now();
+                        }
                         Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
                         Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
                         Err(_) => {
@@ -516,7 +583,8 @@ mod tests {
 
     fn spawn_epoll(corpus: Arc<Corpus>) -> (std::net::SocketAddr, std::thread::JoinHandle<io::Result<()>>) {
         let (listener, addr) = bind("127.0.0.1:0").unwrap();
-        let handle = std::thread::spawn(move || serve_epoll(listener, corpus, 1 << 20, 2));
+        let handle =
+            std::thread::spawn(move || serve_epoll(listener, corpus, 1 << 20, 2, None));
         (addr, handle)
     }
 
@@ -599,7 +667,7 @@ mod tests {
     fn epoll_overlong_lines_stay_in_sync() {
         let corpus = Arc::new(Corpus::new());
         let (listener, addr) = bind("127.0.0.1:0").unwrap();
-        let server = std::thread::spawn(move || serve_epoll(listener, corpus, 64, 2));
+        let server = std::thread::spawn(move || serve_epoll(listener, corpus, 64, 2, None));
 
         let stream = TcpStream::connect(addr).unwrap();
         let mut reader = BufReader::new(stream.try_clone().unwrap());
@@ -648,6 +716,61 @@ mod tests {
                 assert_eq!(line.trim(), "ERR shutting down");
             }
         }
+        server.join().unwrap().unwrap();
+    }
+
+    /// A connect-and-stall client is answered `ERR idle timeout` and
+    /// dropped without disturbing an active client — before this, the
+    /// reactor's infinite `epoll_wait` let a silent connection hold its
+    /// slot forever.
+    #[test]
+    fn epoll_drops_idle_connections() {
+        let corpus = Arc::new(Corpus::new());
+        let (listener, addr) = bind("127.0.0.1:0").unwrap();
+        let server = std::thread::spawn(move || {
+            serve_epoll(
+                listener,
+                corpus,
+                1 << 20,
+                2,
+                Some(std::time::Duration::from_millis(100)),
+            )
+        });
+
+        // The staller: connects, says nothing.
+        let staller = TcpStream::connect(addr).unwrap();
+        staller
+            .set_read_timeout(Some(std::time::Duration::from_secs(10)))
+            .unwrap();
+
+        // An active client keeps a request/response turn going.
+        let stream = TcpStream::connect(addr).unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut writer = BufWriter::new(stream);
+        writeln!(writer, "LOADTERMS d a(b)").unwrap();
+        writer.flush().unwrap();
+        let (status, _) = read_response(&mut reader);
+        assert_eq!(status, "OK 1");
+
+        // The staller is told why, then sees EOF.
+        let mut staller_reader = BufReader::new(staller);
+        let mut line = String::new();
+        staller_reader.read_line(&mut line).unwrap();
+        assert!(line.starts_with("ERR idle timeout"), "got: {line:?}");
+        let mut rest = String::new();
+        assert_eq!(staller_reader.read_line(&mut rest).unwrap(), 0);
+
+        // The daemon still serves: a fresh connection queries and shuts
+        // down cleanly.
+        let stream2 = TcpStream::connect(addr).unwrap();
+        let mut reader2 = BufReader::new(stream2.try_clone().unwrap());
+        let mut writer2 = BufWriter::new(stream2);
+        writeln!(writer2, "QUERY d descendant::b[. is $x] -> x\nSHUTDOWN").unwrap();
+        writer2.flush().unwrap();
+        let (status2, _) = read_response(&mut reader2);
+        assert_eq!(status2, "OK 2");
+        let (status2, _) = read_response(&mut reader2);
+        assert_eq!(status2, "OK 1");
         server.join().unwrap().unwrap();
     }
 }

@@ -35,21 +35,28 @@
 //!
 //! In both modes transient `accept()` failures (ECONNABORTED, EINTR, and —
 //! after a short sleep — EMFILE/ENFILE) are retried instead of killing the
-//! daemon; only genuinely fatal listener errors stop the accept loop.
+//! daemon; only genuinely fatal listener errors stop the accept loop.  Both
+//! modes also drop connections that stay silent past
+//! [`ServeOptions::idle_timeout`] (`pplxd --idle-timeout`): a stalled or
+//! half-dead client must not hold a handler thread or an epoll slot
+//! forever.
 //!
 //! [`serve`] runs the thread-per-client loop over one shared [`Corpus`];
 //! the `pplxd` binary wraps [`serve_with_options`], and `pplx --connect`
-//! is the matching client.
+//! is the matching client.  The transport-level pieces — bounded line
+//! reads, response framing, the deadline-aware client — live in
+//! [`xpath_wire`], shared with the router and the CLI client.
 
 pub use crate::protocol::{execute_command, parse_command, Command, DEFAULT_MAX_LINE};
 
 use crate::protocol::render_response;
 use crate::Corpus;
-use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::io::{BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
+use xpath_wire::{read_request_line, LineRead};
 
 /// How the daemon multiplexes client connections.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -84,6 +91,10 @@ impl std::str::FromStr for IoMode {
     }
 }
 
+/// Default idle-connection timeout: a connection with no complete request
+/// for this long is answered `ERR idle timeout` (best effort) and dropped.
+pub const DEFAULT_IDLE_TIMEOUT: Duration = Duration::from_secs(60);
+
 /// Serving knobs of [`serve_with_options`].
 #[derive(Debug, Clone)]
 pub struct ServeOptions {
@@ -94,6 +105,10 @@ pub struct ServeOptions {
     /// Worker threads executing commands in [`IoMode::Epoll`] (the
     /// threads mode spawns per client instead).
     pub workers: usize,
+    /// Drop connections with no activity for this long (`pplxd
+    /// --idle-timeout`; `None` disables).  In-flight requests count as
+    /// activity: a slow `QUERYALL` is work, not idleness.
+    pub idle_timeout: Option<Duration>,
 }
 
 impl Default for ServeOptions {
@@ -102,6 +117,7 @@ impl Default for ServeOptions {
             max_line: DEFAULT_MAX_LINE,
             io: IoMode::default(),
             workers: 4,
+            idle_timeout: Some(DEFAULT_IDLE_TIMEOUT),
         }
     }
 }
@@ -140,72 +156,6 @@ pub(crate) fn classify_accept_error(e: &std::io::Error) -> AcceptDisposition {
 /// How long the accept loop sleeps after EMFILE/ENFILE before retrying.
 pub(crate) const ACCEPT_BACKOFF: Duration = Duration::from_millis(10);
 
-/// Outcome of one bounded request-line read.
-enum LineRead {
-    /// A complete line (without the trailing newline).
-    Line(String),
-    /// The line exceeded the cap; the remainder has been drained, the
-    /// connection is still in sync.
-    TooLong,
-    /// End of stream.
-    Eof,
-}
-
-/// Discard input up to and including the next newline.  Returns `false` at
-/// end of stream.
-fn drain_line<R: BufRead>(reader: &mut R) -> std::io::Result<bool> {
-    loop {
-        let available = reader.fill_buf()?;
-        if available.is_empty() {
-            return Ok(false);
-        }
-        match available.iter().position(|&b| b == b'\n') {
-            Some(pos) => {
-                reader.consume(pos + 1);
-                return Ok(true);
-            }
-            None => {
-                let len = available.len();
-                reader.consume(len);
-            }
-        }
-    }
-}
-
-/// Read one request line of at most `max_len` bytes (newline excluded).
-///
-/// Unlike `BufRead::lines`, memory use is bounded by `max_len` no matter
-/// what the peer sends: an overlong line is consumed (not buffered) up to
-/// its newline and reported as [`LineRead::TooLong`], leaving the stream
-/// positioned at the next request so the connection stays usable.
-fn read_request_line<R: BufRead>(reader: &mut R, max_len: usize) -> std::io::Result<LineRead> {
-    let mut buf = Vec::new();
-    // `take` bounds what read_until may buffer; one extra byte distinguishes
-    // "exactly max_len" from "longer than max_len".
-    let n = reader
-        .by_ref()
-        .take(max_len as u64 + 1)
-        .read_until(b'\n', &mut buf)?;
-    if n == 0 {
-        return Ok(LineRead::Eof);
-    }
-    if buf.last() == Some(&b'\n') {
-        buf.pop();
-        if buf.last() == Some(&b'\r') {
-            buf.pop();
-        }
-    } else if n > max_len {
-        // Overlong: skip to the end of the offending line.
-        if !drain_line(reader)? {
-            return Ok(LineRead::Eof);
-        }
-        return Ok(LineRead::TooLong);
-    }
-    // Non-UTF-8 bytes only ever reach parse_command, which will reject the
-    // verb; mangling them lossily beats killing the connection.
-    Ok(LineRead::Line(String::from_utf8_lossy(&buf).into_owned()))
-}
-
 fn write_response<W: Write>(
     writer: &mut W,
     result: Result<Vec<String>, String>,
@@ -214,12 +164,27 @@ fn write_response<W: Write>(
     writer.flush()
 }
 
-/// Serve one client connection until `QUIT`, `SHUTDOWN`, or disconnect.
-/// Returns `true` when the client requested a daemon shutdown.
-fn handle_client(stream: TcpStream, corpus: &Corpus, max_line: usize) -> bool {
+/// Serve one client connection until `QUIT`, `SHUTDOWN`, disconnect, or
+/// idle timeout.  Returns `true` when the client requested a daemon
+/// shutdown.
+fn handle_client(
+    stream: TcpStream,
+    corpus: &Corpus,
+    max_line: usize,
+    idle_timeout: Option<Duration>,
+) -> bool {
     let Ok(read_half) = stream.try_clone() else {
         return false;
     };
+    // The socket timeouts are the idle-timeout mechanism in this mode: a
+    // read that stalls for the whole window wakes up WouldBlock/TimedOut
+    // and the connection is dropped.  The write timeout guards the mirror
+    // case — a peer that sends requests but never drains responses.
+    if stream.set_read_timeout(idle_timeout).is_err()
+        || stream.set_write_timeout(idle_timeout).is_err()
+    {
+        return false;
+    }
     let mut reader = BufReader::new(read_half);
     let mut writer = BufWriter::new(stream);
     loop {
@@ -231,6 +196,18 @@ fn handle_client(stream: TcpStream, corpus: &Corpus, max_line: usize) -> bool {
                     break;
                 }
                 continue; // the offending line was drained; keep serving
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                // Idle for the whole window (possibly mid-line): tell the
+                // peer why, best effort, and drop the connection.
+                let _ = write_response(
+                    &mut writer,
+                    Err("idle timeout, closing connection".to_string()),
+                );
+                break;
             }
             Ok(LineRead::Eof) | Err(_) => break,
         };
@@ -286,6 +263,7 @@ fn serve_threads<A: Acceptor + Sync>(
     acceptor: A,
     corpus: Arc<Corpus>,
     max_line: usize,
+    idle_timeout: Option<Duration>,
 ) -> std::io::Result<()> {
     let mut addr = acceptor.wake_addr()?;
     // The shutdown handler wakes the accept loop by connecting to the
@@ -326,7 +304,7 @@ fn serve_threads<A: Acceptor + Sync>(
             let corpus = Arc::clone(&corpus);
             let shutdown = &shutdown;
             scope.spawn(move || {
-                if handle_client(stream, &corpus, max_line.max(1)) {
+                if handle_client(stream, &corpus, max_line.max(1), idle_timeout) {
                     shutdown.store(true, Ordering::SeqCst);
                     // Wake the accept loop so it observes the flag.
                     let _ = TcpStream::connect(addr);
@@ -353,7 +331,7 @@ pub fn serve_with_limit(
     corpus: Arc<Corpus>,
     max_line: usize,
 ) -> std::io::Result<()> {
-    serve_threads(listener, corpus, max_line)
+    serve_threads(listener, corpus, max_line, Some(DEFAULT_IDLE_TIMEOUT))
 }
 
 /// Serve with explicit [`ServeOptions`]: the thread-per-client loop or, on
@@ -365,13 +343,16 @@ pub fn serve_with_options(
     options: &ServeOptions,
 ) -> std::io::Result<()> {
     match options.io {
-        IoMode::Threads => serve_threads(listener, corpus, options.max_line),
+        IoMode::Threads => {
+            serve_threads(listener, corpus, options.max_line, options.idle_timeout)
+        }
         #[cfg(target_os = "linux")]
         IoMode::Epoll => crate::reactor::serve_epoll(
             listener,
             corpus,
             options.max_line.max(1),
             options.workers.max(1),
+            options.idle_timeout,
         ),
         #[cfg(not(target_os = "linux"))]
         IoMode::Epoll => {
@@ -397,27 +378,8 @@ mod tests {
     use super::*;
     use crate::CorpusConfig;
     use std::collections::VecDeque;
+    use std::io::BufRead;
     use std::sync::Mutex;
-
-    #[test]
-    fn bounded_line_reads_cap_memory_and_stay_in_sync() {
-        use std::io::Cursor;
-        let mut r = Cursor::new(b"short\r\nexactly8\nwaaaaaay too long line\nnext\ntail".to_vec());
-        let next = |r: &mut Cursor<Vec<u8>>| read_request_line(r, 8).unwrap();
-        assert!(matches!(next(&mut r), LineRead::Line(l) if l == "short"));
-        assert!(matches!(next(&mut r), LineRead::Line(l) if l == "exactly8"));
-        // The overlong line is consumed, not buffered, and the stream is
-        // positioned at the next request.
-        assert!(matches!(next(&mut r), LineRead::TooLong));
-        assert!(matches!(next(&mut r), LineRead::Line(l) if l == "next"));
-        // Final line without a newline, within the cap.
-        assert!(matches!(next(&mut r), LineRead::Line(l) if l == "tail"));
-        assert!(matches!(next(&mut r), LineRead::Eof));
-        // An overlong line that hits EOF before its newline is EOF, not a
-        // request.
-        let mut r = Cursor::new(b"0123456789 endless".to_vec());
-        assert!(matches!(read_request_line(&mut r, 8).unwrap(), LineRead::Eof));
-    }
 
     #[test]
     fn command_parsing_round_trip() {
@@ -746,7 +708,7 @@ mod tests {
             ])),
         };
         let corpus = Arc::new(Corpus::new());
-        let server = std::thread::spawn(move || serve_threads(acceptor, corpus, 1024));
+        let server = std::thread::spawn(move || serve_threads(acceptor, corpus, 1024, None));
 
         let stream = TcpStream::connect(addr).unwrap();
         let mut reader = BufReader::new(stream.try_clone().unwrap());
@@ -770,7 +732,7 @@ mod tests {
             script: Mutex::new(VecDeque::from([Error::other("listener exploded")])),
         };
         let corpus = Arc::new(Corpus::new());
-        let err = serve_threads(acceptor, corpus, 1024).unwrap_err();
+        let err = serve_threads(acceptor, corpus, 1024, None).unwrap_err();
         assert!(err.to_string().contains("listener exploded"));
     }
 
@@ -823,7 +785,7 @@ mod tests {
             wake: TcpListener::bind("127.0.0.1:0").unwrap(),
         };
         let corpus = Arc::new(Corpus::new());
-        let server = std::thread::spawn(move || serve_threads(acceptor, corpus, 1024));
+        let server = std::thread::spawn(move || serve_threads(acceptor, corpus, 1024, None));
 
         // The shutting-down client gets its goodbye…
         let mut reader = BufReader::new(shutter_client);
@@ -840,6 +802,59 @@ mod tests {
         let mut rest = String::new();
         assert_eq!(late_reader.read_line(&mut rest).unwrap(), 0);
 
+        server.join().unwrap().unwrap();
+    }
+
+    /// A connect-and-stall client must be answered `ERR idle timeout` and
+    /// dropped — before this, a silent connection held its handler thread
+    /// forever.  An active client on the same daemon keeps working across
+    /// the stalled one's demise.
+    #[test]
+    fn threads_mode_drops_idle_connections() {
+        let (listener, addr) = bind("127.0.0.1:0").unwrap();
+        let corpus = Arc::new(Corpus::new());
+        let options = ServeOptions {
+            io: IoMode::Threads,
+            idle_timeout: Some(Duration::from_millis(100)),
+            ..ServeOptions::default()
+        };
+        let server =
+            std::thread::spawn(move || serve_with_options(listener, corpus, &options));
+
+        // The staller: connects, sends nothing.
+        let staller = TcpStream::connect(addr).unwrap();
+        staller
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+
+        // An active client stays healthy meanwhile.
+        let stream = TcpStream::connect(addr).unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut writer = BufWriter::new(stream);
+        writeln!(writer, "LOADTERMS d a(b)").unwrap();
+        writer.flush().unwrap();
+        let mut status = String::new();
+        reader.read_line(&mut status).unwrap();
+        assert_eq!(status.trim(), "OK 1");
+
+        // The staller is told why and then sees EOF.
+        let mut staller_reader = BufReader::new(staller);
+        let mut line = String::new();
+        staller_reader.read_line(&mut line).unwrap();
+        assert!(line.starts_with("ERR idle timeout"), "got: {line:?}");
+        let mut rest = String::new();
+        assert_eq!(staller_reader.read_line(&mut rest).unwrap(), 0, "EOF after the error");
+
+        // The active client is unaffected (it was idle briefly too, but a
+        // fresh request after the staller died proves the daemon serves on).
+        let stream2 = TcpStream::connect(addr).unwrap();
+        let mut reader2 = BufReader::new(stream2.try_clone().unwrap());
+        let mut writer2 = BufWriter::new(stream2);
+        writeln!(writer2, "SHUTDOWN").unwrap();
+        writer2.flush().unwrap();
+        let mut status2 = String::new();
+        reader2.read_line(&mut status2).unwrap();
+        assert_eq!(status2.trim(), "OK 1");
         server.join().unwrap().unwrap();
     }
 }
