@@ -22,6 +22,8 @@
 //!   expressions into ACQs over the atoms' relations (Prop. 8 direction),
 //!   used to cross-check Yannakakis against the Fig. 8 algorithm.
 
+#![forbid(unsafe_code)]
+
 pub mod acyclic;
 pub mod db;
 pub mod from_hcl;

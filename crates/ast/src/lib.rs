@@ -37,6 +37,8 @@
 //! assert_eq!(vars.len(), 2);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod binexpr;
 pub mod dsl;
 pub mod expr;

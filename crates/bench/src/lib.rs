@@ -6,6 +6,8 @@
 //! `src/bin/experiments.rs`, and both use the workload constructors below so
 //! the numbers are comparable.
 
+#![forbid(unsafe_code)]
+
 pub mod json;
 pub mod regress;
 

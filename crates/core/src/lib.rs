@@ -103,6 +103,8 @@
 //! documents, and backs the `pplxd` TCP daemon — with `pplx --connect`
 //! as the client.
 
+#![forbid(unsafe_code)]
+
 pub mod document;
 pub mod engine;
 pub mod exec;

@@ -63,8 +63,9 @@ use queue::BoundedQueue;
 use std::collections::{BTreeMap, HashMap};
 use std::fmt;
 use std::path::Path;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
+use xpath_sync::atomic::{AtomicU64, Ordering};
+use xpath_sync::Mutex;
 use xpath_ast::{parse_path, Var};
 use xpath_tree::Tree;
 use xpath_xml::{parse_with, ParseOptions};
@@ -316,7 +317,7 @@ impl Corpus {
         &self.config
     }
 
-    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+    fn lock(&self) -> xpath_sync::MutexGuard<'_, Inner> {
         self.inner.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
     }
 
@@ -729,7 +730,7 @@ impl Corpus {
             names.iter().map(|_| Mutex::new(None)).collect();
         let work: BoundedQueue<usize> = BoundedQueue::new(self.config.queue_capacity.max(1));
         let workers = self.config.threads.clamp(1, names.len());
-        std::thread::scope(|scope| {
+        xpath_sync::thread::scope(|scope| {
             for _ in 0..workers {
                 scope.spawn(|| {
                     while let Some(i) = work.pop() {

@@ -10,7 +10,7 @@
 //! returns `None`, which is the worker-shutdown signal.
 
 use std::collections::VecDeque;
-use std::sync::{Condvar, Mutex, MutexGuard};
+use xpath_sync::{Condvar, Mutex, MutexGuard};
 
 /// A blocking, capacity-bounded multi-producer multi-consumer queue.
 #[derive(Debug)]

@@ -37,6 +37,11 @@
 //! workers.  (The thread-per-client mode instead keeps serving existing
 //! clients until they quit; both answer late-racing clients, never drop
 //! them silently.)
+//!
+//! This module is the only place in the workspace allowed to contain
+//! `unsafe` (every other crate is `#![forbid(unsafe_code)]`); each unsafe
+//! block carries a `// SAFETY:` justification, enforced by `xpath-lint`.
+#![deny(unsafe_op_in_unsafe_fn)]
 
 use crate::protocol::{execute_command, Command, Conn, ConnEvent};
 use crate::queue::BoundedQueue;
@@ -46,7 +51,8 @@ use std::collections::{HashMap, HashSet};
 use std::io::{self, Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::os::fd::{AsRawFd, RawFd};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
+use xpath_sync::Mutex;
 
 /// Minimal raw bindings for the reactor's syscall surface.
 mod sys {
@@ -92,6 +98,8 @@ struct Epoll {
 
 impl Epoll {
     fn new() -> io::Result<Epoll> {
+        // SAFETY: epoll_create1 takes a flag word and touches no caller
+        // memory; a negative return is checked below before the fd is used.
         let fd = unsafe { sys::epoll_create1(sys::EPOLL_CLOEXEC) };
         if fd < 0 {
             return Err(io::Error::last_os_error());
@@ -101,6 +109,9 @@ impl Epoll {
 
     fn ctl(&self, op: i32, fd: RawFd, events: u32, token: u64) -> io::Result<()> {
         let mut ev = sys::EpollEvent { events, data: token };
+        // SAFETY: `ev` is a live, properly initialised EpollEvent for the
+        // duration of the call; the kernel only reads it.  `self.fd` is the
+        // epoll fd this struct owns (valid until Drop).
         if unsafe { sys::epoll_ctl(self.fd, op, fd, &mut ev) } < 0 {
             return Err(io::Error::last_os_error());
         }
@@ -124,6 +135,9 @@ impl Epoll {
     /// timeout.
     fn wait(&self, events: &mut [sys::EpollEvent], timeout_ms: i32) -> io::Result<usize> {
         loop {
+            // SAFETY: the out-pointer and length name exactly the caller's
+            // `events` slice, which outlives the call; the kernel writes at
+            // most `events.len()` entries.  `self.fd` is owned and open.
             let n = unsafe {
                 sys::epoll_wait(self.fd, events.as_mut_ptr(), events.len() as i32, timeout_ms)
             };
@@ -140,6 +154,8 @@ impl Epoll {
 
 impl Drop for Epoll {
     fn drop(&mut self) {
+        // SAFETY: `self.fd` was returned by epoll_create1, is owned solely
+        // by this struct, and is closed exactly once (here).
         unsafe { sys::close(self.fd) };
     }
 }
@@ -151,6 +167,8 @@ struct EventFd {
 
 impl EventFd {
     fn new() -> io::Result<EventFd> {
+        // SAFETY: eventfd takes an initial count and flags, touching no
+        // caller memory; a negative return is checked before the fd is used.
         let fd = unsafe { sys::eventfd(0, sys::EFD_CLOEXEC | sys::EFD_NONBLOCK) };
         if fd < 0 {
             return Err(io::Error::last_os_error());
@@ -163,18 +181,24 @@ impl EventFd {
         let one: u64 = 1;
         // EAGAIN (counter saturated) still leaves the fd readable, which is
         // all a wakeup needs; any other failure has no recovery here.
+        // SAFETY: the pointer names the local `one` (8 valid readable
+        // bytes, the exact length passed); `self.fd` is owned and open.
         unsafe { sys::write(self.fd, (&one as *const u64).cast(), 8) };
     }
 
     /// Reset the counter so the next `signal` re-arms the readable state.
     fn drain(&self) {
         let mut counter: u64 = 0;
+        // SAFETY: the pointer names the local `counter` (8 valid writable
+        // bytes, the exact length passed); `self.fd` is owned and open.
         unsafe { sys::read(self.fd, (&mut counter as *mut u64).cast(), 8) };
     }
 }
 
 impl Drop for EventFd {
     fn drop(&mut self) {
+        // SAFETY: `self.fd` was returned by eventfd, is owned solely by
+        // this struct, and is closed exactly once (here).
         unsafe { sys::close(self.fd) };
     }
 }
@@ -305,7 +329,7 @@ pub fn serve_epoll(
     let mut shutting_down = false;
     let mut outcome: io::Result<()> = Ok(());
 
-    std::thread::scope(|scope| {
+    xpath_sync::thread::scope(|scope| {
         for _ in 0..workers {
             scope.spawn(|| {
                 while let Some(job) = work.pop() {

@@ -47,8 +47,9 @@ use crate::server::{classify_accept_error, AcceptDisposition, ACCEPT_BACKOFF};
 use std::collections::{BTreeMap, HashMap};
 use std::io::{BufReader, BufWriter, Write};
 use std::net::{TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
+use xpath_sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use xpath_sync::{Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 use xpath_wire::{read_request_line, ClientConfig, LineRead, Response, ShardClient, WireError};
 
@@ -238,20 +239,54 @@ impl Router {
         &self.config
     }
 
+    /// Poison policy for the fault hook: a hook that panicked mid-call is
+    /// dropped — failure injection must never wedge the router itself.
+    fn fault_hook_slot(&self) -> MutexGuard<'_, Option<FaultHook>> {
+        match self.fault_hook.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => {
+                let mut guard = poisoned.into_inner();
+                *guard = None;
+                self.fault_hook.clear_poison();
+                guard
+            }
+        }
+    }
+
+    /// Poison policy for shard health: every writer leaves the struct
+    /// field-consistent, so the state is taken as-is (worst case a stale
+    /// status, which the next success/failure overwrites).
+    fn health_slot(&self, idx: usize) -> MutexGuard<'_, ShardHealth> {
+        self.health[idx].lock().unwrap_or_else(|poisoned| {
+            self.health[idx].clear_poison();
+            poisoned.into_inner()
+        })
+    }
+
+    /// Poison policy for the placement catalog: inserts are single-call
+    /// atomic, so the map is taken as-is (worst case one document falls
+    /// back to ring placement until its next `LOAD`).
+    fn catalog_slot(&self) -> MutexGuard<'_, HashMap<String, Vec<usize>>> {
+        self.catalog.lock().unwrap_or_else(|poisoned| {
+            self.catalog.clear_poison();
+            poisoned.into_inner()
+        })
+    }
+
     /// Install a failure-injection hook (tests and the fuzz harness).
     pub fn set_fault_hook(&self, hook: FaultHook) {
-        *self.fault_hook.lock().unwrap() = Some(hook);
+        *self.fault_hook_slot() = Some(hook);
     }
 
     /// Current health of shard `idx`.
     pub fn shard_status(&self, idx: usize) -> ShardStatus {
-        self.health[idx].lock().unwrap().status
+        self.health_slot(idx).status
     }
 
     /// The replica shard set of `name`: its catalogued placement, or ring
     /// placement for documents this router never loaded.
     pub fn replicas_for(&self, name: &str) -> Vec<usize> {
-        if let Some(placed) = self.catalog.lock().unwrap().get(name) {
+        if let Some(placed) = self.catalog_slot().get(name) {
             return placed.clone();
         }
         self.ring.replicas(name, self.config.replication)
@@ -262,7 +297,7 @@ impl Router {
     /// pushes the next one out, so concurrent requests don't pile onto a
     /// sick shard.
     fn available(&self, idx: usize) -> bool {
-        let mut health = self.health[idx].lock().unwrap();
+        let mut health = self.health_slot(idx);
         match health.status {
             ShardStatus::Up => true,
             ShardStatus::Down => {
@@ -279,14 +314,14 @@ impl Router {
     }
 
     fn record_success(&self, idx: usize) {
-        let mut health = self.health[idx].lock().unwrap();
+        let mut health = self.health_slot(idx);
         health.status = ShardStatus::Up;
         health.consecutive_failures = 0;
         health.probe_at = None;
     }
 
     fn record_failure(&self, idx: usize) {
-        let mut health = self.health[idx].lock().unwrap();
+        let mut health = self.health_slot(idx);
         health.consecutive_failures = health.consecutive_failures.saturating_add(1);
         if health.consecutive_failures >= self.config.fail_threshold {
             health.status = ShardStatus::Down;
@@ -295,7 +330,7 @@ impl Router {
     }
 
     fn fault_for(&self, shard: usize, command: &Command) -> FaultAction {
-        match self.fault_hook.lock().unwrap().as_ref() {
+        match self.fault_hook_slot().as_ref() {
             Some(hook) => hook(shard, command),
             None => FaultAction::None,
         }
@@ -452,11 +487,7 @@ impl RouterConn {
             return Err(format!("load failed for '{name}': {reason}"));
         }
         let acked = placed.len();
-        self.router
-            .catalog
-            .lock()
-            .unwrap()
-            .insert(name.to_string(), placed);
+        self.router.catalog_slot().insert(name.to_string(), placed);
         Ok(vec![format!("loaded {name} replicas={acked}/{total}")])
     }
 
@@ -606,7 +637,7 @@ impl RouterConn {
         }
         // Catalogued documents with every replica in the failed set are
         // reported, not silently dropped.
-        let catalog = self.router.catalog.lock().unwrap();
+        let catalog = self.router.catalog_slot();
         for (name, replicas) in catalog.iter() {
             if merged.contains_key(name) {
                 continue;
@@ -640,23 +671,31 @@ impl RouterConn {
         include_down: bool,
     ) -> Vec<(usize, Option<Result<Response, WireError>>)> {
         let router = &self.router;
-        std::thread::scope(|scope| {
+        xpath_sync::thread::scope(|scope| {
             let handles: Vec<_> = self
                 .clients
                 .iter_mut()
                 .enumerate()
                 .map(|(shard, client)| {
-                    scope.spawn(move || {
+                    let handle = scope.spawn(move || {
                         if !include_down && !router.available(shard) {
                             return (shard, None);
                         }
                         (shard, Some(routed(router, client, shard, line, command)))
-                    })
+                    });
+                    (shard, handle)
                 })
                 .collect();
             handles
                 .into_iter()
-                .map(|h| h.join().expect("scatter worker panicked"))
+                .map(|(shard, h)| {
+                    h.join().unwrap_or_else(|_| {
+                        // A panicking shard worker degrades to a failed
+                        // shard; the fan-out and the router keep going.
+                        let e = std::io::Error::other("shard worker panicked");
+                        (shard, Some(Err(WireError::Io(e))))
+                    })
+                })
                 .collect()
         })
     }
@@ -754,7 +793,7 @@ pub fn serve_router(listener: TcpListener, router: Arc<Router>) -> std::io::Resu
         };
         addr.set_ip(loopback);
     }
-    std::thread::scope(|scope| -> std::io::Result<()> {
+    xpath_sync::thread::scope(|scope| -> std::io::Result<()> {
         loop {
             let mut stream = match listener.accept().map(|(stream, _)| stream) {
                 Ok(stream) => stream,
@@ -1006,6 +1045,29 @@ mod tests {
         assert_eq!(router.shard_status(0), ShardStatus::Up);
         conn.handle_line("SHUTDOWN").unwrap();
         backend.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn panicking_fault_hook_is_dropped_not_fatal() {
+        // PR 9 poison policy: a fault hook that panics mid-call poisons its
+        // mutex; the next caller drops the hook and keeps routing instead of
+        // dying on what used to be `lock().unwrap()`.
+        let router = fast_router(vec!["127.0.0.1:9".into()], 1);
+        router.set_fault_hook(Arc::new(|_, _| panic!("hook blew up")));
+        let command = parse_command("STATS").unwrap();
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            router.fault_for(0, &command)
+        }));
+        assert!(caught.is_err(), "the hook's own panic still propagates");
+        assert!(
+            matches!(router.fault_for(0, &command), FaultAction::None),
+            "the poisoned slot recovers by dropping the hook"
+        );
+        router.set_fault_hook(Arc::new(|_, _| FaultAction::KillConn));
+        assert!(
+            matches!(router.fault_for(0, &command), FaultAction::KillConn),
+            "a fresh hook installs over the recovered slot"
+        );
     }
 
     #[test]

@@ -53,8 +53,8 @@ use crate::protocol::render_response;
 use crate::Corpus;
 use std::io::{BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+use xpath_sync::atomic::{AtomicBool, Ordering};
 use std::time::Duration;
 use xpath_wire::{read_request_line, LineRead};
 
@@ -278,7 +278,7 @@ fn serve_threads<A: Acceptor + Sync>(
         addr.set_ip(loopback);
     }
     let shutdown = AtomicBool::new(false);
-    std::thread::scope(|scope| -> std::io::Result<()> {
+    xpath_sync::thread::scope(|scope| -> std::io::Result<()> {
         loop {
             let mut stream = match acceptor.accept_client() {
                 Ok(stream) => stream,

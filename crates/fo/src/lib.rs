@@ -24,6 +24,8 @@
 //! The crate is used by the FO-completeness example and by the benchmark
 //! experiment E9 (translation linearity and answer preservation).
 
+#![forbid(unsafe_code)]
+
 pub mod eval;
 pub mod formula;
 pub mod parser;

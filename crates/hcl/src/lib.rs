@@ -41,6 +41,8 @@
 //! assert_eq!(answers.len(), 3); // one author-title pair per (author, book)
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod answer;
 pub mod lang;
 pub mod mc;

@@ -1,0 +1,37 @@
+//! CLI: scan the workspace from the repo root (or a path given as the first
+//! argument), print findings, exit non-zero if any survive the allowlist.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let root = std::env::args_os()
+        .nth(1)
+        .map(PathBuf::from)
+        .or_else(|| {
+            // When run via `cargo run -p xpath_lint`, the manifest dir points
+            // at crates/lint; the workspace root is two levels up.
+            std::env::var_os("CARGO_MANIFEST_DIR").map(|d| PathBuf::from(d).join("../.."))
+        })
+        .unwrap_or_else(|| PathBuf::from("."));
+
+    let findings = match xpath_lint::scan_workspace(&root) {
+        Ok(findings) => findings,
+        Err(e) => {
+            eprintln!("xpath-lint: failed to scan {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    if findings.is_empty() {
+        println!("xpath-lint: workspace clean");
+        return ExitCode::SUCCESS;
+    }
+    for f in &findings {
+        println!("{f}");
+    }
+    eprintln!("xpath-lint: {} violation(s)", findings.len());
+    ExitCode::FAILURE
+}

@@ -20,6 +20,8 @@
 //! differential tests and as the baseline in the benchmark experiments
 //! (EXPERIMENTS.md, experiment E4).
 
+#![forbid(unsafe_code)]
+
 pub mod assignment;
 pub mod eval;
 pub mod nary;

@@ -1,0 +1,6 @@
+fn main() {
+    // `model_check` is an expected custom cfg: the CI model-check lane builds
+    // with RUSTFLAGS="--cfg model_check" to swap the facade internals from
+    // plain std onto the deterministic scheduler.
+    println!("cargo::rustc-check-cfg=cfg(model_check)");
+}

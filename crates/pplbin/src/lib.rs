@@ -40,6 +40,8 @@
 //!   (`&self` evaluation behind per-shard `Mutex`es) that lets one document
 //!   serve queries from many threads at once.
 
+#![forbid(unsafe_code)]
+
 pub mod corexpath1;
 pub mod eval;
 pub mod lazy;

@@ -37,7 +37,8 @@ use crate::matrix::{CapacityError, NodeMatrix};
 use crate::relation::{KernelMode, KernelStats, Relation};
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
-use std::sync::{Arc, Mutex, MutexGuard};
+use std::sync::Arc;
+use xpath_sync::{Mutex, MutexGuard};
 use xpath_ast::{BinExpr, NameTest};
 use xpath_tree::{Axis, NodeId, Tree};
 
@@ -567,23 +568,45 @@ impl SharedMatrixStore {
         self.shards.len()
     }
 
-    /// Lock the shard responsible for `expr`.  Poisoning is deliberately
-    /// recovered from: a panicking evaluation leaves at most a `None`
-    /// relation slot behind, which later evaluations simply recompile.
+    /// Lock the shard responsible for `expr`, applying the poison policy of
+    /// [`SharedMatrixStore::recover_shard`].
     fn shard(&self, expr: &BinExpr) -> MutexGuard<'_, MatrixStore> {
         let mut hasher = std::collections::hash_map::DefaultHasher::new();
         expr.hash(&mut hasher);
         let shard = (hasher.finish() as usize) % self.shards.len();
-        self.shards[shard]
-            .lock()
-            .unwrap_or_else(|poisoned| poisoned.into_inner())
+        match self.shards[shard].lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => Self::recover_shard(&self.shards[shard], poisoned),
+        }
     }
 
     fn each_shard<R>(&self, mut f: impl FnMut(&mut MatrixStore) -> R) -> Vec<R> {
         self.shards
             .iter()
-            .map(|s| f(&mut s.lock().unwrap_or_else(|poisoned| poisoned.into_inner())))
+            .map(|s| {
+                let mut guard = match s.lock() {
+                    Ok(guard) => guard,
+                    Err(poisoned) => Self::recover_shard(s, poisoned),
+                };
+                f(&mut guard)
+            })
             .collect()
+    }
+
+    /// Poison policy: a panicking evaluation may have left a half-built
+    /// entry (a reserved slot whose relation never landed) in the shard it
+    /// held, so the shard's cache is cleared and the poison flag reset.
+    /// Losing one shard's cache costs recompilation; trusting a mid-update
+    /// cache — or killing every worker that touches the shard next, which
+    /// is what `lock().unwrap()` did before PR 9 — is far worse.
+    fn recover_shard<'a>(
+        mutex: &'a Mutex<MatrixStore>,
+        poisoned: xpath_sync::PoisonError<MutexGuard<'a, MatrixStore>>,
+    ) -> MutexGuard<'a, MatrixStore> {
+        let mut guard = poisoned.into_inner();
+        guard.clear();
+        mutex.clear_poison();
+        guard
     }
 
     /// Evaluate a PPLbin expression to a dense [`NodeMatrix`] through the
@@ -802,6 +825,28 @@ mod tests {
         assert_eq!(store.stats().lookups(), 0);
         assert_eq!(store.domain(), t.len());
         assert!(store.shard_count() >= 1);
+    }
+
+    /// PR 9 poison policy: a panic while a shard lock is held clears that
+    /// shard's cache and resets the poison flag — the next caller serves a
+    /// correct answer from a cold cache instead of dying on `unwrap()`.
+    #[test]
+    fn poisoned_shard_clears_its_cache_and_keeps_serving() {
+        let t = tree();
+        let store = SharedMatrixStore::with_shards_and_mode(t.len(), 1, KernelMode::default());
+        let b = bin("child::book/child::author");
+        store.eval(&t, &b);
+        assert!(store.stats().lookups() > 0, "warm cache before the panic");
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            store.each_shard(|_| panic!("evaluation blew up while holding the shard"));
+        }));
+        assert!(caught.is_err());
+        // First touch after the poison recovers the shard: cache cleared.
+        assert_eq!(store.stats().lookups(), 0, "clear-on-poison drops the cache");
+        // And the store keeps answering, recompiling from scratch.
+        assert_eq!(store.eval(&t, &b), answer_binary(&t, &b));
+        assert_eq!(store.eval(&t, &b), answer_binary(&t, &b));
+        assert!(store.stats().hits > 0, "cache rebuilds after recovery");
     }
 
     #[test]

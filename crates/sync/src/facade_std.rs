@@ -1,0 +1,159 @@
+//! Normal-build facade: `#[inline]` newtypes over `std::sync` /
+//! `std::thread` with identical semantics (including poisoning).  This is
+//! the personality production binaries get; the model checker is only wired
+//! in under `--cfg model_check` (see `facade_model.rs`).
+
+use std::fmt;
+use std::ops::{Deref, DerefMut};
+use std::sync::{self as ss, LockResult, PoisonError};
+
+/// Drop-in `std::sync::Mutex`.
+pub struct Mutex<T>(ss::Mutex<T>);
+
+impl<T> Mutex<T> {
+    #[inline]
+    pub fn new(value: T) -> Mutex<T> {
+        Mutex(ss::Mutex::new(value))
+    }
+
+    #[inline]
+    pub fn lock(&self) -> LockResult<MutexGuard<'_, T>> {
+        match self.0.lock() {
+            Ok(g) => Ok(MutexGuard(g)),
+            Err(p) => Err(PoisonError::new(MutexGuard(p.into_inner()))),
+        }
+    }
+
+    #[inline]
+    pub fn into_inner(self) -> LockResult<T> {
+        self.0.into_inner()
+    }
+
+    #[inline]
+    pub fn clear_poison(&self) {
+        self.0.clear_poison()
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.0.fmt(f)
+    }
+}
+
+impl<T: Default> Default for Mutex<T> {
+    fn default() -> Mutex<T> {
+        Mutex::new(T::default())
+    }
+}
+
+/// Drop-in `std::sync::MutexGuard`.
+pub struct MutexGuard<'a, T>(ss::MutexGuard<'a, T>);
+
+impl<T> Deref for MutexGuard<'_, T> {
+    type Target = T;
+    #[inline]
+    fn deref(&self) -> &T {
+        &self.0
+    }
+}
+
+impl<T> DerefMut for MutexGuard<'_, T> {
+    #[inline]
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.0
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for MutexGuard<'_, T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.0.fmt(f)
+    }
+}
+
+/// Drop-in `std::sync::Condvar`.
+pub struct Condvar(ss::Condvar);
+
+impl Condvar {
+    #[inline]
+    pub fn new() -> Condvar {
+        Condvar(ss::Condvar::new())
+    }
+
+    #[inline]
+    pub fn wait<'a, T>(&self, guard: MutexGuard<'a, T>) -> LockResult<MutexGuard<'a, T>> {
+        match self.0.wait(guard.0) {
+            Ok(g) => Ok(MutexGuard(g)),
+            Err(p) => Err(PoisonError::new(MutexGuard(p.into_inner()))),
+        }
+    }
+
+    #[inline]
+    pub fn notify_one(&self) {
+        self.0.notify_one()
+    }
+
+    #[inline]
+    pub fn notify_all(&self) {
+        self.0.notify_all()
+    }
+}
+
+impl Default for Condvar {
+    fn default() -> Condvar {
+        Condvar::new()
+    }
+}
+
+impl fmt::Debug for Condvar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.0.fmt(f)
+    }
+}
+
+/// Atomics are straight re-exports in normal builds: zero-cost and the full
+/// `std` API.  Under `model_check` these become scheduling-point wrappers
+/// with the subset of operations the workspace actually uses.
+pub mod atomic {
+    pub use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+}
+
+/// Scoped threads, passthrough to `std::thread::scope`.
+pub mod thread {
+    /// Drop-in `std::thread::scope`.
+    pub fn scope<'env, F, T>(f: F) -> T
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> T,
+    {
+        std::thread::scope(|s| f(&Scope(s)))
+    }
+
+    /// Drop-in `std::thread::Scope`.
+    pub struct Scope<'scope, 'env: 'scope>(&'scope std::thread::Scope<'scope, 'env>);
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        #[inline]
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce() -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            ScopedJoinHandle(self.0.spawn(f))
+        }
+    }
+
+    /// Drop-in `std::thread::ScopedJoinHandle`.
+    pub struct ScopedJoinHandle<'scope, T>(std::thread::ScopedJoinHandle<'scope, T>);
+
+    impl<T> ScopedJoinHandle<'_, T> {
+        #[inline]
+        pub fn join(self) -> std::thread::Result<T> {
+            self.0.join()
+        }
+    }
+
+    #[inline]
+    pub fn yield_now() {
+        std::thread::yield_now()
+    }
+}

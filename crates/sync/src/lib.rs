@@ -1,0 +1,44 @@
+//! `xpath_sync`: the workspace's synchronisation facade + model checker.
+//!
+//! Production crates (`xpath_corpus`, `xpath_pplbin`) import their lock,
+//! condvar, atomic and scoped-thread primitives from here instead of
+//! `std::sync` / `std::thread` (a rule `xpath_lint` enforces).  The facade
+//! has two personalities, selected at compile time:
+//!
+//! - **Normal builds** (`cargo build`/`test` with no extra flags): every
+//!   type is a `#[inline]` newtype over — or a straight re-export of — its
+//!   `std` counterpart, including poison semantics.  There is no scheduler,
+//!   no registry, no extra state: the facade compiles to plain `std`.
+//! - **`RUSTFLAGS="--cfg model_check"`**: constructors check whether the
+//!   calling thread is inside [`model::run`].  Inside a run they build
+//!   [`model`] primitives, so every acquire/release/wait/notify/atomic of
+//!   the *real production types* becomes a deterministic scheduling point;
+//!   outside a run they quietly fall back to `std`, so unrelated tests keep
+//!   working in the same build.
+//!
+//! The [`model`] module itself (the cooperative scheduler and its mirror
+//! types) is compiled unconditionally: the replica-based model tests and
+//! the mutation self-tests in `crates/sync/tests/` run under a plain
+//! `cargo test`, with committed failure seeds.  See `README.md`
+//! ("Correctness tooling") for how to replay a failing seed.
+
+#![forbid(unsafe_code)]
+
+pub mod model;
+
+#[cfg(not(model_check))]
+mod facade_std;
+#[cfg(not(model_check))]
+use facade_std as facade;
+
+#[cfg(model_check)]
+mod facade_model;
+#[cfg(model_check)]
+use facade_model as facade;
+
+pub use facade::atomic;
+pub use facade::thread;
+pub use facade::{Condvar, Mutex, MutexGuard};
+
+/// Re-exported so facade users spell lock results exactly like `std`.
+pub use std::sync::{LockResult, PoisonError};

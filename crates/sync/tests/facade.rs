@@ -1,0 +1,76 @@
+//! Smoke tests for the facade in its default (std) personality: drop-in
+//! `std::sync` semantics, including poisoning, so porting a crate onto
+//! `xpath_sync` changes nothing in normal builds.
+
+use xpath_sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use xpath_sync::{thread, Condvar, Mutex};
+
+#[test]
+fn mutex_roundtrip_and_into_inner() {
+    let m = Mutex::new(41);
+    *m.lock().unwrap() += 1;
+    assert_eq!(*m.lock().unwrap(), 42);
+    assert_eq!(m.into_inner().unwrap(), 42);
+}
+
+#[test]
+fn mutex_poisons_on_panic_and_recovers() {
+    let m = Mutex::new(0);
+    let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        let _g = m.lock().unwrap();
+        panic!("poison it");
+    }));
+    assert!(caught.is_err());
+    // Poison is observable and recoverable, exactly like std.
+    let g = m.lock().unwrap_or_else(|poisoned| poisoned.into_inner());
+    assert_eq!(*g, 0);
+    drop(g);
+    m.clear_poison();
+    assert!(m.lock().is_ok(), "clear_poison restores the Ok path");
+}
+
+#[test]
+fn condvar_wakes_waiter_across_scoped_threads() {
+    let slot: Mutex<Option<u32>> = Mutex::new(None);
+    let ready = Condvar::new();
+    thread::scope(|scope| {
+        let waiter = scope.spawn(|| {
+            let mut g = slot.lock().unwrap();
+            while g.is_none() {
+                g = ready.wait(g).unwrap();
+            }
+            g.unwrap()
+        });
+        *slot.lock().unwrap() = Some(7);
+        ready.notify_one();
+        assert_eq!(waiter.join().unwrap(), 7);
+    });
+}
+
+#[test]
+fn atomics_behave_like_std() {
+    let b = AtomicBool::new(false);
+    b.store(true, Ordering::SeqCst);
+    assert!(b.load(Ordering::SeqCst));
+    assert!(b.swap(false, Ordering::SeqCst));
+
+    let n = AtomicUsize::new(1);
+    assert_eq!(n.fetch_add(2, Ordering::SeqCst), 1);
+    assert_eq!(n.load(Ordering::SeqCst), 3);
+
+    let w = AtomicU64::new(10);
+    assert_eq!(w.fetch_sub(4, Ordering::SeqCst), 10);
+    assert_eq!(w.fetch_max(100, Ordering::SeqCst), 6);
+    assert_eq!(w.load(Ordering::SeqCst), 100);
+}
+
+#[test]
+fn scoped_spawn_borrows_from_environment() {
+    let data = [1u64, 2, 3, 4];
+    let total = thread::scope(|scope| {
+        let left = scope.spawn(|| data[..2].iter().sum::<u64>());
+        let right = scope.spawn(|| data[2..].iter().sum::<u64>());
+        left.join().unwrap() + right.join().unwrap()
+    });
+    assert_eq!(total, 10);
+}

@@ -39,6 +39,8 @@
 //! assert!(t.is_ancestor(books[0], root));
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod axes;
 pub mod binary;
 pub mod builder;

@@ -26,6 +26,8 @@
 //! verbs stays in `xpath_corpus::protocol`; this crate moves bytes with
 //! bounded memory and bounded time.
 
+#![forbid(unsafe_code)]
+
 use std::io::{self, BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::time::{Duration, Instant};

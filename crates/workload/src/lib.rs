@@ -12,6 +12,8 @@
 //!   SAT to query non-emptiness of Core XPath 2.0 *with* variable sharing
 //!   (the hardness side that motivates the NVS restrictions of PPL).
 
+#![forbid(unsafe_code)]
+
 pub mod sat;
 pub mod suites;
 

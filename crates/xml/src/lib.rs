@@ -30,6 +30,8 @@
 //! assert!(xml.starts_with("<bib>"));
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod parser;
 pub mod serializer;
 

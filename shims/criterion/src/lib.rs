@@ -11,6 +11,8 @@
 //! criterion's statistics, plotting, or baseline comparison. It is good
 //! enough to eyeball relative costs; treat absolute numbers with suspicion.
 
+#![forbid(unsafe_code)]
+
 use std::time::{Duration, Instant};
 
 /// Re-export-compatible opaque value sink (compiler fence).

@@ -12,6 +12,8 @@
 //! is deterministic per test (seeded from the test's module path + name), so
 //! failures reproduce across runs.
 
+#![forbid(unsafe_code)]
+
 pub mod strategy {
     use rand::rngs::StdRng;
     use rand::Rng;

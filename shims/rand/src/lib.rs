@@ -9,6 +9,8 @@
 //! everything in this workspace only relies on determinism per seed, never on
 //! specific sampled values.
 
+#![forbid(unsafe_code)]
+
 pub mod rngs {
     /// Deterministic 64-bit PRNG (SplitMix64).
     #[derive(Debug, Clone)]

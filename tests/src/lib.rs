@@ -5,4 +5,6 @@
 //!
 //! The theorem-by-theorem integration tests live in `tests/tests/`.
 
+#![forbid(unsafe_code)]
+
 pub mod differential;
