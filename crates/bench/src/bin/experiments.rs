@@ -33,6 +33,11 @@
 //!   pipelined QUERY load, plus a mid-bench shard kill measuring the
 //!   post-recovery failure rate) and write the result to `<path>` (default
 //!   `BENCH_8.json`).
+//! * `--bench-incr [--smoke] [--out <path>]` — run the E17 incremental
+//!   maintenance sweep (a warm session absorbing a single-node relabel via
+//!   `fork_edited` vs a from-scratch session, re-answering the E14 DBLP
+//!   suite; |t| ∈ {10k, 100k}) and write the result to `<path>` (default
+//!   `BENCH_9.json`).
 //! * `--check <path>` — parse an emitted JSON file and validate the schema
 //!   (exit non-zero on any missing key), so CI notices when the harness or
 //!   the trajectory file rots.
@@ -88,12 +93,14 @@ fn run_harness_mode(args: &[String]) -> i32 {
          [--bench-corpus [--smoke] [--out <path>]] \
          [--bench-lazy [--smoke] [--out <path>]] \
          [--bench-daemon [--smoke] [--out <path>]] \
-         [--bench-router [--smoke] [--out <path>]] [--check <path>]";
+         [--bench-router [--smoke] [--out <path>]] \
+         [--bench-incr [--smoke] [--out <path>]] [--check <path>]";
     let mut bench = false;
     let mut bench_corpus = false;
     let mut bench_lazy = false;
     let mut bench_daemon = false;
     let mut bench_router = false;
+    let mut bench_incr = false;
     let mut smoke = false;
     let mut out: Option<String> = None;
     let mut check: Option<String> = None;
@@ -105,6 +112,7 @@ fn run_harness_mode(args: &[String]) -> i32 {
             "--bench-lazy" => bench_lazy = true,
             "--bench-daemon" => bench_daemon = true,
             "--bench-router" => bench_router = true,
+            "--bench-incr" => bench_incr = true,
             "--smoke" => smoke = true,
             "--out" => {
                 i += 1;
@@ -133,7 +141,14 @@ fn run_harness_mode(args: &[String]) -> i32 {
         }
         i += 1;
     }
-    if !bench && !bench_corpus && !bench_lazy && !bench_daemon && !bench_router && check.is_none() {
+    if !bench
+        && !bench_corpus
+        && !bench_lazy
+        && !bench_daemon
+        && !bench_router
+        && !bench_incr
+        && check.is_none()
+    {
         eprintln!("{USAGE}");
         return 2;
     }
@@ -142,13 +157,55 @@ fn run_harness_mode(args: &[String]) -> i32 {
         + (bench_lazy as usize)
         + (bench_daemon as usize)
         + (bench_router as usize)
+        + (bench_incr as usize)
         > 1
     {
         eprintln!(
-            "--bench, --bench-corpus, --bench-lazy, --bench-daemon and --bench-router write \
-             different documents; run them separately"
+            "--bench, --bench-corpus, --bench-lazy, --bench-daemon, --bench-router and \
+             --bench-incr write different documents; run them separately"
         );
         return 2;
+    }
+
+    if bench_incr {
+        let cfg = if smoke {
+            xpath_bench::IncrBenchConfig::smoke()
+        } else {
+            xpath_bench::IncrBenchConfig::full()
+        };
+        let path = out.clone().unwrap_or_else(|| "BENCH_9.json".to_string());
+        eprintln!(
+            "running incremental-maintenance sweep (E17, {} mode): dblp trees {:?}, \
+             lazy kernels from |t|={}, {} queries after a single-node relabel, {} runs/cell",
+            if smoke { "smoke" } else { "full" },
+            cfg.tree_sizes,
+            cfg.lazy_min_size,
+            xpath_workload::dblp_suite().len(),
+            cfg.runs,
+        );
+        let doc = xpath_bench::run_incr_bench(&cfg);
+        let text = doc.render();
+        if let Err(e) = std::fs::write(&path, &text) {
+            eprintln!("cannot write {path}: {e}");
+            return 1;
+        }
+        if let Some(summary) = doc.get("summary") {
+            let f = |key| summary.get(key).and_then(xpath_bench::Json::as_f64).unwrap_or(0.0);
+            eprintln!(
+                "wrote {path}: incremental {} us vs full recompile {} us at |t|={} \
+                 (speedup x{}); {} of {} cached rows recomputed (fraction {}); \
+                 x{} at |t|={}",
+                f("incr_pin_us"),
+                f("full_pin_us"),
+                f("incr_pin_tree_size"),
+                f("incr_speedup"),
+                f("incr_rows_invalidated"),
+                f("incr_rows_total"),
+                f("incr_rows_fraction"),
+                f("incr_largest_speedup"),
+                f("incr_largest_tree_size"),
+            );
+        }
     }
 
     if bench_router {

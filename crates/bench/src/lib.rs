@@ -13,9 +13,10 @@ pub mod regress;
 
 pub use json::Json;
 pub use regress::{
-    run_corpus_bench, run_daemon_bench, run_lazy_bench, run_regression, run_regression_full,
-    run_router_bench, validate_bench_json, CorpusBenchConfig, DaemonBenchConfig, KernelConfig,
-    LazyBenchConfig, RegressConfig, RouterBenchConfig, ServeConfig,
+    run_corpus_bench, run_daemon_bench, run_incr_bench, run_lazy_bench, run_regression,
+    run_regression_full, run_router_bench, validate_bench_json, CorpusBenchConfig,
+    DaemonBenchConfig, IncrBenchConfig, KernelConfig, LazyBenchConfig, RegressConfig,
+    RouterBenchConfig, ServeConfig,
 };
 
 use std::time::{Duration, Instant};

@@ -358,6 +358,46 @@ impl RouterBenchConfig {
 /// single-daemon baseline, and the mid-bench shard-kill phase.
 pub const ROUTER_MODES: [&str; 3] = ["router", "single_daemon", "router_kill"];
 
+/// Sweep dimensions of the E17 incremental-maintenance experiment.
+#[derive(Debug, Clone)]
+pub struct IncrBenchConfig {
+    /// Node counts of the swept DBLP-style documents.  The first entry is
+    /// the pin size the summary speedup is computed at.
+    pub tree_sizes: Vec<usize>,
+    /// Sizes at or above this compile with the lazy kernels (the eager
+    /// adaptive kernels stop being viable for full recompiles there, see
+    /// E14); smaller sizes use `KernelMode::AdaptiveThreaded`.
+    pub lazy_min_size: usize,
+    /// Timed runs per (arm, size) cell; the median is recorded.
+    pub runs: usize,
+}
+
+impl IncrBenchConfig {
+    /// The full sweep used to produce `BENCH_9.json`: |t| ∈ {10k, 100k},
+    /// the two bands E14 established for the eager and lazy kernels.
+    pub fn full() -> IncrBenchConfig {
+        IncrBenchConfig {
+            tree_sizes: vec![10_000, 100_000],
+            lazy_min_size: 100_000,
+            runs: 5,
+        }
+    }
+
+    /// CI smoke validation: the pin size only, fewer runs (like E14's
+    /// smoke, the 10k documents are sized for the release-built harness).
+    pub fn smoke() -> IncrBenchConfig {
+        IncrBenchConfig {
+            tree_sizes: vec![10_000],
+            lazy_min_size: 100_000,
+            runs: 2,
+        }
+    }
+}
+
+/// The arms of the E17 sweep, as row names: matrices carried through the
+/// edit vs a from-scratch session per edit.
+pub const INCR_MODES: [&str; 2] = ["edit_incremental", "edit_full"];
+
 /// The filter bodies of the E10 suite: variable-free compositions of
 /// `except`-complemented relations.  Each complement is *dense* (≈`|t|²`
 /// pairs), so the `/` between them is a genuinely cubic `|t|³/64` Boolean
@@ -1232,6 +1272,174 @@ pub fn run_lazy_bench(cfg: &LazyBenchConfig) -> Json {
     ])
 }
 
+/// Run the E17 incremental-maintenance sweep: a warm session absorbs a
+/// single-node edit — one record's `title` is relabelled — and re-answers
+/// the E14 [`xpath_workload::dblp_suite`].  The `edit_incremental` arm
+/// carries the compiled matrices through the edit with
+/// [`Session::fork_edited`] (only entries whose label footprint contains
+/// the edited labels recompile; the dense `except`/`not` complements of
+/// the suite are untouched); the `edit_full` arm builds a fresh session,
+/// replaying the full compilation the suite needs.
+/// Returns a standalone `BENCH_9.json`-shaped document whose summary
+/// carries the CI-pinned claims: `incr_speedup` (full / incremental at the
+/// pin size) and `incr_rows_fraction` (rows recomputed over rows cached —
+/// the row-range-invalidation locality claim).
+pub fn run_incr_bench(cfg: &IncrBenchConfig) -> Json {
+    use std::sync::Arc;
+    let specs = xpath_workload::dblp_suite();
+    let planner = Planner::default();
+    let round2 = |x: f64| (x * 100.0).round() / 100.0;
+    let round4 = |x: f64| (x * 10_000.0).round() / 10_000.0;
+
+    let mut rows: Vec<Json> = Vec::new();
+    // Per size: (incr_us, full_us, rows_invalidated, rows_total).
+    let mut cells: Vec<(usize, f64, f64, u64, u64)> = Vec::new();
+
+    for &size in &cfg.tree_sizes {
+        let mode = if size >= cfg.lazy_min_size {
+            KernelMode::Lazy
+        } else {
+            KernelMode::AdaptiveThreaded
+        };
+        let tree = xpath_tree::generate::dblp(size, 0xE17);
+        assert_eq!(tree.len(), size, "dblp generator missed the target size");
+
+        // The single-subtree edit of the pinned claim — the scenario that
+        // motivates the subsystem: one record's `title` is renamed on a
+        // warm document.  Ids do not move, so only the entries whose label
+        // footprint contains `title` are recompiled; the expensive dense
+        // complements of the suite are untouched.  The tree-edit cost
+        // itself is identical in both arms and excluded from the timers,
+        // which measure matrix maintenance + re-answering only.
+        let victim = (0..tree.len() as u32)
+            .map(xpath_tree::NodeId)
+            .find(|&n| tree.label_str(n) == "title")
+            .expect("dblp documents have titles");
+        let (edited, delta) = tree.relabel(victim, "note").expect("relabel is valid");
+        let edited = Arc::new(edited);
+
+        // Plans for the edited tree, prepared once outside the timers (both
+        // arms execute the same plans over the same tree).
+        let plans_for = |t: &Arc<Tree>| -> Vec<QueryPlan> {
+            let plan_session = Session::from_shared_tree(Arc::clone(t));
+            specs
+                .iter()
+                .map(|(src, vars)| {
+                    let path = parse_path(src).expect("dblp suite query parses");
+                    let output: Vec<Var> = vars.iter().map(|n| Var::new(n)).collect();
+                    planner
+                        .plan_with(&plan_session, path, output, Some(Engine::Ppl))
+                        .expect("dblp suite query plans")
+                })
+                .collect()
+        };
+        let plans = plans_for(&edited);
+
+        // The warm base session the incremental arm forks from.
+        let warm = Session::from_tree(tree.clone());
+        warm.set_kernel_mode(mode);
+        for p in &plans_for(&warm.shared_tree()) {
+            warm.execute(p).expect("dblp suite answers on the base document");
+        }
+        assert!(warm.cache_stats().compiled > 0, "base session must be warm");
+
+        // Edit-maintenance stats, measured once outside the timers.
+        let (_, stats) = warm.fork_edited(Arc::clone(&edited), &delta);
+        assert!(stats.rows_total > 0, "the warm cache must be carried through the edit");
+
+        let mut answers_reference: Option<usize> = None;
+        let mut arm_us = [0.0f64; 2];
+        for (arm, name) in INCR_MODES.iter().enumerate() {
+            let (t, answers) = time_median(cfg.runs, || {
+                let session = if arm == 0 {
+                    warm.fork_edited(Arc::clone(&edited), &delta).0
+                } else {
+                    let cold = Session::from_shared_tree(Arc::clone(&edited));
+                    cold.set_kernel_mode(mode);
+                    cold
+                };
+                plans
+                    .iter()
+                    .map(|p| session.execute(p).expect("dblp suite answers").len())
+                    .sum::<usize>()
+            });
+            match answers_reference {
+                None => answers_reference = Some(answers),
+                Some(r) => assert_eq!(
+                    r, answers,
+                    "{name} disagrees with the incremental arm at |t|={size}"
+                ),
+            }
+            assert!(answers > 0, "dblp suite selected nothing at |t|={size}");
+            arm_us[arm] = us(t);
+            let mut row = vec![
+                ("experiment".to_string(), Json::Str("incr_maintenance".into())),
+                ("engine".to_string(), Json::Str((*name).into())),
+                ("tree_size".to_string(), Json::Num(size as f64)),
+                ("workload_queries".to_string(), Json::Num(specs.len() as f64)),
+                ("workload_repeats".to_string(), Json::Num(1.0)),
+                ("median_us".to_string(), Json::Num(us(t))),
+                ("answers".to_string(), Json::Num(answers as f64)),
+                ("edits".to_string(), Json::Num(1.0)),
+                (
+                    "kernel".to_string(),
+                    Json::Str(if mode == KernelMode::Lazy { "lazy" } else { "adaptive_threaded" }.into()),
+                ),
+            ];
+            if arm == 0 {
+                row.push((
+                    "rows_invalidated".to_string(),
+                    Json::Num(stats.rows_invalidated as f64),
+                ));
+                row.push(("rows_total".to_string(), Json::Num(stats.rows_total as f64)));
+            }
+            rows.push(Json::Obj(row));
+        }
+        cells.push((size, arm_us[0], arm_us[1], stats.rows_invalidated, stats.rows_total));
+    }
+
+    let &(pin_size, incr_pin_us, full_pin_us, invalidated, total) =
+        cells.first().expect("at least one swept size");
+    let &(largest, incr_largest_us, full_largest_us, ..) =
+        cells.last().expect("at least one swept size");
+    Json::Obj(vec![
+        ("schema".to_string(), Json::Str(SCHEMA.into())),
+        ("experiment_doc".to_string(), Json::Str("EXPERIMENTS.md".into())),
+        (
+            "tree_sizes".to_string(),
+            Json::Arr(cfg.tree_sizes.iter().map(|&s| Json::Num(s as f64)).collect()),
+        ),
+        ("suite_queries".to_string(), Json::Num(specs.len() as f64)),
+        ("workload_repeats".to_string(), Json::Num(1.0)),
+        ("runs_per_cell".to_string(), Json::Num(cfg.runs as f64)),
+        ("results".to_string(), Json::Arr(rows)),
+        (
+            "summary".to_string(),
+            Json::Obj(vec![
+                ("incr_pin_tree_size".to_string(), Json::Num(pin_size as f64)),
+                ("incr_pin_us".to_string(), Json::Num(incr_pin_us)),
+                ("full_pin_us".to_string(), Json::Num(full_pin_us)),
+                (
+                    "incr_speedup".to_string(),
+                    Json::Num(round2(full_pin_us / incr_pin_us.max(0.1))),
+                ),
+                ("incr_rows_invalidated".to_string(), Json::Num(invalidated as f64)),
+                ("incr_rows_total".to_string(), Json::Num(total as f64)),
+                (
+                    "incr_rows_fraction".to_string(),
+                    Json::Num(round4(invalidated as f64 / (total as f64).max(1.0))),
+                ),
+                ("incr_largest_tree_size".to_string(), Json::Num(largest as f64)),
+                ("incr_largest_us".to_string(), Json::Num(incr_largest_us)),
+                (
+                    "incr_largest_speedup".to_string(),
+                    Json::Num(round2(full_largest_us / incr_largest_us.max(0.1))),
+                ),
+            ]),
+        ),
+    ])
+}
+
 /// Run the E15 daemon-serving sweep: sustained request throughput of a live
 /// `pplxd` daemon under 1/64/1024 concurrent pipelined connections, epoll
 /// event loop vs thread-per-client, same corpus and worker pool on both
@@ -1866,16 +2074,21 @@ pub fn validate_bench_json(text: &str) -> Result<(), String> {
         .iter()
         .filter(|r| experiment_of(r).as_deref() == Some("router_serving"))
         .collect();
+    let incr_rows: Vec<&Json> = results
+        .iter()
+        .filter(|r| experiment_of(r).as_deref() == Some("incr_maintenance"))
+        .collect();
     if has_e10 as usize
         + (!corpus_rows.is_empty()) as usize
         + (!lazy_rows.is_empty()) as usize
         + (!daemon_rows.is_empty()) as usize
         + (!router_rows.is_empty()) as usize
+        + (!incr_rows.is_empty()) as usize
         == 0
     {
         return Err(
             "no repeated_query_workload, corpus_serving, lazy_large_documents, \
-             daemon_serving or router_serving rows in \"results\""
+             daemon_serving, router_serving or incr_maintenance rows in \"results\""
                 .into(),
         );
     }
@@ -2051,6 +2264,60 @@ pub fn validate_bench_json(text: &str) -> Result<(), String> {
             // must be strictly positive.
             let floor_ok =
                 value >= 0.0 && (key == "router_kill_failure_rate" || value > 0.0);
+            if !value.is_finite() || !floor_ok {
+                return Err(format!("summary.{key} = {value} is not valid"));
+            }
+        }
+    }
+    // E17 incremental-maintenance documents must carry both arms, count
+    // answers and edits per row, account the invalidated-row locality on the
+    // incremental rows, and summarise the speedup and row-fraction pins.
+    if !incr_rows.is_empty() {
+        for required in INCR_MODES {
+            if !engines_seen.iter().any(|e| e == required) {
+                return Err(format!("incr rows present but no {required:?} rows"));
+            }
+        }
+        for (i, row) in incr_rows.iter().enumerate() {
+            for key in ["answers", "edits"] {
+                let value = row
+                    .get(key)
+                    .and_then(Json::as_f64)
+                    .ok_or(format!("incr row {i} is missing \"{key}\""))?;
+                if !value.is_finite() || value <= 0.0 {
+                    return Err(format!("incr row {i} has invalid {key} = {value}"));
+                }
+            }
+            if row.get("engine").and_then(Json::as_str) == Some("edit_incremental") {
+                for key in ["rows_invalidated", "rows_total"] {
+                    let value = row
+                        .get(key)
+                        .and_then(Json::as_f64)
+                        .ok_or(format!("incr row {i} is missing \"{key}\""))?;
+                    if !value.is_finite() || value < 0.0 {
+                        return Err(format!("incr row {i} has invalid {key} = {value}"));
+                    }
+                }
+            }
+        }
+        for key in [
+            "incr_pin_tree_size",
+            "incr_pin_us",
+            "full_pin_us",
+            "incr_speedup",
+            "incr_rows_invalidated",
+            "incr_rows_total",
+            "incr_rows_fraction",
+            "incr_largest_speedup",
+        ] {
+            let value = summary
+                .get(key)
+                .and_then(Json::as_f64)
+                .ok_or(format!("summary.{key} missing or not a number"))?;
+            // Row invalidation counts can legitimately be 0 on a relabel-only
+            // round; the timings and the speedups must be strictly positive.
+            let floor_ok = value >= 0.0
+                && (key.starts_with("incr_rows") || value > 0.0);
             if !value.is_finite() || !floor_ok {
                 return Err(format!("summary.{key} = {value} is not valid"));
             }
@@ -2461,6 +2728,83 @@ mod tests {
         );
         let err = validate_bench_json(&doc).unwrap_err();
         assert!(err.contains("store_bytes"), "{err}");
+    }
+
+    #[test]
+    fn incr_bench_emits_a_valid_document_at_tiny_sizes() {
+        // Not `IncrBenchConfig::smoke()` — its documents are sized for the
+        // release-built CI harness, not the debug test profile.
+        let cfg = IncrBenchConfig {
+            tree_sizes: vec![300],
+            lazy_min_size: 100_000,
+            runs: 1,
+        };
+        let doc = run_incr_bench(&cfg);
+        let text = doc.render();
+        validate_bench_json(&text).unwrap();
+        let parsed = Json::parse(&text).unwrap();
+        let rows = parsed.get("results").unwrap().as_arr().unwrap();
+        assert_eq!(rows.len(), INCR_MODES.len());
+        for (row, name) in rows.iter().zip(INCR_MODES) {
+            assert_eq!(row.get("engine").and_then(Json::as_str), Some(name));
+            assert!(row.get("answers").and_then(Json::as_f64).unwrap() > 0.0);
+            assert_eq!(row.get("edits").and_then(Json::as_f64), Some(1.0));
+        }
+        // Only the incremental arm accounts row invalidation, and it must be
+        // a small fraction of the carried cache.
+        let incr = &rows[0];
+        let invalidated = incr.get("rows_invalidated").and_then(Json::as_f64).unwrap();
+        let total = incr.get("rows_total").and_then(Json::as_f64).unwrap();
+        assert!(total > 0.0);
+        assert!(invalidated < total, "{invalidated} of {total} rows dirty");
+        assert!(rows[1].get("rows_total").is_none());
+        let summary = parsed.get("summary").unwrap();
+        assert_eq!(summary.get("incr_pin_tree_size").and_then(Json::as_f64), Some(300.0));
+        assert!(summary.get("incr_speedup").and_then(Json::as_f64).unwrap() > 0.0);
+        let fraction = summary.get("incr_rows_fraction").and_then(Json::as_f64).unwrap();
+        assert!((0.0..1.0).contains(&fraction), "{fraction}");
+    }
+
+    #[test]
+    fn validator_rejects_incr_documents_without_summary_keys() {
+        let row = |engine: &str, locality: &str| {
+            format!(
+                "{{\"experiment\": \"incr_maintenance\", \"engine\": \"{engine}\", \
+                 \"tree_size\": 1, \"workload_queries\": 1, \"workload_repeats\": 1, \
+                 \"answers\": 1, \"edits\": 3, {locality}\"median_us\": 1.0}}"
+            )
+        };
+        let rows = format!(
+            "{}, {}",
+            row("edit_incremental", "\"rows_invalidated\": 1, \"rows_total\": 10, "),
+            row("edit_full", ""),
+        );
+        let doc = format!(
+            "{{\"schema\": \"{SCHEMA}\", \"results\": [{rows}], \
+             \"summary\": {{\"incr_pin_tree_size\": 1}}}}"
+        );
+        let err = validate_bench_json(&doc).unwrap_err();
+        assert!(err.contains("incr_"), "{err}");
+        // An incr document without the full-recompile baseline is rejected.
+        let doc = format!(
+            "{{\"schema\": \"{SCHEMA}\", \"results\": [{}], \
+             \"summary\": {{\"incr_pin_tree_size\": 1}}}}",
+            row("edit_incremental", "\"rows_invalidated\": 1, \"rows_total\": 10, "),
+        );
+        let err = validate_bench_json(&doc).unwrap_err();
+        assert!(err.contains("edit_full"), "{err}");
+        // An incremental row without locality accounting is rejected.
+        let doc = format!(
+            "{{\"schema\": \"{SCHEMA}\", \"results\": [{}, {}], \
+             \"summary\": {{\"incr_pin_tree_size\": 1, \"incr_pin_us\": 1, \
+             \"full_pin_us\": 1, \"incr_speedup\": 1, \"incr_rows_invalidated\": 1, \
+             \"incr_rows_total\": 10, \"incr_rows_fraction\": 0.1, \
+             \"incr_largest_speedup\": 1}}}}",
+            row("edit_incremental", ""),
+            row("edit_full", ""),
+        );
+        let err = validate_bench_json(&doc).unwrap_err();
+        assert!(err.contains("rows_invalidated"), "{err}");
     }
 
     #[cfg(target_os = "linux")]

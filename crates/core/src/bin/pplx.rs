@@ -123,6 +123,9 @@ struct RemoteActions {
     addr: String,
     /// `--load NAME`: send the `--file`/`--stdin` document as `LOAD NAME …`.
     load: Option<String>,
+    /// `--insert/--delete/--relabel` against `--doc NAME`, in CLI order:
+    /// complete `MUTATE NAME …` request lines.
+    mutate: Vec<String>,
     /// `--query EXPR` with `--doc NAME` → `QUERY`; without → `QUERYALL`.
     query: Option<(Option<String>, String)>,
     /// `--stats` → `STATS`.
@@ -151,7 +154,8 @@ const USAGE: &str = "usage: pplx (--query <XPATH> | --batch <file>) [--vars a,b,
 [--engine ppl|acq|hcl|naive|auto] [--threads N] [--format table|csv] \
 [--explain] [--stats] [--kernels dense|adaptive|adaptive_threaded|lazy]\n\
        pplx --connect <host:port> [--load <name>] [--doc <name>] [--query <XPATH>] \
-[--vars a,b,...] [--stats] [--evict <name>] [--shutdown] [--timeout SECS]\n\
+[--vars a,b,...] [--insert '<parent> <index> <terms>'] [--delete <node>] \
+[--relabel '<node> <label>'] [--stats] [--evict <name>] [--shutdown] [--timeout SECS]\n\
        pplx --help";
 
 /// Full `--help` text (printed to stdout, exit 0).
@@ -161,6 +165,10 @@ Local modes answer queries in-process; --connect drives a running pplxd\n\
 corpus daemon over its line protocol (LOAD/QUERY/QUERYALL/STATS/EVICT).\n\
 With --connect, --query targets the --doc document, or every loaded\n\
 document when --doc is omitted; --load NAME sends the --file/--stdin XML.\n\
+--insert/--delete/--relabel edit the --doc document in place over the\n\
+daemon's MUTATE verb (edits run before --query, in CLI order): --insert\n\
+takes '<parent> <index> <terms>', --delete a node id, --relabel\n\
+'<node> <label>'.  Node ids are preorder numbers as printed in answers.\n\
 --timeout SECS (default 10, fractions allowed, 0 disables) bounds the\n\
 connect and each complete response; a hung daemon exits 5 instead of\n\
 blocking forever.  A refused connect is retried a few times with growing\n\
@@ -190,6 +198,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     let mut load = None;
     let mut doc = None;
     let mut evict = None;
+    let mut mutates: Vec<String> = Vec::new();
     let mut shutdown = false;
     let mut timeout = Some(DEFAULT_REMOTE_TIMEOUT);
     let mut timeout_flag = false;
@@ -216,6 +225,9 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             "--load" => load = Some(value(&mut i, "--load")?),
             "--doc" => doc = Some(value(&mut i, "--doc")?),
             "--evict" => evict = Some(value(&mut i, "--evict")?),
+            "--insert" => mutates.push(format!("INSERT {}", value(&mut i, "--insert")?.trim())),
+            "--delete" => mutates.push(format!("DELETE {}", value(&mut i, "--delete")?.trim())),
+            "--relabel" => mutates.push(format!("RELABEL {}", value(&mut i, "--relabel")?.trim())),
             "--shutdown" => shutdown = true,
             "--timeout" => {
                 timeout_flag = true;
@@ -313,25 +325,39 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         if load.is_some() && !matches!(source, Some(Source::File(_)) | Some(Source::Stdin)) {
             return Err("--load needs the XML from --file or --stdin".into());
         }
+        let mutate = if mutates.is_empty() {
+            Vec::new()
+        } else {
+            let target = doc
+                .clone()
+                .ok_or("--insert/--delete/--relabel need --doc <name> to edit")?;
+            mutates
+                .iter()
+                .map(|edit| format!("MUTATE {target} {edit}"))
+                .collect()
+        };
+        let doc_edits = !mutates.is_empty();
         let remote = RemoteActions {
             addr,
             load,
+            mutate,
             query: query.map(|q| (doc.take(), q)),
             stats,
             evict,
             shutdown,
         };
-        if doc.is_some() {
-            return Err("--doc only applies together with --query".into());
+        if doc.is_some() && !doc_edits {
+            return Err("--doc only applies together with --query or an edit flag".into());
         }
         if remote.load.is_none()
+            && remote.mutate.is_empty()
             && remote.query.is_none()
             && !remote.stats
             && remote.evict.is_none()
             && !remote.shutdown
         {
             return Err(format!(
-                "--connect needs at least one of --load/--query/--stats/--evict/--shutdown\n{USAGE}"
+                "--connect needs at least one of --load/--insert/--delete/--relabel/--query/--stats/--evict/--shutdown\n{USAGE}"
             ));
         }
         Mode::Remote(remote)
@@ -340,6 +366,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             ("--load", load.is_some()),
             ("--doc", doc.is_some()),
             ("--evict", evict.is_some()),
+            ("--insert/--delete/--relabel", !mutates.is_empty()),
             ("--shutdown", shutdown),
             ("--timeout", timeout_flag),
         ] {
@@ -598,6 +625,9 @@ fn run_remote(options: &Options, remote: &RemoteActions) -> Result<String, CliEr
         let xml = read_source_text(source)?.replace(['\n', '\r'], " ");
         request(format!("LOAD {name} {}", xml.trim()), &mut out)?;
     }
+    for line in &remote.mutate {
+        request(line.clone(), &mut out)?;
+    }
     if let Some((doc, query)) = &remote.query {
         let suffix = if options.vars.is_empty() {
             String::new()
@@ -839,6 +869,35 @@ mod tests {
         assert!(parse_args(&args(&["--connect", "h:1", "--doc", "bib", "--stats"]))
             .unwrap_err()
             .contains("--query"));
+        // Edit flags compose with --doc, keep CLI order, and build MUTATE
+        // request lines; without --doc they are rejected.
+        let opts = parse_args(&args(&[
+            "--connect", "h:1", "--doc", "bib",
+            "--insert", "0 2 book(author,title)",
+            "--relabel", "3 subtitle",
+            "--delete", "4",
+        ]))
+        .unwrap();
+        match &opts.mode {
+            Mode::Remote(remote) => assert_eq!(
+                remote.mutate,
+                vec![
+                    "MUTATE bib INSERT 0 2 book(author,title)".to_string(),
+                    "MUTATE bib RELABEL 3 subtitle".to_string(),
+                    "MUTATE bib DELETE 4".to_string(),
+                ]
+            ),
+            other => panic!("expected remote mode, got {other:?}"),
+        }
+        assert!(parse_args(&args(&["--connect", "h:1", "--delete", "4"]))
+            .unwrap_err()
+            .contains("--doc"));
+        // Edit flags are remote-only.
+        assert!(parse_args(&args(&[
+            "--query", "child::a", "--terms", "r(a)", "--delete", "1",
+        ]))
+        .unwrap_err()
+        .contains("--connect"));
         // Local-only flags are rejected, not silently ignored, with
         // --connect; so is a source that feeds nothing.
         for argv in [
@@ -1117,6 +1176,42 @@ mod tests {
         .unwrap();
         assert!(out.contains("doc=bib tuples=1"), "{out}");
         assert!(out.contains("documents=1"), "{out}");
+
+        // Live edits: insert a second author, query through the same
+        // invocation — the edit lands before the query.
+        let out = run(&parse_args(&args(&[
+            "--connect", &addr, "--doc", "bib",
+            "--insert", "1 2 author",
+            "--query", "descendant::author[. is $a]", "--vars", "a",
+        ]))
+        .unwrap())
+        .unwrap();
+        assert!(out.contains("mutated bib kind=insert nodes=5 epoch=1"), "{out}");
+        assert!(out.contains("vars=a tuples=2"), "{out}");
+        let out = run(&parse_args(&args(&[
+            "--connect", &addr, "--doc", "bib", "--delete", "4", "--relabel", "3 subtitle",
+        ]))
+        .unwrap())
+        .unwrap();
+        assert!(out.contains("kind=delete nodes=4 epoch=2"), "{out}");
+        assert!(out.contains("kind=relabel nodes=4 epoch=3"), "{out}");
+
+        // A malformed edit is a daemon ERR: query error, exit 4.
+        let err = run(&parse_args(&args(&[
+            "--connect", &addr, "--doc", "bib", "--delete", "99",
+        ]))
+        .unwrap())
+        .unwrap_err();
+        assert!(matches!(err, CliError::Query(_)), "{err:?}");
+        assert_eq!(err.exit_code(), 4);
+        assert!(err.message().contains("cannot edit document"), "{err:?}");
+        let err = run(&parse_args(&args(&[
+            "--connect", &addr, "--doc", "bib", "--insert", "0 0 a((",
+        ]))
+        .unwrap())
+        .unwrap_err();
+        assert!(matches!(err, CliError::Query(_)), "{err:?}");
+        assert_eq!(err.exit_code(), 4);
 
         // A daemon-side failure surfaces as a query error (exit 4).
         let err = run(&parse_args(&args(&[

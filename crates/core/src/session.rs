@@ -85,6 +85,39 @@ impl Session {
         }
     }
 
+    /// Assemble a session from an already shared tree and an already built
+    /// store — the fork-and-swap path of live edits: the corpus layer edits
+    /// a tree, carries the old session's cache through the edit with
+    /// [`SharedMatrixStore::fork_edited`], and wraps both here without
+    /// recompiling anything.
+    ///
+    /// Panics if the store's domain does not match the tree.
+    pub fn from_parts(tree: Arc<Tree>, store: SharedMatrixStore) -> Session {
+        assert_eq!(
+            store.domain(),
+            tree.len(),
+            "Session::from_parts: store domain does not match the tree"
+        );
+        Session {
+            tree,
+            store: Arc::new(store),
+        }
+    }
+
+    /// A post-edit copy of this session: the tree is replaced by `new_tree`
+    /// and the matrix cache is carried through the edit (patched row-wise
+    /// where possible — see [`SharedMatrixStore::fork_edited`]) instead of
+    /// recompiled.  `self` is untouched and keeps answering over the old
+    /// snapshot, so in-flight queries never observe a half-applied edit.
+    pub fn fork_edited(
+        &self,
+        new_tree: Arc<Tree>,
+        delta: &xpath_tree::EditDelta,
+    ) -> (Session, xpath_pplbin::EditApplyStats) {
+        let (store, stats) = self.store.fork_edited(&new_tree, delta);
+        (Session::from_parts(new_tree, store), stats)
+    }
+
     /// The shared handle to the underlying tree (an `Arc` clone).
     pub fn shared_tree(&self) -> Arc<Tree> {
         Arc::clone(&self.tree)
@@ -541,6 +574,26 @@ mod tests {
         assert!(!iter.is_streaming(), "acq has no incremental algorithm");
         assert_eq!(iter.collect_set(), s.execute(&ok).unwrap());
         assert_eq!(s.cache_stats().lookups(), 0, "acq never touches the cache");
+    }
+
+    #[test]
+    fn fork_edited_serves_the_new_tree_and_keeps_the_old_snapshot() {
+        let s = session();
+        let plan = ppl_plan(&s, "descendant::author[. is $a]", &["a"]);
+        let before = s.execute(&plan).unwrap();
+        assert!(s.cache_stats().compiled > 0, "warm before the edit");
+
+        let sub = xpath_tree::Tree::from_terms("book(author,title)").unwrap();
+        let (new_tree, delta) = s.tree().insert_subtree(s.root(), 2, &sub).unwrap();
+        let (forked, stats) = s.fork_edited(Arc::new(new_tree), &delta);
+        assert!(stats.rows_total > 0, "the warm cache was carried over");
+        assert_eq!(forked.len(), s.len() + 3);
+
+        // The fork answers over the edited document (one more author)…
+        let forked_plan = ppl_plan(&forked, "descendant::author[. is $a]", &["a"]);
+        assert_eq!(forked.execute(&forked_plan).unwrap().len(), before.len() + 1);
+        // …while the original snapshot is untouched.
+        assert_eq!(s.execute(&plan).unwrap(), before);
     }
 
     #[test]

@@ -67,7 +67,8 @@ use std::sync::Arc;
 use xpath_sync::atomic::{AtomicU64, Ordering};
 use xpath_sync::Mutex;
 use xpath_ast::{parse_path, Var};
-use xpath_tree::Tree;
+use xpath_pplbin::EditApplyStats;
+use xpath_tree::{EditKind, NodeId, Tree, TreeError};
 use xpath_xml::{parse_with, ParseOptions};
 
 /// Configuration of a [`Corpus`].
@@ -120,6 +121,15 @@ pub struct CorpusStats {
     pub plan_hits: u64,
     /// Plan-cache misses (a planner decision was derived).
     pub plan_misses: u64,
+    /// Live edits applied through [`Corpus::mutate`].
+    pub edits: u64,
+    /// Edits that carried a warm session through the edit incrementally.
+    pub edits_incremental: u64,
+    /// Edits applied to a document without a live session (next query
+    /// compiles cold).
+    pub edits_full: u64,
+    /// Matrix rows recomputed (not merely remapped) across all edits.
+    pub edit_rows_invalidated: u64,
 }
 
 /// Errors raised by corpus operations.
@@ -155,6 +165,13 @@ pub enum CorpusError {
         /// The panic payload, when it was a string.
         message: String,
     },
+    /// A live edit ([`Corpus::mutate`]) was rejected by the tree layer.
+    Edit {
+        /// The document being edited.
+        name: String,
+        /// The underlying tree-edit failure.
+        source: TreeError,
+    },
 }
 
 impl fmt::Display for CorpusError {
@@ -171,6 +188,9 @@ impl fmt::Display for CorpusError {
             CorpusError::Io(message) => write!(f, "{message}"),
             CorpusError::Panicked { name, message } => {
                 write!(f, "worker panicked on document '{name}': {message}")
+            }
+            CorpusError::Edit { name, source } => {
+                write!(f, "cannot edit document '{name}': {source}")
             }
         }
     }
@@ -202,6 +222,52 @@ impl PartialEq for DocAnswer {
 
 impl Eq for DocAnswer {}
 
+/// One edit of a live document, applied through [`Corpus::mutate`].
+#[derive(Debug, Clone)]
+pub enum DocEdit {
+    /// Graft a copy of `subtree` as the `index`-th child of `parent`.
+    Insert {
+        /// Preorder id of the parent node (current tree coordinates).
+        parent: u32,
+        /// Child position under `parent` (clamped by the tree layer's
+        /// contract: out-of-range indices are rejected).
+        index: usize,
+        /// The subtree to graft.
+        subtree: Tree,
+    },
+    /// Remove the subtree rooted at `node` (never the root).
+    Delete {
+        /// Preorder id of the subtree root to remove.
+        node: u32,
+    },
+    /// Change the label of `node`.
+    Relabel {
+        /// Preorder id of the node to relabel.
+        node: u32,
+        /// The new label.
+        label: String,
+    },
+}
+
+/// What one [`Corpus::mutate`] call did.
+#[derive(Debug, Clone)]
+pub struct MutateOutcome {
+    /// Which kind of edit was applied.
+    pub kind: EditKind,
+    /// Node count of the document after the edit.
+    pub nodes: usize,
+    /// The document's edit epoch after this edit (1 for the first edit
+    /// since ingestion; a `LOAD` replacing the document resets it).
+    pub epoch: u64,
+    /// Whether a warm session was carried through the edit incrementally
+    /// (`false`: the document had no live session, so there was nothing to
+    /// patch and the next query compiles cold).
+    pub incremental: bool,
+    /// Per-entry patch/rebuild counters of the incremental carry-over
+    /// (all zero when `incremental` is false).
+    pub stats: EditApplyStats,
+}
+
 /// One pooled document: the always-retained tree plus the evictable session.
 #[derive(Debug)]
 struct DocEntry {
@@ -210,6 +276,8 @@ struct DocEntry {
     session: Option<Session>,
     last_used: u64,
     ever_built: bool,
+    /// Edits applied since this document was (last) ingested.
+    epoch: u64,
 }
 
 impl DocEntry {
@@ -229,6 +297,10 @@ struct Inner {
     rebuilds: u64,
     cache_evictions: u64,
     session_evictions: u64,
+    edits: u64,
+    edits_incremental: u64,
+    edits_full: u64,
+    edit_rows_invalidated: u64,
 }
 
 /// Key of the shared plan cache: `(query source, output variables,
@@ -359,6 +431,7 @@ impl Corpus {
                 session: None,
                 last_used: tick,
                 ever_built: false,
+                epoch: 0,
             },
         );
         nodes
@@ -470,6 +543,10 @@ impl Corpus {
             session_evictions: inner.session_evictions,
             plan_hits: self.plan_hits.load(Ordering::Relaxed),
             plan_misses: self.plan_misses.load(Ordering::Relaxed),
+            edits: inner.edits,
+            edits_incremental: inner.edits_incremental,
+            edits_full: inner.edits_full,
+            edit_rows_invalidated: inner.edit_rows_invalidated,
         }
     }
 
@@ -536,6 +613,91 @@ impl Corpus {
         }
         inner.session_evictions += dropped as u64;
         dropped
+    }
+
+    // -- live edits ----------------------------------------------------------
+
+    /// Apply one edit to a live document, carrying its warm session through
+    /// the edit instead of recompiling it.
+    ///
+    /// Fork-and-swap: the edit runs on a *snapshot* (tree `Arc` + session
+    /// clone) taken under the lock, the expensive work —
+    /// [`Tree::insert_subtree`]-family edits plus
+    /// [`Session::fork_edited`]'s row-wise cache patching — happens with
+    /// the lock *released*, and the result is swapped in only if the
+    /// document was not concurrently replaced (checked by tree pointer
+    /// identity; a race retries on the new snapshot).  Concurrent queries
+    /// therefore never block behind an edit and never observe a
+    /// half-applied one: they hold `Arc`s to the old tree/session pair
+    /// until they finish, and the swap is a single pointer exchange.
+    pub fn mutate(&self, name: &str, edit: &DocEdit) -> Result<MutateOutcome, CorpusError> {
+        loop {
+            let (tree, session) = {
+                let inner = self.lock();
+                let entry = inner
+                    .docs
+                    .get(name)
+                    .ok_or_else(|| CorpusError::UnknownDocument(name.to_string()))?;
+                (Arc::clone(&entry.tree), entry.session.clone())
+            };
+            let (new_tree, delta) = match edit {
+                DocEdit::Insert { parent, index, subtree } => {
+                    tree.insert_subtree(NodeId(*parent), *index, subtree)
+                }
+                DocEdit::Delete { node } => tree.delete_subtree(NodeId(*node)),
+                DocEdit::Relabel { node, label } => tree.relabel(NodeId(*node), label),
+            }
+            .map_err(|source| CorpusError::Edit {
+                name: name.to_string(),
+                source,
+            })?;
+            let new_tree = Arc::new(new_tree);
+            let (new_session, stats) = match &session {
+                Some(s) => {
+                    let (forked, stats) = s.fork_edited(Arc::clone(&new_tree), &delta);
+                    (Some(forked), stats)
+                }
+                None => (None, EditApplyStats::default()),
+            };
+
+            let mut inner = self.lock();
+            inner.tick += 1;
+            let tick = inner.tick;
+            let Some(entry) = inner.docs.get_mut(name) else {
+                return Err(CorpusError::UnknownDocument(name.to_string()));
+            };
+            if !Arc::ptr_eq(&entry.tree, &tree) {
+                // Lost the race against a LOAD or another MUTATE: redo the
+                // edit on the current snapshot.
+                continue;
+            }
+            entry.tree_bytes = approx_tree_bytes(&new_tree);
+            entry.tree = Arc::clone(&new_tree);
+            entry.session = new_session;
+            entry.last_used = tick;
+            entry.epoch += 1;
+            let outcome = MutateOutcome {
+                kind: delta.kind,
+                nodes: new_tree.len(),
+                epoch: entry.epoch,
+                incremental: session.is_some(),
+                stats,
+            };
+            inner.edits += 1;
+            if outcome.incremental {
+                inner.edits_incremental += 1;
+            } else {
+                inner.edits_full += 1;
+            }
+            inner.edit_rows_invalidated += stats.rows_invalidated;
+            self.enforce_budget(&mut inner, Some(name));
+            return Ok(outcome);
+        }
+    }
+
+    /// The edit epoch of a document (0 = never edited since ingestion).
+    pub fn epoch(&self, name: &str) -> Option<u64> {
+        self.lock().docs.get(name).map(|e| e.epoch)
     }
 
     /// Re-run budget enforcement (normally done automatically after every
@@ -1187,5 +1349,151 @@ mod tests {
         assert_eq!(size_band(4), 3);
         assert_eq!(size_band(1023), 10);
         assert_eq!(size_band(1024), 11);
+    }
+
+    // -- live edits ----------------------------------------------------------
+
+    /// After every edit the mutated document must answer exactly like a
+    /// cold corpus ingested from the post-edit tree.
+    fn assert_matches_cold(corpus: &Corpus, name: &str, query: &str) {
+        let tree = corpus.tree(name).expect("document must exist");
+        let cold = ppl_corpus(None);
+        cold.insert_tree(name, (*tree).clone());
+        let got = corpus.answer(name, query, &["x"]).unwrap();
+        let want = cold.answer(name, query, &["x"]).unwrap();
+        assert_eq!(got, want, "warm-mutated answers diverge from cold for {query}");
+    }
+
+    #[test]
+    fn mutate_insert_is_incremental_on_a_warm_document() {
+        let corpus = ppl_corpus(None);
+        corpus
+            .insert_terms("bib", "bib(book(author,title),book(author,author,title))")
+            .unwrap();
+        let query = "descendant::book[child::author[. is $x]]";
+        // Warm the session so the edit has caches to carry over.
+        corpus.answer("bib", query, &["x"]).unwrap();
+        let subtree = Tree::from_terms("book(author,title)").unwrap();
+        let outcome = corpus
+            .mutate("bib", &DocEdit::Insert { parent: 0, index: 2, subtree })
+            .unwrap();
+        assert_eq!(outcome.kind, EditKind::Insert);
+        assert!(outcome.incremental, "a warm document must fork its session");
+        assert_eq!(outcome.epoch, 1);
+        assert_eq!(outcome.nodes, 8 + 3);
+        assert_matches_cold(&corpus, "bib", query);
+        assert_matches_cold(&corpus, "bib", "child::book/child::author[. is $x]");
+        let stats = corpus.stats();
+        assert_eq!(stats.edits, 1);
+        assert_eq!(stats.edits_incremental, 1);
+        assert_eq!(stats.edits_full, 0);
+    }
+
+    #[test]
+    fn mutate_on_a_cold_document_counts_as_a_full_rebuild() {
+        let corpus = ppl_corpus(None);
+        corpus.insert_terms("d", "r(a(b),a(b,b))").unwrap();
+        let outcome = corpus
+            .mutate("d", &DocEdit::Delete { node: 1 })
+            .unwrap();
+        assert!(!outcome.incremental, "no session existed to fork");
+        assert_eq!(outcome.stats, EditApplyStats::default());
+        let stats = corpus.stats();
+        assert_eq!(stats.edits_full, 1);
+        assert_eq!(stats.edits_incremental, 0);
+        assert_matches_cold(&corpus, "d", "descendant::b[. is $x]");
+    }
+
+    #[test]
+    fn delete_and_relabel_round_trip_and_bump_the_epoch() {
+        let corpus = ppl_corpus(None);
+        corpus
+            .insert_terms("bib", "bib(book(author,title),book(author))")
+            .unwrap();
+        let query = "descendant::author[. is $x]";
+        corpus.answer("bib", query, &["x"]).unwrap();
+        corpus.mutate("bib", &DocEdit::Delete { node: 4 }).unwrap();
+        assert_matches_cold(&corpus, "bib", query);
+        let outcome = corpus
+            .mutate(
+                "bib",
+                &DocEdit::Relabel { node: 3, label: "subtitle".to_string() },
+            )
+            .unwrap();
+        assert_eq!(outcome.kind, EditKind::Relabel);
+        assert_eq!(outcome.epoch, 2);
+        assert_eq!(corpus.epoch("bib"), Some(2));
+        assert_matches_cold(&corpus, "bib", query);
+        assert_matches_cold(&corpus, "bib", "descendant::subtitle[. is $x]");
+        // Replacement by LOAD resets the epoch: it is a new document.
+        corpus.insert_terms("bib", "bib(book)").unwrap();
+        assert_eq!(corpus.epoch("bib"), Some(0));
+    }
+
+    #[test]
+    fn mutate_errors_name_the_document_and_leave_it_untouched() {
+        let corpus = ppl_corpus(None);
+        corpus.insert_terms("d", "r(a,b)").unwrap();
+        let err = corpus
+            .mutate("d", &DocEdit::Delete { node: 99 })
+            .unwrap_err();
+        match &err {
+            CorpusError::Edit { name, .. } => assert_eq!(name, "d"),
+            other => panic!("expected an Edit error, got: {other}"),
+        }
+        // Deleting the root is an edit error, not a corpus panic.
+        let err = corpus.mutate("d", &DocEdit::Delete { node: 0 }).unwrap_err();
+        assert!(matches!(err, CorpusError::Edit { .. }), "got: {err}");
+        let err = corpus
+            .mutate("nope", &DocEdit::Delete { node: 1 })
+            .unwrap_err();
+        assert!(matches!(err, CorpusError::UnknownDocument(_)), "got: {err}");
+        assert_eq!(corpus.epoch("d"), Some(0));
+        assert_eq!(corpus.stats().edits, 0);
+    }
+
+    #[test]
+    fn queries_racing_a_mutate_see_a_consistent_snapshot() {
+        let corpus = Arc::new(ppl_corpus(None));
+        corpus
+            .insert_terms("bib", "bib(book(author,title),book(author,title))")
+            .unwrap();
+        let query = "descendant::book[child::author[. is $x]]";
+        let before = corpus.answer("bib", query, &["x"]).unwrap();
+        std::thread::scope(|scope| {
+            let writer = {
+                let corpus = Arc::clone(&corpus);
+                scope.spawn(move || {
+                    for i in 0..16 {
+                        let subtree = Tree::from_terms("book(author,title)").unwrap();
+                        corpus
+                            .mutate(
+                                "bib",
+                                &DocEdit::Insert { parent: 0, index: 2 + i, subtree },
+                            )
+                            .unwrap();
+                    }
+                })
+            };
+            for _ in 0..4 {
+                let corpus = Arc::clone(&corpus);
+                let before = before.clone();
+                scope.spawn(move || {
+                    for _ in 0..24 {
+                        // Every read must be internally consistent: at least
+                        // the pre-edit books, every answer tuple a real book
+                        // node of the snapshot it was answered against.
+                        let got = corpus.answer("bib", query, &["x"]).unwrap();
+                        assert!(got.len() >= before.len());
+                        assert!(got.len() <= before.len() + 16);
+                    }
+                });
+            }
+            writer.join().unwrap();
+        });
+        assert_eq!(corpus.epoch("bib"), Some(16));
+        let after = corpus.answer("bib", query, &["x"]).unwrap();
+        assert_eq!(after.len(), before.len() + 16);
+        assert_matches_cold(&corpus, "bib", query);
     }
 }

@@ -32,9 +32,9 @@
 //! reading that socket: the kernel receive buffer and, eventually, the
 //! client's send call absorb the excess instead of daemon memory.
 
-use crate::{Corpus, CorpusError};
+use crate::{Corpus, CorpusError, DocEdit};
 use std::collections::VecDeque;
-use xpath_tree::Tree;
+use xpath_tree::{EditKind, Tree};
 
 // The wire encoding itself (status-line framing) lives in `xpath_wire`,
 // shared with the router and the `pplx --connect` client; re-exported here
@@ -74,6 +74,13 @@ pub enum Command {
         /// Output variables.
         vars: Vec<String>,
     },
+    /// `MUTATE <name> INSERT|DELETE|RELABEL …` — edit a live document.
+    Mutate {
+        /// Target document.
+        name: String,
+        /// The parsed edit operation.
+        spec: MutateSpec,
+    },
     /// `STATS` — report the corpus counters.
     Stats,
     /// `EVICT [<name>]` — drop one session (or all sessions).
@@ -82,6 +89,37 @@ pub enum Command {
     Quit,
     /// `SHUTDOWN` — stop the daemon.
     Shutdown,
+}
+
+/// One edit operation of a `MUTATE` request.
+///
+/// The numeric arguments are validated at parse time (a non-numeric node id
+/// answers `ERR usage: …` without touching the corpus); the `INSERT` subtree
+/// stays as term-syntax text until execution, so [`Command`] remains cheap
+/// to clone and compare.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MutateSpec {
+    /// Splice a subtree under `parent` before its `index`-th child.
+    Insert {
+        /// Preorder id of the parent node.
+        parent: u32,
+        /// Child position to insert at (`0..=child_count`).
+        index: usize,
+        /// The subtree, in compact term syntax.
+        terms: String,
+    },
+    /// Remove the subtree rooted at `node`.
+    Delete {
+        /// Preorder id of the subtree root.
+        node: u32,
+    },
+    /// Rename one node, keeping the tree shape.
+    Relabel {
+        /// Preorder id of the node.
+        node: u32,
+        /// The new label.
+        label: String,
+    },
 }
 
 /// Default cap on one request line, in bytes (16 MiB).
@@ -165,6 +203,57 @@ pub fn parse_command(line: &str) -> Result<Command, String> {
             }
             let (query, vars) = split_vars(rest);
             Ok(Command::QueryAll { query, vars })
+        }
+        "MUTATE" => {
+            const USAGE: &str =
+                "MUTATE <name> INSERT <parent> <index> <terms> | DELETE <node> | RELABEL <node> <label>";
+            let usage = || format!("usage: {USAGE}");
+            let (name, rest) = two_args(rest, USAGE)?;
+            let (op, args) = match rest.split_once(char::is_whitespace) {
+                Some((op, args)) => (op.to_string(), args.trim().to_string()),
+                None => (rest.clone(), String::new()),
+            };
+            let parse_id = |s: &str| -> Result<u32, String> {
+                s.parse::<u32>()
+                    .map_err(|_| format!("invalid node id '{s}': {}", usage()))
+            };
+            let spec = match op.to_ascii_uppercase().as_str() {
+                "INSERT" => {
+                    let (parent, rest) = args.split_once(char::is_whitespace).ok_or_else(usage)?;
+                    let (index, terms) =
+                        rest.trim().split_once(char::is_whitespace).ok_or_else(usage)?;
+                    let terms = terms.trim();
+                    if terms.is_empty() {
+                        return Err(usage());
+                    }
+                    MutateSpec::Insert {
+                        parent: parse_id(parent)?,
+                        index: index
+                            .parse::<usize>()
+                            .map_err(|_| format!("invalid child index '{index}': {}", usage()))?,
+                        terms: terms.to_string(),
+                    }
+                }
+                "DELETE" => {
+                    if args.is_empty() || args.contains(char::is_whitespace) {
+                        return Err(usage());
+                    }
+                    MutateSpec::Delete { node: parse_id(&args)? }
+                }
+                "RELABEL" => {
+                    let (node, label) = args.split_once(char::is_whitespace).ok_or_else(usage)?;
+                    let label = label.trim();
+                    if label.is_empty() {
+                        return Err(usage());
+                    }
+                    MutateSpec::Relabel {
+                        node: parse_id(node)?,
+                        label: label.to_string(),
+                    }
+                }
+                _ => return Err(usage()),
+            };
+            Ok(Command::Mutate { name, spec })
         }
         "STATS" => Ok(Command::Stats),
         "EVICT" => Ok(Command::Evict(if rest.is_empty() {
@@ -267,6 +356,33 @@ pub fn execute_command(corpus: &Corpus, command: &Command) -> Result<Vec<String>
             }
             Ok(lines)
         }
+        Command::Mutate { name, spec } => {
+            let edit = match spec {
+                MutateSpec::Insert { parent, index, terms } => DocEdit::Insert {
+                    parent: *parent,
+                    index: *index,
+                    subtree: Tree::from_terms(terms).map_err(|e| e.to_string())?,
+                },
+                MutateSpec::Delete { node } => DocEdit::Delete { node: *node },
+                MutateSpec::Relabel { node, label } => DocEdit::Relabel {
+                    node: *node,
+                    label: label.clone(),
+                },
+            };
+            let outcome = corpus.mutate(name, &edit).map_err(|e| corpus_err(&e))?;
+            let kind = match outcome.kind {
+                EditKind::Insert => "insert",
+                EditKind::Delete => "delete",
+                EditKind::Relabel => "relabel",
+            };
+            Ok(vec![format!(
+                "mutated {name} kind={kind} nodes={} epoch={} rows_invalidated={} mode={}",
+                outcome.nodes,
+                outcome.epoch,
+                outcome.stats.rows_invalidated,
+                if outcome.incremental { "incremental" } else { "full" },
+            )])
+        }
         Command::Stats => {
             let stats = corpus.stats();
             Ok(vec![
@@ -286,6 +402,10 @@ pub fn execute_command(corpus: &Corpus, command: &Command) -> Result<Vec<String>
                 format!("session_evictions={}", stats.session_evictions),
                 format!("plan_hits={}", stats.plan_hits),
                 format!("plan_misses={}", stats.plan_misses),
+                format!("edits={}", stats.edits),
+                format!("edits_incremental={}", stats.edits_incremental),
+                format!("edits_full={}", stats.edits_full),
+                format!("edit_rows_invalidated={}", stats.edit_rows_invalidated),
             ])
         }
         Command::Evict(Some(name)) => Ok(vec![format!("evicted={}", corpus.evict(name))]),
@@ -843,6 +963,124 @@ mod tests {
             lines[3].starts_with("doc=sick error="),
             "expected a per-document error line, got: {:?}",
             lines[3]
+        );
+    }
+
+    #[test]
+    fn mutate_parses_all_three_operations_and_rejects_malformed_forms() {
+        assert_eq!(
+            parse_command("MUTATE bib INSERT 0 2 book(author,title)").unwrap(),
+            Command::Mutate {
+                name: "bib".into(),
+                spec: MutateSpec::Insert {
+                    parent: 0,
+                    index: 2,
+                    terms: "book(author,title)".into()
+                }
+            }
+        );
+        assert_eq!(
+            parse_command("mutate bib delete 4").unwrap(),
+            Command::Mutate { name: "bib".into(), spec: MutateSpec::Delete { node: 4 } }
+        );
+        assert_eq!(
+            parse_command("MUTATE bib RELABEL 3 subtitle").unwrap(),
+            Command::Mutate {
+                name: "bib".into(),
+                spec: MutateSpec::Relabel { node: 3, label: "subtitle".into() }
+            }
+        );
+        for bad in [
+            "MUTATE",
+            "MUTATE bib",
+            "MUTATE bib FROB 1",
+            "MUTATE bib INSERT 0 2",
+            "MUTATE bib INSERT zero 2 a",
+            "MUTATE bib DELETE",
+            "MUTATE bib DELETE 1 2",
+            "MUTATE bib DELETE x",
+            "MUTATE bib RELABEL 3",
+        ] {
+            assert!(parse_command(bad).is_err(), "must reject: {bad}");
+        }
+    }
+
+    /// The `xpath_wire` request builders and the daemon parser agree on the
+    /// MUTATE grammar.
+    #[test]
+    fn wire_mutate_builders_round_trip_through_the_parser() {
+        use xpath_wire::{mutate_delete_line, mutate_insert_line, mutate_relabel_line};
+        assert_eq!(
+            parse_command(&mutate_insert_line("bib", 0, 2, "book(author)")).unwrap(),
+            Command::Mutate {
+                name: "bib".into(),
+                spec: MutateSpec::Insert { parent: 0, index: 2, terms: "book(author)".into() }
+            }
+        );
+        assert_eq!(
+            parse_command(&mutate_delete_line("bib", 4)).unwrap(),
+            Command::Mutate { name: "bib".into(), spec: MutateSpec::Delete { node: 4 } }
+        );
+        assert_eq!(
+            parse_command(&mutate_relabel_line("bib", 3, "subtitle")).unwrap(),
+            Command::Mutate {
+                name: "bib".into(),
+                spec: MutateSpec::Relabel { node: 3, label: "subtitle".into() }
+            }
+        );
+    }
+
+    #[test]
+    fn mutate_executes_and_queries_see_the_edited_document() {
+        let corpus = Corpus::new();
+        corpus
+            .insert_terms("bib", "bib(book(author,title),book(author))")
+            .unwrap();
+        let lines = execute_command(
+            &corpus,
+            &parse_command("MUTATE bib INSERT 0 2 book(author,title)").unwrap(),
+        )
+        .unwrap();
+        assert_eq!(lines.len(), 1);
+        assert!(
+            lines[0].starts_with("mutated bib kind=insert nodes=9 epoch=1 rows_invalidated="),
+            "unexpected info line: {:?}",
+            lines[0]
+        );
+        assert!(lines[0].ends_with("mode=incremental") || lines[0].ends_with("mode=full"));
+        let lines = execute_command(
+            &corpus,
+            &parse_command("QUERY bib descendant::author[. is $x] -> x").unwrap(),
+        )
+        .unwrap();
+        assert_eq!(lines[0], "vars=x tuples=3");
+
+        // A structurally invalid edit is an ERR, not a protocol failure…
+        let err = execute_command(&corpus, &parse_command("MUTATE bib DELETE 99").unwrap())
+            .unwrap_err();
+        assert!(err.contains("cannot edit document 'bib'"), "{err}");
+        // …and so is a subtree that does not parse.
+        let err = execute_command(&corpus, &parse_command("MUTATE bib INSERT 0 0 a((").unwrap())
+            .unwrap_err();
+        assert!(err.contains("syntax"), "{err}");
+        let err = execute_command(&corpus, &parse_command("MUTATE nope DELETE 1").unwrap())
+            .unwrap_err();
+        assert!(err.contains("unknown document"), "{err}");
+    }
+
+    #[test]
+    fn stats_reports_the_edit_counters() {
+        let corpus = Corpus::new();
+        corpus.insert_terms("d", "r(a,b)").unwrap();
+        execute_command(&corpus, &parse_command("MUTATE d RELABEL 2 c").unwrap()).unwrap();
+        let lines = execute_command(&corpus, &Command::Stats).unwrap();
+        assert_eq!(lines.len(), 14, "STATS must report 14 counters: {lines:?}");
+        assert!(lines.contains(&"edits=1".to_string()), "{lines:?}");
+        assert!(lines.contains(&"edits_full=1".to_string()), "{lines:?}");
+        assert!(lines.contains(&"edits_incremental=0".to_string()), "{lines:?}");
+        assert!(
+            lines.contains(&"edit_rows_invalidated=0".to_string()),
+            "{lines:?}"
         );
     }
 

@@ -644,7 +644,7 @@ mod tests {
         // in request order.
         write!(
             writer,
-            "LOADTERMS d1 r(a(b))\nQUERY d1 descendant::b[. is $x] -> x\nSTATS\nBOGUS\nEVICT d1\n"
+            "LOADTERMS d1 r(a(b))\nQUERY d1 descendant::b[. is $x] -> x\nMUTATE d1 INSERT 1 1 b\nQUERY d1 descendant::b[. is $x] -> x\nSTATS\nBOGUS\nEVICT d1\n"
         )
         .unwrap();
         writer.flush().unwrap();
@@ -655,8 +655,18 @@ mod tests {
         let (status, payload) = read_response(&mut reader);
         assert_eq!(status, "OK 2");
         assert_eq!(payload, vec!["vars=x tuples=1", "b#2"]);
+        // The pipelined MUTATE lands between the two QUERYs, in order.
+        let (status, payload) = read_response(&mut reader);
+        assert_eq!(status, "OK 1");
+        assert!(
+            payload[0].starts_with("mutated d1 kind=insert nodes=4 epoch=1"),
+            "{payload:?}"
+        );
+        let (status, payload) = read_response(&mut reader);
+        assert_eq!(status, "OK 3");
+        assert_eq!(payload[0], "vars=x tuples=2");
         let (status, _) = read_response(&mut reader);
-        assert_eq!(status, "OK 10");
+        assert_eq!(status, "OK 14");
         let (status, _) = read_response(&mut reader);
         assert!(status.starts_with("ERR unknown command"), "{status}");
         let (status, payload) = read_response(&mut reader);
@@ -670,7 +680,7 @@ mod tests {
         writeln!(writer2, "QUERY d1 descendant::b[. is $x] -> x").unwrap();
         writer2.flush().unwrap();
         let (status2, _) = read_response(&mut reader2);
-        assert_eq!(status2, "OK 2", "evicted sessions must rebuild");
+        assert_eq!(status2, "OK 3", "evicted sessions must rebuild");
         writeln!(writer2, "QUIT").unwrap();
         writer2.flush().unwrap();
         let (status2, payload2) = read_response(&mut reader2);

@@ -449,6 +449,10 @@ impl RouterConn {
                 let name = name.clone();
                 (self.route_query(&name, line, &command), Control::Continue)
             }
+            Command::Mutate { name, .. } => {
+                let name = name.clone();
+                (self.route_mutate(&name, line, &command), Control::Continue)
+            }
             Command::Evict(Some(name)) => {
                 let name = name.clone();
                 (self.route_evict_one(&name, line, &command), Control::Continue)
@@ -513,6 +517,58 @@ impl RouterConn {
         }
         let reason = last_error.unwrap_or_else(|| "no replica available".to_string());
         Err(format!("no shard answered for '{name}': {reason}"))
+    }
+
+    /// `MUTATE`: a write — every replica must apply the edit, or replicas
+    /// diverge.  Per-replica acks are accounted and reported; a replica
+    /// that cannot be reached surfaces as a `doc=… error=` partial next to
+    /// the acks (the operator's signal to re-`LOAD`), never as failure of
+    /// the edit that *did* land.  A daemon `ERR` is a healthy final answer
+    /// (the QUERY rule): it does not hurt shard health, and if no replica
+    /// acked at all the first refusal is returned verbatim — every replica
+    /// of an in-sync set refuses a malformed edit identically.
+    fn route_mutate(&mut self, name: &str, line: &str, command: &Command) -> Response {
+        let candidates = self.router.replicas_for(name);
+        let total = candidates.len();
+        let mut acked = Vec::new();
+        let mut partials = Vec::new();
+        let mut first_refusal: Option<String> = None;
+        let mut last_transport: Option<String> = None;
+        for shard in candidates {
+            let addr = &self.router.config.backends[shard];
+            if !self.router.available(shard) {
+                partials.push(format!("doc={name} error=shard {addr} down"));
+                last_transport = Some(format!("shard {addr} down"));
+                continue;
+            }
+            match routed(&self.router, &mut self.clients[shard], shard, line, command) {
+                Ok(Ok(payload)) => acked.extend(payload),
+                Ok(Err(message)) => {
+                    partials.push(format!("doc={name} error={message}"));
+                    first_refusal.get_or_insert(message);
+                }
+                Err(e) => {
+                    partials.push(format!("doc={name} error=shard {addr}: {e}"));
+                    last_transport = Some(format!("shard {addr}: {e}"));
+                }
+            }
+        }
+        if acked.is_empty() {
+            // No replica applied the edit: a unanimous daemon refusal is
+            // the answer; otherwise report why nothing was reachable.
+            if let Some(message) = first_refusal {
+                return Err(message);
+            }
+            let reason = last_transport.unwrap_or_else(|| "no replica available".to_string());
+            return Err(format!("mutate failed for '{name}': {reason}"));
+        }
+        let mut lines = vec![format!(
+            "mutated {name} replicas={}/{total}",
+            total - partials.len()
+        )];
+        lines.extend(acked);
+        lines.extend(partials);
+        Ok(lines)
     }
 
     /// `EVICT <name>`: every reachable replica evicts; `evicted=true` if
@@ -940,6 +996,55 @@ mod tests {
         for (_, handle) in backends {
             handle.join().unwrap().unwrap();
         }
+    }
+
+    #[test]
+    fn mutate_writes_every_replica_and_reports_partial_acks() {
+        let mut backends: Vec<_> = (0..2).map(|_| spawn_backend()).collect();
+        let addrs: Vec<String> = backends.iter().map(|(a, _)| a.clone()).collect();
+        let router = Arc::new(fast_router(addrs.clone(), 2));
+        let mut conn = RouterConn::new(Arc::clone(&router));
+
+        conn.handle_line("LOADTERMS bib bib(book(author),book(author))")
+            .unwrap();
+        let payload = conn.handle_line("MUTATE bib INSERT 0 2 book(author)").unwrap();
+        assert_eq!(payload[0], "mutated bib replicas=2/2");
+        assert_eq!(
+            payload
+                .iter()
+                .filter(|l| l.starts_with("mutated bib kind=insert nodes=7 epoch=1"))
+                .count(),
+            2,
+            "both replicas must report their ack: {payload:?}"
+        );
+        // Both replicas now serve the edited document.
+        for _ in 0..2 {
+            let payload = conn
+                .handle_line("QUERY bib descendant::author[. is $x] -> x")
+                .unwrap();
+            assert_eq!(payload[0], "vars=x tuples=3");
+        }
+        // A structurally invalid edit is refused by every replica: the
+        // unanimous ERR is the final answer and leaves shard health alone.
+        let err = conn.handle_line("MUTATE bib DELETE 99").unwrap_err();
+        assert!(err.contains("cannot edit document"), "{err}");
+        assert_eq!(router.shard_status(0), ShardStatus::Up);
+        assert_eq!(router.shard_status(1), ShardStatus::Up);
+
+        // One replica dies: the edit still lands on the survivor, with the
+        // divergence reported as a partial, not as request failure.
+        kill_backend(&addrs[0]);
+        backends.remove(0).1.join().unwrap().unwrap();
+        let payload = conn.handle_line("MUTATE bib DELETE 1").unwrap();
+        assert_eq!(payload[0], "mutated bib replicas=1/2", "{payload:?}");
+        assert!(
+            payload.iter().any(|l| l.starts_with("doc=bib error=")),
+            "the unreachable replica must surface: {payload:?}"
+        );
+        conn.handle_line("SHUTDOWN").unwrap();
+        backends.into_iter().for_each(|(_, h)| {
+            h.join().unwrap().unwrap();
+        });
     }
 
     #[test]

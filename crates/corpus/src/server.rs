@@ -606,8 +606,22 @@ mod tests {
         assert_eq!(status, "OK 2");
         assert_eq!(payload[0], "doc=bib tuples=1");
 
+        // MUTATE edits the live document; the next QUERY sees the edit.
+        let (status, payload) = request("MUTATE bib INSERT 1 2 author");
+        assert_eq!(status, "OK 1");
+        assert!(
+            payload[0].starts_with("mutated bib kind=insert nodes=5 epoch=1"),
+            "{payload:?}"
+        );
+        let (status, payload) = request("QUERY bib descendant::author[. is $a] -> a");
+        assert_eq!(status, "OK 3");
+        assert_eq!(payload[0], "vars=a tuples=2");
+        let (status, payload) = request("MUTATE bib DELETE 99");
+        assert!(status.starts_with("ERR"), "{status}");
+        assert!(payload.is_empty());
+
         let (status, _) = request("STATS");
-        assert_eq!(status, "OK 10");
+        assert_eq!(status, "OK 14");
 
         let (status, _) = request("BOGUS");
         assert!(status.starts_with("ERR unknown command"), "{status}");
@@ -625,7 +639,7 @@ mod tests {
             writer2.flush().unwrap();
             let mut status2 = String::new();
             reader2.read_line(&mut status2).unwrap();
-            assert_eq!(status2.trim(), "OK 2", "evicted sessions must rebuild");
+            assert_eq!(status2.trim(), "OK 3", "evicted sessions must rebuild");
             writeln!(writer2, "QUIT").unwrap();
             writer2.flush().unwrap();
         }

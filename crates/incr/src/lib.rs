@@ -1,0 +1,27 @@
+//! Incremental document infrastructure for live XPath serving.
+//!
+//! The answering pipeline compiles queries into binary-relation matrices
+//! keyed by node ids (`xpath_pplbin`).  Those ids are dense preorder
+//! indices, which makes the matrices compact but means a single tree edit
+//! shifts every id after the edit point.  This crate provides the two
+//! pieces that make edits affordable anyway:
+//!
+//! * [`order::OrderMaintenance`] — list-labeled order tags supporting O(1)
+//!   precedence queries that survive insertions and deletions with only
+//!   amortized-local relabeling (no global renumber);
+//! * [`live::LiveDoc`] — a tree wrapped in an Euler tour of order tags, so
+//!   document-order and ancestor comparisons stay valid across
+//!   `insert_subtree` / `delete_subtree` / `relabel` edits.
+//!
+//! The tree-edit primitives themselves ([`xpath_tree::EditDelta`] and the
+//! `Tree::insert_subtree` family) live in `xpath_tree`; the matrix-side
+//! consumption of an [`xpath_tree::EditDelta`] (row-range invalidation,
+//! epoch-stamped snapshots) lives in `xpath_pplbin` and `xpath_corpus`.
+
+#![forbid(unsafe_code)]
+
+pub mod live;
+pub mod order;
+
+pub use live::LiveDoc;
+pub use order::{OrderMaintenance, Slot};

@@ -1,0 +1,299 @@
+//! Live documents: a tree plus order-maintenance labels that survive edits.
+//!
+//! A [`LiveDoc`] pairs the current [`Tree`] snapshot with an Euler-tour
+//! order-maintenance list: every node owns two slots, an *open* (preorder)
+//! and a *close* (postorder) event, nested like balanced parentheses.  This
+//! recovers exactly the two comparisons the paper's Interval relations are
+//! built on —
+//!
+//! * document order: `u < v` iff `open(u)` precedes `open(v)`;
+//! * ancestorship: `a` is an ancestor of `d` iff `open(a)` precedes
+//!   `open(d)` and `close(d)` precedes `close(a)` —
+//!
+//! but, unlike raw pre/post integers, both survive
+//! [`LiveDoc::insert_subtree`] / [`LiveDoc::delete_subtree`] without
+//! touching the labels of any unedited node: an insert splices the edited
+//! range's `2·count` events into the tour, a delete unlinks them, and a
+//! relabel touches nothing.  The slots of untouched nodes keep their tags
+//! (up to the amortized list-labeling relabels), so order comparisons taken
+//! before an edit remain valid after it.
+//!
+//! Node ids, by contrast, do shift (they are dense preorder indices); the
+//! `LiveDoc` re-indexes its slot table through [`EditDelta::remap`] — an
+//! O(|t|) pointer shuffle, not a relabeling.
+
+use crate::order::{OrderMaintenance, Slot};
+use std::sync::Arc;
+use xpath_tree::{EditDelta, NodeId, Tree, TreeError};
+
+/// A document that supports edits while keeping O(1) order and ancestor
+/// comparisons stable.
+#[derive(Debug, Clone)]
+pub struct LiveDoc {
+    tree: Arc<Tree>,
+    order: OrderMaintenance,
+    /// Per node (indexed by current `NodeId`): (open slot, close slot).
+    slots: Vec<(Slot, Slot)>,
+    /// Edits applied so far.
+    edits: u64,
+}
+
+impl LiveDoc {
+    /// Wrap a tree, building its Euler tour.
+    pub fn new(tree: Arc<Tree>) -> LiveDoc {
+        let mut order = OrderMaintenance::new();
+        let mut slots: Vec<Option<(Slot, Slot)>> = vec![None; tree.len()];
+        // Build the tour iteratively: open events in preorder, each close
+        // event after the node's last descendant's close.
+        enum Ev {
+            Open(NodeId),
+            Close(NodeId),
+        }
+        let mut stack = vec![Ev::Open(tree.root())];
+        let mut last: Option<Slot> = None;
+        while let Some(ev) = stack.pop() {
+            let (node, is_open) = match ev {
+                Ev::Open(n) => (n, true),
+                Ev::Close(n) => (n, false),
+            };
+            let slot = match last {
+                None => order.insert_first(),
+                Some(prev) => order.insert_after(prev),
+            };
+            last = Some(slot);
+            if is_open {
+                slots[node.index()] = Some((slot, slot));
+                stack.push(Ev::Close(node));
+                let children: Vec<NodeId> = tree.children(node).collect();
+                for c in children.into_iter().rev() {
+                    stack.push(Ev::Open(c));
+                }
+            } else {
+                let entry = slots[node.index()].as_mut().expect("open precedes close");
+                entry.1 = slot;
+            }
+        }
+        let slots = slots
+            .into_iter()
+            .map(|s| s.expect("every node gets both events"))
+            .collect();
+        LiveDoc { tree, order, slots, edits: 0 }
+    }
+
+    /// The current tree snapshot (cheap `Arc` clone).
+    pub fn shared_tree(&self) -> Arc<Tree> {
+        Arc::clone(&self.tree)
+    }
+
+    /// The current tree snapshot.
+    pub fn tree(&self) -> &Tree {
+        &self.tree
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.tree.len()
+    }
+
+    /// Always false (trees are non-empty).
+    pub fn is_empty(&self) -> bool {
+        self.tree.is_empty()
+    }
+
+    /// Edits applied so far.
+    pub fn edit_count(&self) -> u64 {
+        self.edits
+    }
+
+    /// Total order-label reassignments so far (amortized-bound accounting).
+    pub fn relabel_count(&self) -> u64 {
+        self.order.relabel_count()
+    }
+
+    /// Does `a` precede `b` in document order?  O(1), stable across edits.
+    #[inline]
+    pub fn doc_before(&self, a: NodeId, b: NodeId) -> bool {
+        self.order
+            .precedes(self.slots[a.index()].0, self.slots[b.index()].0)
+    }
+
+    /// Is `anc` a strict ancestor of `desc`?  O(1), stable across edits.
+    #[inline]
+    pub fn is_ancestor(&self, desc: NodeId, anc: NodeId) -> bool {
+        let (open_a, close_a) = self.slots[anc.index()];
+        let (open_d, close_d) = self.slots[desc.index()];
+        self.order.precedes(open_a, open_d) && self.order.precedes(close_d, close_a)
+    }
+
+    /// Insert a copy of `subtree` as the `index`-th child of `parent`;
+    /// splices `2·subtree.len()` fresh events into the tour and leaves
+    /// every other node's labels untouched.
+    pub fn insert_subtree(
+        &mut self,
+        parent: NodeId,
+        index: usize,
+        subtree: &Tree,
+    ) -> Result<EditDelta, TreeError> {
+        let (new_tree, delta) = self.tree.insert_subtree(parent, index, subtree)?;
+        let new_tree = Arc::new(new_tree);
+
+        // The inserted events splice in immediately after either the
+        // parent's open event (index 0) or the previous sibling's close.
+        let new_root = NodeId(delta.pos);
+        let anchor = match new_tree.prev_sibling(new_root) {
+            // The previous sibling's id is < pos, hence valid in the old
+            // slot table too.
+            Some(prev) => self.slots[prev.index()].1,
+            None => self.slots[parent.index()].0,
+        };
+
+        // Rebuild the slot table through the remap, leaving holes for the
+        // fresh range.
+        let mut slots: Vec<Option<(Slot, Slot)>> = vec![None; new_tree.len()];
+        for (old, &pair) in self.slots.iter().enumerate() {
+            let new = delta
+                .remap(old as u32)
+                .expect("insert deletes no nodes");
+            slots[new as usize] = Some(pair);
+        }
+        // Walk the inserted range (a contiguous preorder block in the new
+        // tree) building its Euler tour after `anchor`.
+        enum Ev {
+            Open(NodeId),
+            Close(NodeId),
+        }
+        let mut stack = vec![Ev::Open(new_root)];
+        let mut last = anchor;
+        while let Some(ev) = stack.pop() {
+            let (node, is_open) = match ev {
+                Ev::Open(n) => (n, true),
+                Ev::Close(n) => (n, false),
+            };
+            let slot = self.order.insert_after(last);
+            last = slot;
+            if is_open {
+                slots[node.index()] = Some((slot, slot));
+                stack.push(Ev::Close(node));
+                let children: Vec<NodeId> = new_tree.children(node).collect();
+                for c in children.into_iter().rev() {
+                    stack.push(Ev::Open(c));
+                }
+            } else {
+                let entry = slots[node.index()].as_mut().expect("open precedes close");
+                entry.1 = slot;
+            }
+        }
+        self.slots = slots
+            .into_iter()
+            .map(|s| s.expect("every node keeps or gains a slot pair"))
+            .collect();
+        self.tree = new_tree;
+        self.edits += 1;
+        Ok(delta)
+    }
+
+    /// Delete the subtree rooted at `node`; unlinks its events and leaves
+    /// every other node's labels untouched.
+    pub fn delete_subtree(&mut self, node: NodeId) -> Result<EditDelta, TreeError> {
+        let (new_tree, delta) = self.tree.delete_subtree(node)?;
+        let new_tree = Arc::new(new_tree);
+        let mut slots: Vec<Option<(Slot, Slot)>> = vec![None; new_tree.len()];
+        for (old, &pair) in self.slots.iter().enumerate() {
+            match delta.remap(old as u32) {
+                Some(new) => slots[new as usize] = Some(pair),
+                None => {
+                    self.order.delete(pair.0);
+                    self.order.delete(pair.1);
+                }
+            }
+        }
+        self.slots = slots
+            .into_iter()
+            .map(|s| s.expect("every surviving node keeps its slot pair"))
+            .collect();
+        self.tree = new_tree;
+        self.edits += 1;
+        Ok(delta)
+    }
+
+    /// Change the label of `node`; ids and order labels are untouched.
+    pub fn relabel(&mut self, node: NodeId, label: &str) -> Result<EditDelta, TreeError> {
+        let (new_tree, delta) = self.tree.relabel(node, label)?;
+        self.tree = Arc::new(new_tree);
+        self.edits += 1;
+        Ok(delta)
+    }
+
+    /// Check that the order labels agree with the tree's pre/post numbers
+    /// (the naive full-renumber oracle); tests only.
+    pub fn check_against_tree(&self) -> Result<(), String> {
+        let t = &self.tree;
+        for a in t.nodes() {
+            for b in t.nodes() {
+                if a == b {
+                    continue;
+                }
+                let expected = t.preorder(a) < t.preorder(b);
+                if self.doc_before(a, b) != expected {
+                    return Err(format!("doc order disagrees at ({a}, {b})"));
+                }
+                let expected_anc = t.is_ancestor(b, a);
+                if self.is_ancestor(b, a) != expected_anc {
+                    return Err(format!("ancestor test disagrees at ({a}, {b})"));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xpath_tree::EditKind;
+
+    fn live(s: &str) -> LiveDoc {
+        LiveDoc::new(Arc::new(Tree::from_terms(s).unwrap()))
+    }
+
+    #[test]
+    fn fresh_doc_matches_tree_numbers() {
+        let d = live("a(b(d,e),c(f(g),h))");
+        d.check_against_tree().unwrap();
+    }
+
+    #[test]
+    fn edits_keep_order_and_ancestors_consistent() {
+        let mut d = live("a(b(d,e),c)");
+        let sub = Tree::from_terms("x(y,z)").unwrap();
+        let b = d.tree().nodes_with_label_str("b")[0];
+        let delta = d.insert_subtree(b, 1, &sub).unwrap();
+        assert_eq!(delta.kind, EditKind::Insert);
+        d.check_against_tree().unwrap();
+
+        let x = d.tree().nodes_with_label_str("x")[0];
+        d.relabel(x, "w").unwrap();
+        d.check_against_tree().unwrap();
+
+        let w = d.tree().nodes_with_label_str("w")[0];
+        let delta = d.delete_subtree(w).unwrap();
+        assert_eq!(delta.kind, EditKind::Delete);
+        d.check_against_tree().unwrap();
+        assert_eq!(d.edit_count(), 3);
+        assert_eq!(d.tree().to_terms(), "a(b(d,e),c)");
+    }
+
+    #[test]
+    fn untouched_nodes_keep_their_tags_across_an_insert() {
+        let mut d = live("a(b,c,d)");
+        let before: Vec<u64> = (0..4)
+            .map(|i| d.order.tag(d.slots[i].0))
+            .collect();
+        let sub = Tree::from_terms("x").unwrap();
+        d.insert_subtree(d.tree().root(), 1, &sub).unwrap();
+        // Old nodes a,b,c,d now have ids 0,1,3,4 — but identical tags.
+        for (old, new) in [(0usize, 0usize), (1, 1), (2, 3), (3, 4)] {
+            assert_eq!(d.order.tag(d.slots[new].0), before[old]);
+        }
+    }
+}

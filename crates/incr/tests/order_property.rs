@@ -1,0 +1,111 @@
+//! Property tests for the order-maintenance labels: random edit scripts on
+//! a [`LiveDoc`] must agree, pair-for-pair, with the naive oracle that
+//! renumbers the whole tree after every edit (the tree's own pre/post
+//! integers).  A second property pins the amortized relabel bound on a
+//! deliberately tiny tag universe so the dyadic-window machinery actually
+//! runs.
+
+use proptest::prelude::*;
+use std::sync::Arc;
+use xpath_incr::{LiveDoc, OrderMaintenance};
+use xpath_tree::Tree;
+
+/// One step of a random edit script, in "percentage coordinates" that get
+/// resolved against the current tree size when applied.
+#[derive(Debug, Clone)]
+enum Step {
+    /// (parent %, child index %, subtree shape choice)
+    Insert(u8, u8, u8),
+    /// (node %) — skipped when it resolves to the root.
+    Delete(u8),
+    /// (node %, new label choice)
+    Relabel(u8, u8),
+}
+
+fn step_strategy() -> impl Strategy<Value = Step> {
+    prop_oneof![
+        (0u8..100, 0u8..100, 0u8..4).prop_map(|(p, i, s)| Step::Insert(p, i, s)),
+        (0u8..100).prop_map(Step::Delete),
+        (0u8..100, 0u8..4).prop_map(|(n, l)| Step::Relabel(n, l)),
+    ]
+}
+
+const SUBTREES: [&str; 4] = ["x", "x(y)", "x(y,z)", "x(y(z),w)"];
+const LABELS: [&str; 4] = ["a", "b", "c", "d"];
+
+fn apply(doc: &mut LiveDoc, step: &Step) {
+    let n = doc.len() as u32;
+    match *step {
+        Step::Insert(p, i, s) => {
+            let parent = xpath_tree::NodeId(p as u32 * n / 100);
+            let arity = doc.tree().children(parent).count();
+            let index = (i as usize * (arity + 1)) / 100;
+            let sub = Tree::from_terms(SUBTREES[s as usize % 4]).unwrap();
+            doc.insert_subtree(parent, index, &sub).unwrap();
+        }
+        Step::Delete(v) => {
+            let node = xpath_tree::NodeId(v as u32 * n / 100);
+            if node != doc.tree().root() {
+                doc.delete_subtree(node).unwrap();
+            }
+        }
+        Step::Relabel(v, l) => {
+            let node = xpath_tree::NodeId(v as u32 * n / 100);
+            doc.relabel(node, LABELS[l as usize % 4]).unwrap();
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// After every step of a random edit script, O(1) order-tag comparisons
+    /// agree with the full-renumber oracle on all node pairs.
+    #[test]
+    fn random_edit_scripts_match_the_full_renumber_oracle(
+        steps in prop::collection::vec(step_strategy(), 1..25)
+    ) {
+        let mut doc = LiveDoc::new(Arc::new(
+            Tree::from_terms("a(b(c,d),e(f),g)").unwrap(),
+        ));
+        for step in &steps {
+            apply(&mut doc, step);
+            doc.check_against_tree().unwrap();
+        }
+    }
+
+    /// In a tiny universe the relabel machinery runs for real, and the
+    /// total number of tag reassignments stays within the amortized
+    /// O(log u) per insertion bound (u = universe size).
+    #[test]
+    fn relabel_counts_stay_within_the_amortized_bound(
+        positions in prop::collection::vec(0u8..100, 1..60)
+    ) {
+        let bits = 10u32;
+        let mut om = OrderMaintenance::with_universe_bits(bits);
+        let mut order = vec![om.insert_first()];
+        for &p in &positions {
+            let at = p as usize * order.len() / 100;
+            let slot = if at == 0 {
+                om.insert_first()
+            } else {
+                om.insert_after(order[at - 1])
+            };
+            order.insert(at, slot);
+            om.check_invariants().unwrap();
+        }
+        for w in order.windows(2) {
+            prop_assert!(om.precedes(w[0], w[1]));
+        }
+        // Each insertion can trigger at most one window relabel touching at
+        // most universe/4 items, but amortized the cost is O(bits) per
+        // insertion; allow a generous constant.
+        let inserts = (positions.len() + 1) as u64;
+        prop_assert!(
+            om.relabel_count() <= 8 * bits as u64 * inserts,
+            "relabels {} exceed amortized bound for {} inserts",
+            om.relabel_count(),
+            inserts
+        );
+    }
+}

@@ -59,11 +59,13 @@ impl fmt::Display for Finding {
 const SANCTIONED_SPAWN_MODULES: &[&str] = &["crates/bench/src/regress.rs"];
 
 /// Crates whose non-test code must route locking through `xpath_sync`.
-const FACADE_PORTED_PREFIXES: &[&str] = &["crates/corpus/src/", "crates/pplbin/src/"];
+const FACADE_PORTED_PREFIXES: &[&str] =
+    &["crates/corpus/src/", "crates/incr/src/", "crates/pplbin/src/"];
 
 /// Crates whose request paths must not `.unwrap()`/`.expect()` lock or I/O
 /// results.
-const NO_LOCK_UNWRAP_PREFIXES: &[&str] = &["crates/corpus/src/", "crates/wire/src/"];
+const NO_LOCK_UNWRAP_PREFIXES: &[&str] =
+    &["crates/corpus/src/", "crates/incr/src/", "crates/wire/src/"];
 
 /// Where the wire-read rule applies (the daemon/router request paths).
 const BOUNDED_READ_PREFIXES: &[&str] = &["crates/corpus/src/"];

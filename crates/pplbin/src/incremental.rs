@@ -1,0 +1,375 @@
+//! Incremental matrix maintenance: shared machinery for patching compiled
+//! relations through a tree edit instead of recompiling them.
+//!
+//! The tree layer guarantees ([`EditDelta::dirty_rows`], brute-force-pinned
+//! in `xpath_tree::edit`) that a step relation after an edit equals the old
+//! relation with [`EditDelta::remap`] applied to rows and columns — except
+//! on a small set of dirty rows.  `MatrixStore::apply_edit` (in
+//! [`crate::store`]) lifts that guarantee through the PPLbin operators; the
+//! helpers here are the mechanical parts: remapping sorted column lists and
+//! packed bit rows through the id shift, and finding the rows of a compiled
+//! relation that touch a given column set (the preimage step of the dirty
+//! propagation `D(a·b) ⊇ {u : rows_a(u) ∩ D(b) ≠ ∅}`).
+//!
+//! [`EditDelta::dirty_rows`]: xpath_tree::EditDelta::dirty_rows
+//! [`EditDelta::remap`]: xpath_tree::EditDelta::remap
+
+use crate::relation::Relation;
+use xpath_tree::{EditDelta, EditKind, NodeId};
+
+/// What one [`crate::store::MatrixStore::apply_edit`] call did to the cached
+/// entries, for the serving layer's `rows invalidated / rebuilt vs patched`
+/// counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EditApplyStats {
+    /// Entries kept verbatim (relabel outside the entry's label footprint).
+    pub entries_kept: usize,
+    /// Entries patched row-wise: clean rows remapped, dirty rows recomputed.
+    pub entries_patched: usize,
+    /// Entries recomputed from their (already updated) children.
+    pub entries_rebuilt: usize,
+    /// Entries dropped outright (recompiled on demand later).
+    pub entries_dropped: usize,
+    /// Rows recomputed (not merely remapped) across all entries.
+    pub rows_invalidated: u64,
+    /// Total rows of all entries that were compiled when the edit arrived.
+    pub rows_total: u64,
+}
+
+impl EditApplyStats {
+    /// Accumulate another counter set (aggregating shards of a
+    /// `SharedMatrixStore`).
+    pub fn merge(&mut self, other: &EditApplyStats) {
+        let EditApplyStats {
+            entries_kept,
+            entries_patched,
+            entries_rebuilt,
+            entries_dropped,
+            rows_invalidated,
+            rows_total,
+        } = *other;
+        self.entries_kept += entries_kept;
+        self.entries_patched += entries_patched;
+        self.entries_rebuilt += entries_rebuilt;
+        self.entries_dropped += entries_dropped;
+        self.rows_invalidated += rows_invalidated;
+        self.rows_total += rows_total;
+    }
+}
+
+/// The rows of one cached subterm whose relation may differ from the
+/// remapped old relation.  `Rows` is sorted and deduplicated, in new ids.
+#[derive(Debug, Clone)]
+pub(crate) enum Dirty {
+    Rows(Vec<u32>),
+    All,
+}
+
+/// Merge two sorted, deduped row lists (u32 ids).
+pub(crate) fn merge_rows(a: &[u32], b: &[u32]) -> Vec<u32> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => {
+                out.push(a[i]);
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                out.push(b[j]);
+                j += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
+    out
+}
+
+/// Remap a sorted column list through the edit's id shift.  Monotone, so
+/// the output stays sorted; deleted columns drop out.
+pub(crate) fn remap_cols(cols: &[u32], delta: &EditDelta) -> Vec<u32> {
+    cols.iter().filter_map(|&c| delta.remap(c)).collect()
+}
+
+/// Remap one packed bit row (old column space) into the new column space:
+/// bits below the edited range stay, bits above shift by `count`, bits
+/// inside a deleted range vanish.  O(n/64) via whole-word copies.
+pub(crate) fn remap_row_words(old: &[u64], delta: &EditDelta, n_old: usize, n_new: usize) -> Vec<u64> {
+    let mut out = vec![0u64; n_new.div_ceil(64)];
+    let pos = delta.pos as usize;
+    let count = delta.count as usize;
+    match delta.kind {
+        EditKind::Relabel => {
+            out.copy_from_slice(old);
+        }
+        EditKind::Insert => {
+            copy_bit_range(old, 0, pos, &mut out, 0);
+            copy_bit_range(old, pos, n_old - pos, &mut out, pos + count);
+        }
+        EditKind::Delete => {
+            copy_bit_range(old, 0, pos, &mut out, 0);
+            copy_bit_range(old, pos + count, n_old - pos - count, &mut out, pos);
+        }
+    }
+    out
+}
+
+/// Remap a `[lo, hi)` column range through the edit's id shift, if its
+/// image stays contiguous.  `None` means the range straddles the freshly
+/// inserted block (the image has a hole) and the row cannot be kept in
+/// interval form.
+pub(crate) fn remap_range(lo: u32, hi: u32, delta: &EditDelta) -> Option<(u32, u32)> {
+    if lo >= hi {
+        return Some((0, 0));
+    }
+    let (pos, count) = (delta.pos, delta.count);
+    match delta.kind {
+        EditKind::Relabel => Some((lo, hi)),
+        EditKind::Insert => {
+            if lo < pos && hi > pos {
+                None
+            } else if hi <= pos {
+                Some((lo, hi))
+            } else {
+                Some((lo + count, hi + count))
+            }
+        }
+        EditKind::Delete => {
+            let f = |x: u32| {
+                if x <= pos {
+                    x
+                } else if x <= pos + count {
+                    pos
+                } else {
+                    x - count
+                }
+            };
+            let (l, h) = (f(lo), f(hi));
+            if l >= h {
+                Some((0, 0))
+            } else {
+                Some((l, h))
+            }
+        }
+    }
+}
+
+/// Read up to 64 bits starting at bit `start` (caller masks via `len`).
+#[inline]
+fn read_bits(src: &[u64], start: usize, len: usize) -> u64 {
+    let w = start / 64;
+    let off = start % 64;
+    let mut v = src[w] >> off;
+    if off != 0 && w + 1 < src.len() {
+        v |= src[w + 1] << (64 - off);
+    }
+    if len < 64 {
+        v &= (1u64 << len) - 1;
+    }
+    v
+}
+
+/// OR up to 64 bits into `dst` starting at bit `start`.
+#[inline]
+fn write_bits(dst: &mut [u64], start: usize, len: usize, bits: u64) {
+    let w = start / 64;
+    let off = start % 64;
+    dst[w] |= bits << off;
+    if off != 0 && off + len > 64 {
+        dst[w + 1] |= bits >> (64 - off);
+    }
+}
+
+/// OR-copy `len` bits from `src[src_start..]` into `dst[dst_start..]`.
+fn copy_bit_range(src: &[u64], src_start: usize, len: usize, dst: &mut [u64], dst_start: usize) {
+    let mut i = 0;
+    while i < len {
+        let take = 64.min(len - i);
+        let chunk = read_bits(src, src_start + i, take);
+        write_bits(dst, dst_start + i, take, chunk);
+        i += take;
+    }
+}
+
+/// The rows of a compiled relation whose row intersects the sorted column
+/// set `cols` — the preimage step of dirty propagation through `Seq`.
+/// Returns row ids in the relation's own id space, sorted.
+pub(crate) fn rows_intersecting_cols(r: &Relation, cols: &[u32]) -> Vec<u32> {
+    let n = r.len();
+    if cols.is_empty() {
+        return Vec::new();
+    }
+    match r {
+        Relation::Identity(_) => cols.iter().copied().filter(|&c| (c as usize) < n).collect(),
+        Relation::Full(_) => (0..n as u32).collect(),
+        Relation::Interval { rows, .. } => rows
+            .iter()
+            .enumerate()
+            .filter(|(_, &(lo, hi))| {
+                lo < hi && {
+                    // Any dirty column inside [lo, hi)?
+                    let i = cols.partition_point(|&c| c < lo);
+                    i < cols.len() && cols[i] < hi
+                }
+            })
+            .map(|(u, _)| u as u32)
+            .collect(),
+        Relation::Sparse(s) => (0..n as u32)
+            .filter(|&u| {
+                let row = s.row(u as usize);
+                // Walk whichever side is shorter.
+                if row.len() <= cols.len() {
+                    row.iter().any(|c| cols.binary_search(c).is_ok())
+                } else {
+                    cols.iter().any(|c| row.binary_search(c).is_ok())
+                }
+            })
+            .collect(),
+        Relation::Dense(m) => (0..n as u32)
+            .filter(|&u| {
+                cols.iter()
+                    .any(|&c| m.get(NodeId(u), NodeId(c)))
+            })
+            .collect(),
+    }
+}
+
+/// The rows of a compiled relation whose row intersects the contiguous
+/// column range `lo..hi` — used on the *old* relation to find rows that
+/// routed through a deleted subtree.
+pub(crate) fn rows_intersecting_range(r: &Relation, lo: u32, hi: u32) -> Vec<u32> {
+    let n = r.len();
+    if lo >= hi {
+        return Vec::new();
+    }
+    match r {
+        Relation::Identity(_) => (lo..hi.min(n as u32)).collect(),
+        Relation::Full(_) => (0..n as u32).collect(),
+        Relation::Interval { rows, .. } => rows
+            .iter()
+            .enumerate()
+            .filter(|(_, &(rlo, rhi))| rlo < rhi && rlo < hi && lo < rhi)
+            .map(|(u, _)| u as u32)
+            .collect(),
+        Relation::Sparse(s) => (0..n as u32)
+            .filter(|&u| {
+                let row = s.row(u as usize);
+                let i = row.partition_point(|&c| c < lo);
+                i < row.len() && row[i] < hi
+            })
+            .collect(),
+        Relation::Dense(m) => (0..n as u32)
+            .filter(|&u| (lo..hi).any(|c| m.get(NodeId(u), NodeId(c))))
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::NodeMatrix;
+    use crate::relation::SparseRows;
+    use xpath_tree::Tree;
+
+    fn insert_delta() -> (Tree, Tree, EditDelta) {
+        let t = Tree::from_terms("a(b(c,d),e)").unwrap();
+        let sub = Tree::from_terms("x(y)").unwrap();
+        let (t2, delta) = t.insert_subtree(NodeId(1), 1, &sub).unwrap();
+        (t, t2, delta)
+    }
+
+    fn delete_delta() -> (Tree, Tree, EditDelta) {
+        let t = Tree::from_terms("a(b(c,d),e)").unwrap();
+        let (t2, delta) = t.delete_subtree(NodeId(1)).unwrap();
+        (t, t2, delta)
+    }
+
+    #[test]
+    fn remap_cols_is_monotone_and_drops_deleted() {
+        let (_, _, ins) = insert_delta();
+        // Insert at pos=3, count=2 (x,y under b after c,d → positions vary);
+        // whatever pos is, the output must be sorted and lossless.
+        let cols: Vec<u32> = (0..5).collect();
+        let out = remap_cols(&cols, &ins);
+        assert_eq!(out.len(), 5);
+        assert!(out.windows(2).all(|w| w[0] < w[1]));
+
+        let (_, _, del) = delete_delta();
+        let out = remap_cols(&cols, &del);
+        // Nodes 1,2,3 (subtree of b) died.
+        assert_eq!(out, vec![0, 1]);
+    }
+
+    #[test]
+    fn remap_row_words_matches_per_bit_remap() {
+        for (_, _, delta) in [insert_delta(), delete_delta()] {
+            let n_old = delta.old_len;
+            let n_new = delta.new_len;
+            // Try every single-bit row plus a mixed pattern.
+            let mut patterns: Vec<Vec<u32>> = (0..n_old as u32).map(|c| vec![c]).collect();
+            patterns.push((0..n_old as u32).step_by(2).collect());
+            for cols in patterns {
+                let mut old = vec![0u64; n_old.div_ceil(64)];
+                for &c in &cols {
+                    old[c as usize / 64] |= 1 << (c % 64);
+                }
+                let new = remap_row_words(&old, &delta, n_old, n_new);
+                let mut expect = vec![0u64; n_new.div_ceil(64)];
+                for c in remap_cols(&cols, &delta) {
+                    expect[c as usize / 64] |= 1 << (c % 64);
+                }
+                assert_eq!(new, expect, "{:?} cols {cols:?}", delta.kind);
+            }
+        }
+    }
+
+    #[test]
+    fn rows_intersecting_agree_across_variants() {
+        let n = 9;
+        let pairs: &[(u32, u32)] = &[(0, 3), (0, 4), (2, 7), (5, 1), (8, 8)];
+        let sparse = Relation::Sparse(SparseRows::from_sorted_pairs(n, pairs));
+        let dense = {
+            let mut m = NodeMatrix::empty(n);
+            for &(u, v) in pairs {
+                m.set(NodeId(u), NodeId(v));
+            }
+            Relation::Dense(m)
+        };
+        for cols in [vec![3u32], vec![1, 7], vec![0], vec![]] {
+            let want = rows_intersecting_cols(&sparse, &cols);
+            assert_eq!(rows_intersecting_cols(&dense, &cols), want, "cols {cols:?}");
+        }
+        for (lo, hi) in [(0u32, 2u32), (3, 5), (7, 9), (4, 4)] {
+            let want = rows_intersecting_range(&sparse, lo, hi);
+            assert_eq!(rows_intersecting_range(&dense, lo, hi), want, "{lo}..{hi}");
+        }
+        // Interval sanity: row ranges against both target forms.
+        let iv = Relation::Interval {
+            n,
+            rows: (0..n as u32).map(|u| if u % 2 == 0 { (u, u + 2) } else { (0, 0) }).collect(),
+        };
+        assert_eq!(rows_intersecting_cols(&iv, &[3]), vec![2]);
+        assert_eq!(rows_intersecting_range(&iv, 8, 9), vec![8]);
+    }
+
+    #[test]
+    fn edit_apply_stats_merge_adds_everything() {
+        let mut a = EditApplyStats {
+            entries_kept: 1,
+            entries_patched: 2,
+            entries_rebuilt: 3,
+            entries_dropped: 4,
+            rows_invalidated: 5,
+            rows_total: 6,
+        };
+        a.merge(&a.clone());
+        assert_eq!(a.rows_total, 12);
+        assert_eq!(a.entries_dropped, 8);
+    }
+}

@@ -44,6 +44,7 @@
 pub mod axes;
 pub mod binary;
 pub mod builder;
+pub mod edit;
 pub mod generate;
 pub mod nodeset;
 pub mod terms;
@@ -52,6 +53,7 @@ pub mod tree;
 pub use axes::{Axis, AxisIter};
 pub use binary::BinaryTree;
 pub use builder::TreeBuilder;
+pub use edit::{EditDelta, EditKind};
 pub use nodeset::NodeSet;
 pub use tree::{Label, NodeId, Tree};
 

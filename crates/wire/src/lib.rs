@@ -145,6 +145,34 @@ pub fn parse_status(line: &str) -> Result<Result<usize, String>, String> {
 /// failed — no well-formed response arrived at all.
 pub type Response = Result<Vec<String>, String>;
 
+// -- request-line builders ---------------------------------------------------
+//
+// The protocol's request grammar lives with the daemon
+// (`xpath_corpus::protocol::parse_command`); clients that want to *compose*
+// requests rather than pass user text through get builders here so the
+// `MUTATE` argument order is written down exactly once on the client side.
+// (`xpath_corpus`'s protocol tests round-trip these through the real
+// parser.)
+
+/// Build a `MUTATE <doc> INSERT <parent> <index> <terms>` request line:
+/// splice `terms` (compact term syntax) under preorder node `parent` before
+/// its `index`-th child.
+pub fn mutate_insert_line(doc: &str, parent: u32, index: usize, terms: &str) -> String {
+    format!("MUTATE {doc} INSERT {parent} {index} {terms}")
+}
+
+/// Build a `MUTATE <doc> DELETE <node>` request line: remove the subtree
+/// rooted at preorder node `node`.
+pub fn mutate_delete_line(doc: &str, node: u32) -> String {
+    format!("MUTATE {doc} DELETE {node}")
+}
+
+/// Build a `MUTATE <doc> RELABEL <node> <label>` request line: rename
+/// preorder node `node` to `label`, keeping the tree shape.
+pub fn mutate_relabel_line(doc: &str, node: u32, label: &str) -> String {
+    format!("MUTATE {doc} RELABEL {node} {label}")
+}
+
 /// Why a [`ShardClient`] request produced no response.
 #[derive(Debug)]
 pub enum WireError {
